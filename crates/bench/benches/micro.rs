@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks for the hot kernels: oneffset encoding, CSD
+//! recoding, the column scheduler, the PIP datapath, the reference
+//! convolution, and a full Pragmatic layer simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pra_core::column::{schedule_brick, schedule_values};
+use pra_core::pip::{pip_cycle, LaneControl};
+use pra_core::PraConfig;
+use pra_fixed::{csd, OneffsetList};
+use pra_tensor::conv::convolve;
+use pra_tensor::{ConvLayerSpec, Tensor3};
+use pra_workloads::generator::generate_synapses;
+use pra_workloads::{LayerWorkload, Representation};
+
+fn bench_encoding(c: &mut Criterion) {
+    let values: Vec<u16> = (0..4096u32).map(|k| (k.wrapping_mul(2654435761) >> 16) as u16).collect();
+    c.bench_function("oneffset_encode_4k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &v in &values {
+                total += OneffsetList::encode(black_box(v)).len();
+            }
+            black_box(total)
+        })
+    });
+    c.bench_function("csd_encode_4k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &v in &values {
+                total += csd::encode(black_box(v)).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut bricks = Vec::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..256 {
+        let mut vals = [0u16; 16];
+        for v in &mut vals {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *v = (state >> 48) as u16 & 0x1FF;
+        }
+        bricks.push(vals);
+    }
+    for l in [0u8, 2, 4] {
+        c.bench_function(&format!("column_schedule_256bricks_l{l}"), |b| {
+            b.iter(|| {
+                let mut cycles = 0u64;
+                for vals in &bricks {
+                    cycles += u64::from(schedule_values(black_box(vals), l).cycles);
+                }
+                black_box(cycles)
+            })
+        });
+    }
+    c.bench_function("schedule_brick_masked", |b| {
+        let masks: [u32; 16] = std::array::from_fn(|i| (0x5A5Au32).rotate_left(i as u32) & 0xFFFF);
+        b.iter(|| black_box(schedule_brick(black_box(&masks), 2)))
+    });
+}
+
+fn bench_pip(c: &mut Criterion) {
+    let synapses: [i16; 16] = std::array::from_fn(|i| (i as i16 - 8) * 321);
+    let lanes: [LaneControl; 16] = std::array::from_fn(|i| LaneControl::active((i % 4) as u8));
+    c.bench_function("pip_cycle", |b| {
+        b.iter(|| black_box(pip_cycle(black_box(&synapses), black_box(&lanes), 3)))
+    });
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let spec = ConvLayerSpec::new("bench", (32, 32, 64), (3, 3), 32, 1, 1).unwrap();
+    let neurons = Tensor3::from_fn(spec.input, |x, y, i| ((x * 131 + y * 17 + i * 7) % 300) as u16);
+    let synapses = generate_synapses(&spec, 7);
+    c.bench_function("reference_convolve_32x32x64", |b| {
+        b.iter(|| black_box(convolve(black_box(&spec), &neurons, &synapses)))
+    });
+
+    let layer = LayerWorkload {
+        spec: spec.clone(),
+        window: pra_fixed::PrecisionWindow::with_width(9, 2),
+        stripes_precision: 9,
+        neurons: neurons.clone(),
+    };
+    let cfg = PraConfig::two_stage(2, Representation::Fixed16);
+    c.bench_function("pra2b_simulate_layer_32x32x64", |b| {
+        b.iter_batched(
+            || layer.clone(),
+            |l| black_box(pra_core::simulate_layer(black_box(&cfg), &l)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_encoding, bench_scheduler, bench_pip, bench_layers
+}
+criterion_main!(benches);

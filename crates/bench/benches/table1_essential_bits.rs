@@ -1,0 +1,30 @@
+//! Table I — average fraction of non-zero neuron bits per network for the
+//! 16-bit fixed-point and 8-bit quantized representations, over all
+//! neurons ("All") and non-zero neurons ("NZ").
+//!
+//! The generator is calibrated against these very numbers (DESIGN.md §2),
+//! so this target verifies the calibration pipeline end to end on the
+//! full workload tensors rather than predicting anything new.
+
+use pra_bench::{build_workloads, pct, vs, Table};
+use pra_fixed::BitContentStats;
+use pra_workloads::{profiles, Representation};
+
+fn main() {
+    let mut table = Table::new(["network", "fp16 All", "fp16 NZ", "q8 All", "q8 NZ"]);
+    let fp16 = build_workloads(Representation::Fixed16);
+    let q8 = build_workloads(Representation::Quant8);
+    for (wf, wq) in fp16.iter().zip(&q8) {
+        let paper = profiles::table1(wf.network);
+        let sf: BitContentStats = wf.layers.iter().flat_map(|l| l.neurons.as_slice().iter().copied()).collect();
+        let sq: BitContentStats = wq.layers.iter().flat_map(|l| l.neurons.as_slice().iter().copied()).collect();
+        table.row([
+            wf.network.name().to_string(),
+            vs(&pct(sf.fraction_all(16)), &pct(paper.fp16_all)),
+            vs(&pct(sf.fraction_nonzero(16)), &pct(paper.fp16_nz)),
+            vs(&pct(sq.fraction_all(8)), &pct(paper.q8_all)),
+            vs(&pct(sq.fraction_nonzero(8)), &pct(paper.q8_nz)),
+        ]);
+    }
+    table.print_and_save("Table I: essential neuron bit content, measured (paper)", "table1_essential_bits");
+}

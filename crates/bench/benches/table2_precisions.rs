@@ -1,0 +1,37 @@
+//! Table II — per-layer neuron precision profiles.
+//!
+//! The paper takes these from the profiling methodology of Judd et al.
+//! (its refs [2], [4]); here they are shipped as data and *validated* by
+//! running this crate's implementation of the profiler over the generated
+//! streams: the profiled window must recover each layer's configured
+//! precision (its width, up to the magnitude-tolerance slack).
+
+use pra_bench::{build_workloads, Table};
+use pra_fixed::precision::profile_window_clipped;
+use pra_workloads::{profiles, Representation};
+
+fn main() {
+    let workloads = build_workloads(Representation::Fixed16);
+    let mut table = Table::new(["network", "Table II (paper)", "profiled on synthetic stream"]);
+    for w in &workloads {
+        let paper: Vec<String> = profiles::precisions(w.network).iter().map(u8::to_string).collect();
+        let profiled: Vec<String> = w
+            .layers
+            .iter()
+            .map(|l| {
+                // Judd-style criterion: tolerate 1% magnitude loss from
+                // suffix masking and clipping of 1% outlier values.
+                let win = profile_window_clipped(l.neurons.as_slice(), 0.01, 0.01);
+                win.width().to_string()
+            })
+            .collect();
+        table.row([w.network.name().to_string(), paper.join("-"), profiled.join("-")]);
+    }
+    table.print_and_save("Table II: per-layer neuron precisions (bits)", "table2_precisions");
+    println!(
+        "The profiler recovers each layer's configured window width up to\n\
+         the tolerance slack: suffix-noise bits below the window inflate the\n\
+         width by up to two until the 1% magnitude budget absorbs them, and\n\
+         rare prefix outliers are clipped by the 1% quantile."
+    );
+}

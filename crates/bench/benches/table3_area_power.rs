@@ -1,0 +1,35 @@
+//! Table III — area (unit and whole chip, mm²) and chip power (W) for
+//! DaDN, Stripes and the pallet-synchronized PRA variants, from the
+//! component-level 65 nm model (see `pra-energy`).
+
+use pra_bench::{vs, Table};
+use pra_energy::chip::{chip_area_mm2, chip_power_w, paper_chip_area_mm2, paper_chip_power_w};
+use pra_energy::unit::{paper_unit_area_mm2, unit_area_mm2, Design};
+
+fn main() {
+    let designs: Vec<Design> = std::iter::once(Design::Dadn)
+        .chain(std::iter::once(Design::Stripes))
+        .chain((0..=4).map(|l| Design::Pra { first_stage_bits: l, ssrs: 0 }))
+        .collect();
+
+    let dadn_unit = unit_area_mm2(Design::Dadn);
+    let dadn_area = chip_area_mm2(Design::Dadn);
+    let dadn_power = chip_power_w(Design::Dadn);
+
+    let mut table = Table::new(["design", "Area U.", "dArea U.", "Area T.", "dArea T.", "Power T.", "dPower T."]);
+    for d in designs {
+        let u = unit_area_mm2(d);
+        let a = chip_area_mm2(d);
+        let p = chip_power_w(d);
+        table.row([
+            d.label(),
+            vs(&format!("{u:.2}"), &format!("{:.2}", paper_unit_area_mm2(d).unwrap())),
+            format!("{:.2}", u / dadn_unit),
+            vs(&format!("{a:.0}"), &format!("{:.0}", paper_chip_area_mm2(d).unwrap())),
+            format!("{:.2}", a / dadn_area),
+            vs(&format!("{p:.1}"), &format!("{:.1}", paper_chip_power_w(d).unwrap())),
+            format!("{:.2}", p / dadn_power),
+        ]);
+    }
+    table.print_and_save("Table III: area [mm2] and power [W], pallet synchronization, measured (paper)", "table3_area_power");
+}

@@ -1,0 +1,37 @@
+//! Table IV — area and power for per-column synchronization: PRA-2b with
+//! 1, 4 and 16 synapse set registers.
+
+use pra_bench::{vs, Table};
+use pra_energy::chip::{chip_area_mm2, chip_power_w, paper_chip_area_mm2, paper_chip_power_w};
+use pra_energy::unit::{paper_unit_area_mm2, unit_area_mm2, Design};
+
+fn main() {
+    let designs = [
+        Design::Dadn,
+        Design::Stripes,
+        Design::Pra { first_stage_bits: 2, ssrs: 1 },
+        Design::Pra { first_stage_bits: 2, ssrs: 4 },
+        Design::Pra { first_stage_bits: 2, ssrs: 16 },
+    ];
+
+    let dadn_unit = unit_area_mm2(Design::Dadn);
+    let dadn_area = chip_area_mm2(Design::Dadn);
+    let dadn_power = chip_power_w(Design::Dadn);
+
+    let mut table = Table::new(["design", "Area U.", "dArea U.", "Area T.", "dArea T.", "Power T.", "dPower T."]);
+    for d in designs {
+        let u = unit_area_mm2(d);
+        let a = chip_area_mm2(d);
+        let p = chip_power_w(d);
+        table.row([
+            d.label(),
+            vs(&format!("{u:.2}"), &format!("{:.2}", paper_unit_area_mm2(d).unwrap())),
+            format!("{:.2}", u / dadn_unit),
+            vs(&format!("{a:.0}"), &format!("{:.0}", paper_chip_area_mm2(d).unwrap())),
+            format!("{:.2}", a / dadn_area),
+            vs(&format!("{p:.1}"), &format!("{:.1}", paper_chip_power_w(d).unwrap())),
+            format!("{:.2}", p / dadn_power),
+        ]);
+    }
+    table.print_and_save("Table IV: area [mm2] and power [W], column synchronization with PRA-2b, measured (paper)", "table4_column_area_power");
+}

@@ -1,0 +1,78 @@
+//! Machine-readable experiment reports.
+//!
+//! Every reproduction bench prints a human table *and* drops a CSV under
+//! `target/pra-reports/` so results can be plotted or diffed across runs
+//! without scraping stdout. Writing is best-effort: a read-only target
+//! directory must not fail a bench.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory the reports land in (under the workspace `target/`).
+pub fn report_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("pra-reports")
+}
+
+/// Writes `rows` (with a `header`) to `target/pra-reports/<name>.csv`.
+/// Returns the path on success; `None` if the filesystem refused (the
+/// failure is printed but not fatal).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+    let dir = report_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("note: could not create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    match fs::write(&path, out) {
+        Ok(()) => {
+            println!("(csv: {})", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("note: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let rows = vec![
+            vec!["Alexnet".to_string(), "2.59".to_string()],
+            vec!["a,b".to_string(), "say \"hi\"".to_string()],
+        ];
+        let path = write_csv("test_report", &["net", "speedup"], &rows).expect("writable target");
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("net,speedup\n"));
+        assert!(body.contains("\"a,b\""));
+        assert!(body.contains("\"say \"\"hi\"\"\""));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn report_dir_is_under_target() {
+        assert!(report_dir().to_string_lossy().contains("target"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Bit-exact functional model of the Pragmatic datapath.
+//!
+//! Drives the PIP model of [`crate::pip`] cycle by cycle exactly as the
+//! scheduler of [`crate::column`] would — per brick step, pick the minimum
+//! pending oneffset, first-stage-shift each consuming lane by the
+//! difference, reduce, second-stage-shift by the minimum, accumulate — and
+//! produces the layer's raw output sums. The workspace's core correctness
+//! invariant is that this equals [`pra_tensor::conv::convolve`] exactly,
+//! for both encodings and any first-stage width.
+
+use pra_tensor::brick::{brick_steps, BrickStep};
+use pra_tensor::{ConvLayerSpec, Tensor3, BRICK};
+
+use crate::config::{Encoding, PraConfig};
+use crate::pip::{pip_cycle, LaneControl};
+
+/// A pending signed power-of-two term.
+#[derive(Debug, Clone, Copy)]
+struct Term {
+    pow: u8,
+    neg: bool,
+}
+
+/// Computes the layer's raw output sums through the Pragmatic datapath.
+///
+/// `neurons` are the stored input values (trimming, if enabled in `cfg`,
+/// is applied before encoding, exactly like the §V-F AND gates at the
+/// previous layer's output); `synapses` is one tensor per filter.
+///
+/// # Panics
+///
+/// Panics if tensor shapes do not match `spec`.
+pub fn compute_layer(
+    cfg: &PraConfig,
+    spec: &ConvLayerSpec,
+    neurons: &Tensor3<u16>,
+    synapses: &[Tensor3<i16>],
+    window: pra_fixed::PrecisionWindow,
+) -> Tensor3<i64> {
+    assert_eq!(neurons.dim(), spec.input, "neuron tensor shape mismatch");
+    assert_eq!(synapses.len(), spec.num_filters, "filter count mismatch");
+    let steps = brick_steps(spec);
+    let mut out = Tensor3::<i64>::zeros(spec.output_dim());
+
+    for wy in 0..spec.out_y() {
+        for wx in 0..spec.out_x() {
+            let (ox, oy) = spec.window_origin(wx, wy);
+            let mut acc = vec![0i64; spec.num_filters];
+            for step in &steps {
+                let brick = neurons.brick_padded(ox + step.fx as isize, oy + step.fy as isize, step.i0);
+                let queues = encode_brick(cfg, window, &brick);
+                accumulate_step(cfg, spec, synapses, *step, queues, &mut acc);
+            }
+            for (f, &v) in acc.iter().enumerate() {
+                out.set(wx, wy, f, v);
+            }
+        }
+    }
+    out
+}
+
+fn encode_brick(
+    cfg: &PraConfig,
+    window: pra_fixed::PrecisionWindow,
+    brick: &[u16; BRICK],
+) -> [Vec<Term>; BRICK] {
+    std::array::from_fn(|lane| {
+        let v = if cfg.software_trim { window.trim(brick[lane]) } else { brick[lane] };
+        match cfg.encoding {
+            Encoding::Oneffset => pra_fixed::OneffsetList::encode(v)
+                .powers()
+                .iter()
+                .map(|&pow| Term { pow, neg: false })
+                .collect(),
+            Encoding::Csd => pra_fixed::csd::encode(v)
+                .iter()
+                .map(|t| Term { pow: t.pow, neg: t.neg })
+                .collect(),
+        }
+    })
+}
+
+/// Runs the column scheduler cycle by cycle for one brick step, feeding
+/// each cycle's lane controls to one PIP per filter and accumulating.
+fn accumulate_step(
+    cfg: &PraConfig,
+    spec: &ConvLayerSpec,
+    synapses: &[Tensor3<i16>],
+    step: BrickStep,
+    queues: [Vec<Term>; BRICK],
+    acc: &mut [i64],
+) {
+    // Gather each filter's synapse brick once.
+    let bricks: Vec<[i16; BRICK]> = synapses
+        .iter()
+        .map(|f| {
+            let mut b = [0i16; BRICK];
+            let end = (step.i0 + BRICK).min(spec.input.i);
+            for (k, slot) in b.iter_mut().enumerate().take(end.saturating_sub(step.i0)) {
+                *slot = f.get(step.fx, step.fy, step.i0 + k);
+            }
+            b
+        })
+        .collect();
+
+    let first_stage = 1u32 << cfg.first_stage_bits;
+    let mut heads = [0usize; BRICK];
+    loop {
+        // The column control: minimum pending oneffset drives the common
+        // second-stage shifter.
+        let mut min = u32::MAX;
+        for (lane, q) in queues.iter().enumerate() {
+            if heads[lane] < q.len() {
+                min = min.min(u32::from(q[heads[lane]].pow));
+            }
+        }
+        if min == u32::MAX {
+            break;
+        }
+        let mut lanes = [LaneControl::default(); BRICK];
+        for (lane, q) in queues.iter().enumerate() {
+            if heads[lane] < q.len() {
+                let t = q[heads[lane]];
+                let diff = u32::from(t.pow) - min;
+                if diff < first_stage {
+                    lanes[lane] = LaneControl { shift: diff as u8, active: true, neg: t.neg };
+                    heads[lane] += 1;
+                }
+            }
+        }
+        for (f, brick) in bricks.iter().enumerate() {
+            acc[f] += pip_cycle(brick, &lanes, min as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_fixed::PrecisionWindow;
+    use pra_tensor::conv::convolve;
+    use pra_workloads::generator::generate_synapses;
+    use pra_workloads::Representation;
+
+    fn check_equivalence(cfg: &PraConfig, spec: &ConvLayerSpec, neurons: &Tensor3<u16>) {
+        let synapses = generate_synapses(spec, 0xBEEF);
+        let expected = convolve(spec, neurons, &synapses);
+        let got = compute_layer(cfg, spec, neurons, &synapses, PrecisionWindow::full());
+        assert_eq!(got, expected, "functional mismatch for {}", cfg.label());
+    }
+
+    fn toy_spec() -> ConvLayerSpec {
+        ConvLayerSpec::new("f", (6, 5, 20), (3, 3), 4, 1, 1).unwrap()
+    }
+
+    fn toy_neurons(spec: &ConvLayerSpec) -> Tensor3<u16> {
+        Tensor3::from_fn(spec.input, |x, y, i| ((x * 1009 + y * 757 + i * 313) % 65536) as u16)
+    }
+
+    #[test]
+    fn matches_reference_conv_single_stage() {
+        let spec = toy_spec();
+        let cfg = PraConfig::single_stage(Representation::Fixed16).with_trim(false);
+        check_equivalence(&cfg, &spec, &toy_neurons(&spec));
+    }
+
+    #[test]
+    fn matches_reference_conv_every_l() {
+        let spec = toy_spec();
+        let neurons = toy_neurons(&spec);
+        for l in 0..=4 {
+            let cfg = PraConfig::two_stage(l, Representation::Fixed16).with_trim(false);
+            check_equivalence(&cfg, &spec, &neurons);
+        }
+    }
+
+    #[test]
+    fn matches_reference_conv_csd() {
+        let spec = toy_spec();
+        let neurons = toy_neurons(&spec);
+        for l in [0u8, 2, 4] {
+            let cfg = PraConfig {
+                encoding: Encoding::Csd,
+                ..PraConfig::two_stage(l, Representation::Fixed16).with_trim(false)
+            };
+            check_equivalence(&cfg, &spec, &neurons);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_stride_and_no_padding() {
+        let spec = ConvLayerSpec::new("s", (11, 11, 16), (3, 3), 3, 2, 0).unwrap();
+        let neurons = toy_neurons(&spec);
+        let cfg = PraConfig::two_stage(2, Representation::Fixed16).with_trim(false);
+        check_equivalence(&cfg, &spec, &neurons);
+    }
+
+    #[test]
+    fn extreme_values_are_exact() {
+        let spec = ConvLayerSpec::new("e", (4, 4, 16), (2, 2), 2, 1, 0).unwrap();
+        let neurons = Tensor3::from_fn(spec.input, |x, _, i| if (x + i) % 3 == 0 { u16::MAX } else { 1 });
+        let cfg = PraConfig::two_stage(1, Representation::Fixed16).with_trim(false);
+        check_equivalence(&cfg, &spec, &neurons);
+    }
+
+    #[test]
+    fn trimming_equals_convolving_trimmed_values() {
+        let spec = toy_spec();
+        let neurons = toy_neurons(&spec);
+        let window = PrecisionWindow::new(9, 2);
+        let synapses = generate_synapses(&spec, 0xBEEF);
+        let cfg = PraConfig::two_stage(2, Representation::Fixed16); // trim on
+        let got = compute_layer(&cfg, &spec, &neurons, &synapses, window);
+        let trimmed = neurons.map(|v| window.trim(v));
+        let expected = convolve(&spec, &trimmed, &synapses);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ragged_depth_zero_extends() {
+        let spec = ConvLayerSpec::new("r", (4, 4, 19), (2, 2), 2, 1, 0).unwrap();
+        let neurons = toy_neurons(&spec);
+        let cfg = PraConfig::two_stage(3, Representation::Fixed16).with_trim(false);
+        check_equivalence(&cfg, &spec, &neurons);
+    }
+}

@@ -1,0 +1,337 @@
+//! Layer- and network-level Pragmatic simulation.
+//!
+//! For every (filter group × pallet × brick step) the simulator runs the
+//! exact column scheduler over the 16 oneffset lanes of each of the 16
+//! window columns, then combines columns according to the configured
+//! synchronization policy. Tiles are identical by construction (§V-A3), so
+//! one tile is simulated and the filter-group count scales the result.
+
+use pra_engines::shared_traffic;
+use pra_sim::{ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
+use pra_tensor::brick::{brick_steps, fetch_pallet_step, pallets, PalletRef};
+use pra_tensor::{BRICK, PALLET};
+use pra_workloads::{LayerWorkload, NetworkWorkload};
+
+use crate::column::{csd_mask, schedule_brick_with, ColumnSchedule};
+use crate::config::{Encoding, Fidelity, PraConfig, SyncPolicy};
+use crate::tile::{column_sync, pallet_sync, PalletOutcome};
+
+/// Simulates one layer on the configured Pragmatic design point.
+pub fn simulate_layer(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult {
+    let spec = &layer.spec;
+    let chip = &cfg.chip;
+    let nm = NeuronMemory::new(cfg.nm_layout, chip.nm_row_neurons(cfg.repr.bits()));
+    let dispatcher = Dispatcher::new(nm);
+    let steps = brick_steps(spec);
+    let all_pallets = pallets(spec);
+    let fg = chip.filter_groups(spec.num_filters) as u64;
+
+    // Deterministic pallet sampling for bounded simulation time.
+    let (selected, total, sampled): (Vec<PalletRef>, u64, u64) = match cfg.fidelity {
+        Fidelity::Full => {
+            let n = all_pallets.len() as u64;
+            (all_pallets, n, n)
+        }
+        Fidelity::Sampled { max_pallets } => {
+            let n = all_pallets.len();
+            let take = max_pallets.max(1).min(n);
+            // Multiplicative sampling with a step coprime to the pallet
+            // count: a plain stride correlates with the row structure
+            // (e.g. it can hit only the full 16-lane pallet of every row,
+            // never the ragged one) and biases the estimate.
+            let mut g = (n as f64 * 0.618_033_988) as usize | 1;
+            while gcd(g, n) != 1 {
+                g += 2;
+            }
+            let sel: Vec<PalletRef> = (0..take).map(|k| all_pallets[k * g % n]).collect();
+            (sel, n as u64, take as u64)
+        }
+    };
+
+    let mut cycles = 0u64;
+    let mut nm_stalls = 0u64;
+    let mut sb_stalls = 0u64;
+    let mut oneffsets = 0u64;
+    let mut col_cycles_buf: Vec<[u32; 16]> = Vec::with_capacity(steps.len());
+    let mut nmc_buf: Vec<u64> = Vec::with_capacity(steps.len());
+
+    for pallet in &selected {
+        col_cycles_buf.clear();
+        nmc_buf.clear();
+        for step in &steps {
+            let bricks = fetch_pallet_step(spec, &layer.neurons, *pallet, *step);
+            let mut per_col = [0u32; 16];
+            for (col, brick) in bricks.iter().enumerate().take(pallet.lanes) {
+                let sched = schedule_column(cfg, layer, brick);
+                per_col[col] = sched.cycles;
+                oneffsets += u64::from(sched.terms);
+            }
+            col_cycles_buf.push(per_col);
+            nmc_buf.push(dispatcher.fetch_cycles(spec, *pallet, *step));
+        }
+        let outcome: PalletOutcome = match cfg.sync {
+            SyncPolicy::PerPallet => pallet_sync(&col_cycles_buf, &nmc_buf),
+            SyncPolicy::PerColumn { ssrs } => column_sync(&col_cycles_buf, pallet.lanes, Some(ssrs)),
+            SyncPolicy::PerColumnIdeal => column_sync(&col_cycles_buf, pallet.lanes, None),
+        };
+        cycles += outcome.cycles;
+        nm_stalls += outcome.nm_stall_cycles;
+        sb_stalls += outcome.sb_stall_cycles;
+    }
+
+    // Scale the sampled pallets to the full layer, then by filter groups.
+    let scale = |v: u64| (v as u128 * total as u128 / sampled.max(1) as u128) as u64;
+    let cycles = scale(cycles) * fg;
+    let nm_stalls = scale(nm_stalls) * fg;
+    let sb_stalls = scale(sb_stalls) * fg;
+    let oneffsets = scale(oneffsets);
+
+    let mut counters = shared_traffic(chip, spec, &dispatcher);
+    // Each neuron oneffset pairs with every filter's synapse: terms =
+    // oneffsets × N (spread across the 16 filter lanes × 16 tiles × groups).
+    counters.terms = oneffsets * spec.num_filters as u64;
+    counters.stall_cycles = nm_stalls + sb_stalls;
+    // Null terms injected: tile lane-cycles not consuming an oneffset
+    // (each consumed oneffset occupies one of the tile's 256 lanes for one
+    // cycle, repeated per filter group).
+    let lane_cycles = cycles * (PALLET * BRICK) as u64;
+    counters.idle_lane_cycles = lane_cycles.saturating_sub(oneffsets * fg);
+    LayerResult {
+        layer: spec.name().to_string(),
+        cycles,
+        multiplications: spec.multiplications(),
+        counters,
+    }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn schedule_column(cfg: &PraConfig, layer: &LayerWorkload, brick: &[u16; BRICK]) -> ColumnSchedule {
+    let mut masks = [0u32; 16];
+    for (m, &v) in masks.iter_mut().zip(brick) {
+        let v = if cfg.software_trim { layer.window.trim(v) } else { v };
+        *m = match cfg.encoding {
+            Encoding::Oneffset => u32::from(v),
+            Encoding::Csd => csd_mask(v),
+        };
+    }
+    schedule_brick_with(&masks, cfg.scheduler())
+}
+
+/// Simulates a network's convolutional layers on the configured design
+/// point, labelled with [`PraConfig::label`].
+pub fn run(cfg: &PraConfig, workload: &NetworkWorkload) -> RunResult {
+    assert_eq!(
+        cfg.repr, workload.repr,
+        "configuration representation must match the workload"
+    );
+    let mut result = RunResult::new(cfg.label());
+    for layer in &workload.layers {
+        result.layers.push(simulate_layer(cfg, layer));
+    }
+    result
+}
+
+/// DaDianNao cycles for the same chip structure — a convenience re-export
+/// used when computing speedups.
+pub fn dadn_baseline(chip: &ChipConfig, workload: &NetworkWorkload) -> RunResult {
+    pra_engines::dadn::run(chip, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_fixed::PrecisionWindow;
+    use pra_tensor::{ConvLayerSpec, Tensor3};
+    use pra_workloads::Representation;
+
+    fn toy_layer(fill: impl FnMut(usize, usize, usize) -> u16) -> LayerWorkload {
+        let spec = ConvLayerSpec::new("toy", (32, 8, 32), (3, 3), 64, 1, 1).unwrap();
+        LayerWorkload {
+            neurons: Tensor3::from_fn(spec.input, fill),
+            spec,
+            window: PrecisionWindow::with_width(9, 2),
+            stripes_precision: 9,
+        }
+    }
+
+    fn dadn_cycles(layer: &LayerWorkload) -> u64 {
+        pra_engines::dadn::layer_cycles(&ChipConfig::dadn(), layer)
+    }
+
+    fn unpadded_layer(fill: impl FnMut(usize, usize, usize) -> u16) -> LayerWorkload {
+        let spec = ConvLayerSpec::new("toy", (34, 10, 32), (3, 3), 64, 1, 0).unwrap();
+        LayerWorkload {
+            neurons: Tensor3::from_fn(spec.input, fill),
+            spec,
+            window: PrecisionWindow::with_width(9, 2),
+            stripes_precision: 9,
+        }
+    }
+
+    #[test]
+    fn worst_case_matches_dadn() {
+        // All bits set: every neuron has 16 oneffsets -> every brick step
+        // takes 16 cycles, exactly DaDN's per-window rate (16 windows in
+        // parallel). Unpadded layer: with padding PRA is *faster* than
+        // DaDN even in the worst case, because all-padding brick steps
+        // cost one cycle instead of sixteen.
+        let layer = unpadded_layer(|_, _, _| u16::MAX);
+        let cfg = PraConfig::single_stage(Representation::Fixed16).with_trim(false);
+        let r = simulate_layer(&cfg, &layer);
+        assert_eq!(r.cycles, dadn_cycles(&layer));
+    }
+
+    #[test]
+    fn padding_makes_worst_case_strictly_faster_than_dadn() {
+        let layer = toy_layer(|_, _, _| u16::MAX);
+        let cfg = PraConfig::single_stage(Representation::Fixed16).with_trim(false);
+        let r = simulate_layer(&cfg, &layer);
+        assert!(r.cycles < dadn_cycles(&layer));
+    }
+
+    #[test]
+    fn sparse_layers_run_much_faster() {
+        let layer = toy_layer(|x, y, i| if (x + y + i) % 8 == 0 { 0b100 } else { 0 });
+        let cfg = PraConfig::single_stage(Representation::Fixed16);
+        let r = simulate_layer(&cfg, &layer);
+        assert!(r.cycles * 8 < dadn_cycles(&layer), "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn never_slower_than_dadn_on_aligned_layers() {
+        let layer = toy_layer(|x, y, i| (x * 31 + y * 17 + i * 13) as u16);
+        for l in 0..=4 {
+            let cfg = PraConfig::two_stage(l, Representation::Fixed16).with_trim(false);
+            let r = simulate_layer(&cfg, &layer);
+            assert!(r.cycles <= dadn_cycles(&layer), "L={l}");
+        }
+    }
+
+    #[test]
+    fn larger_l_never_slower_at_layer_scale() {
+        let layer = toy_layer(|x, y, i| ((x * 131 + y * 241 + i * 37) % 4093) as u16);
+        let mut prev = u64::MAX;
+        for l in 0..=4 {
+            let cfg = PraConfig::two_stage(l, Representation::Fixed16);
+            let c = simulate_layer(&cfg, &layer).cycles;
+            assert!(c <= prev, "L={l}: {c} > {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn column_sync_not_slower_than_pallet_sync() {
+        let layer = toy_layer(|x, y, i| ((x * 7 + y * 3 + i) % 600) as u16);
+        let pallet = simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &layer);
+        for ssrs in [1usize, 4, 16] {
+            let col = simulate_layer(&PraConfig::per_column(ssrs, Representation::Fixed16), &layer);
+            assert!(
+                col.cycles <= pallet.cycles + layer.spec.brick_steps() as u64 * layer.spec.pallets() as u64,
+                "{ssrs} SSRs: {} vs pallet {}",
+                col.cycles,
+                pallet.cycles
+            );
+        }
+        let ideal = simulate_layer(
+            &PraConfig {
+                sync: SyncPolicy::PerColumnIdeal,
+                ..PraConfig::two_stage(2, Representation::Fixed16)
+            },
+            &layer,
+        );
+        assert!(ideal.cycles <= pallet.cycles);
+    }
+
+    #[test]
+    fn trimming_removes_suffix_work() {
+        // Values with suffix noise below the window: trimming speeds up.
+        let layer = toy_layer(|x, y, i| (0b1_0000 | ((x + y + i) % 4)) as u16);
+        let on = simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &layer);
+        let off = simulate_layer(
+            &PraConfig::two_stage(2, Representation::Fixed16).with_trim(false),
+            &layer,
+        );
+        assert!(on.cycles < off.cycles);
+    }
+
+    #[test]
+    fn terms_match_potential_model() {
+        // The cycle simulator's effectual term count equals the ideal
+        // potential study's PRA term count (same values, same trimming).
+        let layer = toy_layer(|x, y, i| ((x * 5 + y * 11 + i * 3) % 300) as u16);
+        let cfg = PraConfig::two_stage(2, Representation::Fixed16).with_trim(false);
+        let r = simulate_layer(&cfg, &layer);
+        let t = pra_engines::potential::layer_terms(&layer, Representation::Fixed16, 1);
+        assert_eq!(r.counters.terms, t.pra);
+    }
+
+    #[test]
+    fn sampled_fidelity_approximates_full() {
+        let layer = toy_layer(|x, y, i| ((x * 97 + y * 53 + i * 29) % 511) as u16);
+        let full = simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &layer);
+        let sampled = simulate_layer(
+            &PraConfig::two_stage(2, Representation::Fixed16)
+                .with_fidelity(Fidelity::Sampled { max_pallets: 4 }),
+            &layer,
+        );
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn csd_encoding_not_slower_on_dense_values() {
+        let layer = toy_layer(|_, _, _| 0b0111_1111_0000);
+        let one = simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &layer);
+        let csd = simulate_layer(
+            &PraConfig {
+                encoding: Encoding::Csd,
+                ..PraConfig::two_stage(2, Representation::Fixed16)
+            },
+            &layer,
+        );
+        assert!(csd.cycles <= one.cycles);
+    }
+
+    #[test]
+    fn quant8_worst_case_is_8_cycles_per_step() {
+        let spec = ConvLayerSpec::new("q", (34, 10, 32), (3, 3), 64, 1, 0).unwrap();
+        let layer = LayerWorkload {
+            neurons: Tensor3::from_fn(spec.input, |_, _, _| 0xFF),
+            spec,
+            window: PrecisionWindow::new(7, 0),
+            stripes_precision: 8,
+        };
+        let cfg = PraConfig::two_stage(3, Representation::Quant8);
+        let r = simulate_layer(&cfg, &layer);
+        let dadn = dadn_cycles(&layer);
+        // 8 oneffsets per neuron vs DaDN's 1 cycle/brick-step/window with
+        // 16-way window parallelism -> exactly half of DaDN's 16.
+        assert_eq!(r.cycles, dadn / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn run_rejects_mismatched_representation() {
+        let w = pra_workloads::NetworkWorkload::build_with_model(
+            pra_workloads::Network::AlexNet,
+            Representation::Quant8,
+            pra_workloads::ActivationModel {
+                zero_frac: 0.5,
+                sigma: 0.2,
+                suffix_density: 0.0,
+                outlier_prob: 0.0,
+                dense_prob: 0.0,
+                heavy_share: 0.0,
+            },
+            1,
+        );
+        let cfg = PraConfig::two_stage(2, Representation::Fixed16);
+        let _ = run(&cfg, &w);
+    }
+}

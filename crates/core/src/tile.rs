@@ -1,0 +1,316 @@
+//! Tile-level synchronization (§V-A4, §V-E, Fig. 8).
+//!
+//! A Pragmatic tile is a 16×16 array of PIPs: PIP(i, j) processes an
+//! oneffset from the j-th window with a synapse from the i-th filter. All
+//! PIPs along a column share one neuron brick and advance together; how
+//! *columns* synchronize with each other is the design choice this module
+//! models:
+//!
+//! * **Per-pallet** — every column waits for the slowest before the tile
+//!   moves to the next brick step; one SB read per step, trivially the
+//!   same SB traffic as DaDianNao.
+//! * **Per-column** — columns advance independently. Synapse sets are
+//!   buffered in SSRs (synapse set registers) in front of the SB; a set
+//!   stays in its SSR until all active columns have copied it (a 4-bit
+//!   down counter in hardware), which guarantees each set is read from SB
+//!   exactly once. Only one SB read can proceed per cycle; columns that
+//!   need a set that is neither buffered nor fetchable this cycle stall.
+//! * **Per-column ideal** — unbounded SSRs, no port conflicts: the
+//!   `perCol-ideal` upper bound.
+//!
+//! Every brick step costs at least one cycle even if all its neurons are
+//! zero: the column must still latch the synapse set (and, under
+//! per-column sync, tick the SSR down counter).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-pallet outcome of one synchronization policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PalletOutcome {
+    /// Cycles the tile spent on this pallet.
+    pub cycles: u64,
+    /// Cycles lost waiting for NM pallet fetches (per-pallet sync only;
+    /// §V-A4's `max(NMC, PC)` rule).
+    pub nm_stall_cycles: u64,
+    /// Cycles columns spent stalled on SSR availability or the SB port
+    /// (per-column sync only), summed over columns.
+    pub sb_stall_cycles: u64,
+    /// SB set reads issued for this pallet (per filter group).
+    pub sb_set_reads: u64,
+}
+
+/// Per-pallet synchronization: each brick step costs the maximum column
+/// cycle count (min 1), overlapped with the step's NM fetch.
+///
+/// `col_cycles[step][column]` holds each column's schedule length;
+/// `nmc[step]` the NM rows needed to fetch that step's bricks.
+pub fn pallet_sync(col_cycles: &[[u32; 16]], nmc: &[u64]) -> PalletOutcome {
+    assert_eq!(col_cycles.len(), nmc.len(), "one NMC per brick step");
+    let mut out = PalletOutcome::default();
+    for (cols, &fetch) in col_cycles.iter().zip(nmc) {
+        let compute = u64::from(*cols.iter().max().expect("16 columns")).max(1);
+        let cost = compute.max(fetch);
+        out.cycles += cost;
+        out.nm_stall_cycles += cost - compute;
+        out.sb_set_reads += 1;
+    }
+    out
+}
+
+/// Per-column synchronization with `ssrs` synapse set registers, or the
+/// ideal variant when `ssrs` is `None`.
+///
+/// `col_cycles[step][column]`; `active` is the number of live window
+/// lanes (ragged pallets at row ends have fewer than 16).
+pub fn column_sync(col_cycles: &[[u32; 16]], active: usize, ssrs: Option<usize>) -> PalletOutcome {
+    let steps = col_cycles.len();
+    let mut out = PalletOutcome {
+        sb_set_reads: steps as u64,
+        ..Default::default()
+    };
+    if steps == 0 || active == 0 {
+        out.sb_set_reads = 0;
+        return out;
+    }
+
+    let Some(ssr_count) = ssrs else {
+        // Ideal: every column fully independent.
+        let mut worst = 0u64;
+        for c in 0..active {
+            let total: u64 = col_cycles.iter().map(|s| u64::from(s[c]).max(1)).sum();
+            worst = worst.max(total);
+        }
+        out.cycles = worst;
+        return out;
+    };
+    assert!(ssr_count >= 1, "per-column sync needs at least one SSR");
+
+    #[derive(Clone, Copy)]
+    struct Ssr {
+        step: usize,
+        copied: u16,
+    }
+    let all_copied = ((1u32 << active) - 1) as u16;
+    let mut pool: Vec<Option<Ssr>> = vec![None; ssr_count];
+    let mut step_idx = [0usize; 16];
+    let mut remaining = [0u32; 16];
+    let mut cycles = 0u64;
+    let mut stalls = 0u64;
+
+    loop {
+        if (0..active).all(|c| step_idx[c] >= steps) {
+            break;
+        }
+        let mut sb_port_free = true;
+        for c in 0..active {
+            if step_idx[c] >= steps {
+                continue;
+            }
+            if remaining[c] == 0 {
+                let want = step_idx[c];
+                // Copy from an SSR that already holds the set...
+                let have = pool
+                    .iter_mut()
+                    .flatten()
+                    .find(|e| e.step == want);
+                if let Some(e) = have {
+                    e.copied |= 1 << c;
+                    remaining[c] = col_cycles[want][c].max(1);
+                } else if sb_port_free {
+                    // ...or read it from SB into a free SSR (empty, or one
+                    // whose set every active column has copied).
+                    let slot = pool
+                        .iter_mut()
+                        .find(|s| s.is_none() || s.as_ref().is_some_and(|e| e.copied == all_copied));
+                    if let Some(slot) = slot {
+                        *slot = Some(Ssr { step: want, copied: 1 << c });
+                        sb_port_free = false;
+                        remaining[c] = col_cycles[want][c].max(1);
+                    } else {
+                        stalls += 1;
+                        continue;
+                    }
+                } else {
+                    stalls += 1;
+                    continue;
+                }
+            }
+            remaining[c] -= 1;
+            if remaining[c] == 0 {
+                step_idx[c] += 1;
+            }
+        }
+        cycles += 1;
+    }
+    out.cycles = cycles;
+    out.sb_stall_cycles = stalls;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps(rows: &[[u32; 16]]) -> Vec<[u32; 16]> {
+        rows.to_vec()
+    }
+
+    #[test]
+    fn pallet_sync_pays_the_slowest_column() {
+        let mut s = [[1u32; 16]; 1];
+        s[0][5] = 7;
+        let out = pallet_sync(&steps(&s), &[0]);
+        assert_eq!(out.cycles, 7);
+    }
+
+    #[test]
+    fn pallet_sync_minimum_one_cycle_per_step() {
+        let s = [[0u32; 16]; 3];
+        let out = pallet_sync(&steps(&s), &[0, 0, 0]);
+        assert_eq!(out.cycles, 3);
+    }
+
+    #[test]
+    fn pallet_sync_nm_stall_when_fetch_dominates() {
+        let s = [[2u32; 16]; 1];
+        let out = pallet_sync(&steps(&s), &[5]);
+        assert_eq!(out.cycles, 5);
+        assert_eq!(out.nm_stall_cycles, 3);
+    }
+
+    #[test]
+    fn ideal_column_sync_is_worst_column_sum() {
+        let mut a = [[1u32; 16]; 4];
+        for (i, s) in a.iter_mut().enumerate() {
+            s[3] = 2 + i as u32; // column 3: 2+3+4+5 = 14
+        }
+        let out = column_sync(&a, 16, None);
+        assert_eq!(out.cycles, 14);
+    }
+
+    #[test]
+    fn column_sync_with_many_ssrs_matches_ideal_plus_port_effects() {
+        // Uniform work: columns never diverge, so SSR count is irrelevant.
+        let s = [[3u32; 16]; 5];
+        let ideal = column_sync(&s, 16, None).cycles;
+        let real = column_sync(&s, 16, Some(16)).cycles;
+        assert_eq!(real, ideal);
+    }
+
+    #[test]
+    fn one_ssr_forces_lockstep_at_set_boundaries() {
+        // Column 0 is fast (1 cycle/step), column 1 slow (9 cycles/step).
+        // With one SSR, column 0 cannot run ahead: the next set cannot be
+        // loaded until the slow column copies the current one.
+        let mut s = [[1u32; 16]; 3];
+        for row in &mut s {
+            row[1] = 9;
+        }
+        let one = column_sync(&s, 2, Some(1)).cycles;
+        let ideal = column_sync(&s, 2, None).cycles;
+        assert_eq!(ideal, 27);
+        // Lockstep at set granularity behaves like pallet sync: 3 steps x 9.
+        assert!(one >= 27, "one-SSR {one}");
+        assert!(one <= 3 * 9 + 3, "one-SSR {one} too slow");
+    }
+
+    #[test]
+    fn more_ssrs_never_slower() {
+        // Irregular work pattern.
+        let mut s = vec![[1u32; 16]; 8];
+        for (i, row) in s.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = 1 + ((i * 7 + c * 3) % 9) as u32;
+            }
+        }
+        let mut prev = u64::MAX;
+        for ssrs in [1usize, 2, 4, 8, 16] {
+            let c = column_sync(&s, 16, Some(ssrs)).cycles;
+            assert!(c <= prev, "{ssrs} SSRs: {c} > {prev}");
+            prev = c;
+        }
+        let ideal = column_sync(&s, 16, None).cycles;
+        assert!(ideal <= prev);
+    }
+
+    #[test]
+    fn per_column_never_slower_than_pallet_sync() {
+        let mut s = vec![[1u32; 16]; 6];
+        for (i, row) in s.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = 1 + ((i * 5 + c * 11) % 7) as u32;
+            }
+        }
+        let pallet = pallet_sync(&s, &[0; 6]).cycles;
+        for ssrs in [1usize, 4, 16] {
+            let col = column_sync(&s, 16, Some(ssrs)).cycles;
+            assert!(col <= pallet, "{ssrs} SSRs: {col} > pallet {pallet}");
+        }
+    }
+
+    #[test]
+    fn fig8_example_one_extra_register_two_windows() {
+        // Fig. 8: a 1x2 PIP array (two windows), one SSR, bricks 0..2 with
+        // max oneffset counts (2, 4, 4) for window 0 and (5, 2, 2) for
+        // window 1. The figure walks cycles 1-8: both columns copy set 0
+        // in cycle 1; column 0 finishes brick 0 at cycle 2 and copies set
+        // 1 (read in cycle 3); column 1 finishes brick 0 at cycle 5 and
+        // copies set 1 from the SSR; etc.
+        let sched = vec![
+            {
+                let mut r = [0u32; 16];
+                r[0] = 2;
+                r[1] = 5;
+                r
+            },
+            {
+                let mut r = [0u32; 16];
+                r[0] = 4;
+                r[1] = 2;
+                r
+            },
+            {
+                let mut r = [0u32; 16];
+                r[0] = 4;
+                r[1] = 2;
+                r
+            },
+        ];
+        let out = column_sync(&sched, 2, Some(1));
+        // Column 0's path: 2 + 4 + 4 = 10 cycles of work; column 1's:
+        // 5 + 2 + 2 = 9, but column 1 cannot copy set 2 until... with one
+        // SSR the critical path lands within a couple cycles of the
+        // figure's 10-cycle walk.
+        assert!(out.cycles >= 10, "cycles {}", out.cycles);
+        assert!(out.cycles <= 12, "cycles {}", out.cycles);
+        // Exactly one SB read per set.
+        assert_eq!(out.sb_set_reads, 3);
+    }
+
+    #[test]
+    fn sb_reads_equal_sets_regardless_of_ssrs() {
+        // §V-E: "This policy guarantees that the SB is accessed the same
+        // number of times as in DaDN."
+        let s = vec![[2u32; 16]; 7];
+        for ssrs in [1usize, 2, 16] {
+            assert_eq!(column_sync(&s, 16, Some(ssrs)).sb_set_reads, 7);
+        }
+        assert_eq!(pallet_sync(&s, &[0; 7]).sb_set_reads, 7);
+    }
+
+    #[test]
+    fn inactive_columns_do_not_hold_ssrs() {
+        // Only 4 active columns: the SSR frees as soon as those 4 copied
+        // it, so uniform single-cycle steps proceed in lockstep.
+        let s = vec![[1u32; 16]; 4];
+        let out = column_sync(&s, 4, Some(1));
+        assert_eq!(out.cycles, 4);
+    }
+
+    #[test]
+    fn empty_pallet_is_free() {
+        let out = column_sync(&[], 16, Some(1));
+        assert_eq!(out.cycles, 0);
+        assert_eq!(out.sb_set_reads, 0);
+    }
+}

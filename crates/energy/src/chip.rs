@@ -1,0 +1,138 @@
+//! Whole-chip area and power — the "Area T." / "Power T." rows of
+//! Tables III and IV.
+
+use crate::unit::{unit_area_mm2, Design};
+
+/// Number of tiles on the chip.
+pub const TILES: f64 = 16.0;
+
+/// eDRAM area per MB at 65 nm (Destiny-class estimate, anchored so the
+/// 36 MB of on-chip eDRAM matches the paper's constant memory footprint).
+pub const EDRAM_MM2_PER_MB: f64 = 1.79;
+
+/// Total on-chip memory area: 16 × 2 MB SB + 4 MB NM eDRAM plus the
+/// NBin/NBout SRAM blocks. Constant across designs — the paper's chip
+/// areas differ only by the unit logic.
+pub const MEMORY_AREA_MM2: f64 = 36.0 * EDRAM_MM2_PER_MB + 0.8;
+
+/// Memory-system power (eDRAM refresh + access at the paper's activity),
+/// watts — the affine intercept of the power fit.
+pub const MEMORY_POWER_W: f64 = 6.6;
+
+/// Switching power density of unit logic, W/mm² at 980 MHz — the affine
+/// slope of the power fit against Tables III/IV.
+pub const POWER_DENSITY_W_PER_MM2: f64 = 0.50;
+
+/// Chip area: 16 units plus the (design-independent) memory blocks.
+pub fn chip_area_mm2(design: Design) -> f64 {
+    TILES * unit_area_mm2(design) + MEMORY_AREA_MM2
+}
+
+/// Chip power at full activity: memory power plus unit logic scaled by
+/// area (the paper's designs all run the same dataflow, so switching
+/// activity per mm² is comparable across them).
+pub fn chip_power_w(design: Design) -> f64 {
+    MEMORY_POWER_W + POWER_DENSITY_W_PER_MM2 * TILES * unit_area_mm2(design)
+}
+
+/// The paper's Table III/IV chip areas (mm²).
+pub fn paper_chip_area_mm2(design: Design) -> Option<f64> {
+    Some(match design {
+        Design::Dadn => 90.0,
+        Design::Stripes => 114.0,
+        Design::Pra { first_stage_bits: 0, ssrs: 0 } => 115.0,
+        Design::Pra { first_stage_bits: 1, ssrs: 0 } => 116.0,
+        Design::Pra { first_stage_bits: 2, ssrs: 0 } => 122.0,
+        Design::Pra { first_stage_bits: 3, ssrs: 0 } => 136.0,
+        Design::Pra { first_stage_bits: 4, ssrs: 0 } => 157.0,
+        Design::Pra { first_stage_bits: 2, ssrs: 1 } => 122.0,
+        Design::Pra { first_stage_bits: 2, ssrs: 4 } => 125.0,
+        Design::Pra { first_stage_bits: 2, ssrs: 16 } => 134.0,
+        _ => return None,
+    })
+}
+
+/// The paper's Table III/IV chip powers (W).
+pub fn paper_chip_power_w(design: Design) -> Option<f64> {
+    Some(match design {
+        Design::Dadn => 18.8,
+        Design::Stripes => 30.2,
+        Design::Pra { first_stage_bits: 0, ssrs: 0 } => 31.4,
+        Design::Pra { first_stage_bits: 1, ssrs: 0 } => 34.5,
+        Design::Pra { first_stage_bits: 2, ssrs: 0 } => 38.2,
+        Design::Pra { first_stage_bits: 3, ssrs: 0 } => 43.8,
+        Design::Pra { first_stage_bits: 4, ssrs: 0 } => 51.6,
+        Design::Pra { first_stage_bits: 2, ssrs: 1 } => 38.8,
+        Design::Pra { first_stage_bits: 2, ssrs: 4 } => 40.8,
+        Design::Pra { first_stage_bits: 2, ssrs: 16 } => 49.1,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pra(l: u8, ssrs: usize) -> Design {
+        Design::Pra { first_stage_bits: l, ssrs }
+    }
+
+    const ALL: [Design; 10] = [
+        Design::Dadn,
+        Design::Stripes,
+        Design::Pra { first_stage_bits: 0, ssrs: 0 },
+        Design::Pra { first_stage_bits: 1, ssrs: 0 },
+        Design::Pra { first_stage_bits: 2, ssrs: 0 },
+        Design::Pra { first_stage_bits: 3, ssrs: 0 },
+        Design::Pra { first_stage_bits: 4, ssrs: 0 },
+        Design::Pra { first_stage_bits: 2, ssrs: 1 },
+        Design::Pra { first_stage_bits: 2, ssrs: 4 },
+        Design::Pra { first_stage_bits: 2, ssrs: 16 },
+    ];
+
+    #[test]
+    fn memory_dominates_chip_area() {
+        // §VI-B2: "SB and NM dominate chip area".
+        let a = chip_area_mm2(Design::Dadn);
+        assert!(MEMORY_AREA_MM2 / a > 0.6);
+    }
+
+    #[test]
+    fn chip_area_rows_within_tolerance() {
+        for d in ALL {
+            let model = chip_area_mm2(d);
+            let paper = paper_chip_area_mm2(d).unwrap();
+            let err = (model - paper).abs() / paper;
+            assert!(err < 0.12, "{}: {model:.0} vs {paper:.0}", d.label());
+        }
+    }
+
+    #[test]
+    fn chip_power_rows_within_tolerance() {
+        for d in ALL {
+            let model = chip_power_w(d);
+            let paper = paper_chip_power_w(d).unwrap();
+            let err = (model - paper).abs() / paper;
+            assert!(err < 0.25, "{}: {model:.1} vs {paper:.1}", d.label());
+        }
+    }
+
+    #[test]
+    fn pra2b_relative_overheads_match_headline() {
+        // §VI-B2: PRA-2b chip area 1.35x DaDN, power ~2x.
+        let area_ratio = chip_area_mm2(pra(2, 0)) / chip_area_mm2(Design::Dadn);
+        let power_ratio = chip_power_w(pra(2, 0)) / chip_power_w(Design::Dadn);
+        assert!((1.25..1.45).contains(&area_ratio), "area ratio {area_ratio}");
+        assert!((1.7..2.4).contains(&power_ratio), "power ratio {power_ratio}");
+    }
+
+    #[test]
+    fn power_ordering_follows_area() {
+        let mut prev = 0.0;
+        for d in [Design::Dadn, Design::Stripes, pra(2, 0), pra(3, 0), pra(4, 0)] {
+            let p = chip_power_w(d);
+            assert!(p > prev, "{}", d.label());
+            prev = p;
+        }
+    }
+}

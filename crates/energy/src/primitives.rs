@@ -1,0 +1,84 @@
+//! Per-primitive area constants and compound component models (65 nm).
+
+/// Area of one full adder, µm² (anchored on the Stripes unit's reported
+/// area; a synthesized 65 nm mirror adder with routing lands near this).
+pub const A_FA: f64 = 12.0;
+
+/// Area of one AND gate (with local routing), µm².
+pub const A_AND: f64 = 5.0;
+
+/// Area of one 2:1 mux bit — one bit of one barrel-shifter stage, µm².
+pub const A_MUX: f64 = 1.3;
+
+/// Area of one register bit, µm² — derived from the paper's Table IV:
+/// adding one 4096-bit synapse set register per unit costs ≈ 0.05 mm²,
+/// i.e. ≈ 12.2 µm²/bit including the muxing in front of the SB.
+pub const A_REG: f64 = 12.2;
+
+/// Area of a `k`-input adder tree with `w`-bit inputs: `k−1` adders whose
+/// widths grow by one bit per level, approximated as `w+2` average.
+pub fn adder_tree(k: usize, w: usize) -> f64 {
+    (k - 1) as f64 * (w + 2) as f64 * A_FA
+}
+
+/// Area of a barrel shifter over `w`-bit inputs with `positions` shift
+/// positions: `log2(positions)` mux stages across the output width.
+pub fn barrel_shifter(w: usize, positions: usize) -> f64 {
+    if positions <= 1 {
+        return 0.0;
+    }
+    let stages = (positions as f64).log2().ceil();
+    (w + positions - 1) as f64 * stages * A_MUX
+}
+
+/// Area of a `w × w` array multiplier: `w²` full adders plus `w²` partial
+/// product AND gates, with a 15% wiring/pipelining overhead typical of the
+/// dense reduction array.
+pub fn multiplier(w: usize) -> f64 {
+    (w * w) as f64 * (A_FA + A_AND) * 1.15
+}
+
+/// Area of `bits` register bits.
+pub fn registers(bits: usize) -> f64 {
+    bits as f64 * A_REG
+}
+
+/// Area of `n` AND gates.
+pub fn and_gates(n: usize) -> f64 {
+    n as f64 * A_AND
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_grows_with_inputs_and_width() {
+        assert!(adder_tree(16, 16) < adder_tree(17, 16));
+        assert!(adder_tree(16, 16) < adder_tree(16, 31));
+    }
+
+    #[test]
+    fn shifter_zero_positions_is_free() {
+        assert_eq!(barrel_shifter(16, 1), 0.0);
+        assert!(barrel_shifter(16, 2) > 0.0);
+    }
+
+    #[test]
+    fn shifter_grows_with_range() {
+        assert!(barrel_shifter(16, 4) < barrel_shifter(16, 16));
+    }
+
+    #[test]
+    fn multiplier_is_quadratic() {
+        assert!((multiplier(16) / multiplier(8) - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ssr_cost_matches_table4_delta() {
+        // One SSR = 16 bricks x 16 synapses x 16 bits = 4096 register
+        // bits; the paper's Table IV prices it at ~0.05 mm².
+        let ssr_mm2 = registers(4096) / 1e6;
+        assert!((ssr_mm2 - 0.05).abs() < 0.002, "SSR {ssr_mm2} mm²");
+    }
+}

@@ -1,0 +1,159 @@
+//! Engine cycle models against the real network geometry of all six
+//! evaluated networks (value-independent identities, so zero-filled
+//! tensors keep this fast).
+
+use pra_engines::{dadn, stripes};
+use pra_fixed::PrecisionWindow;
+use pra_sim::ChipConfig;
+use pra_tensor::Tensor3;
+use pra_workloads::generator::{layer_window, stripes_precision};
+use pra_workloads::{profiles, LayerWorkload, Network, NetworkWorkload, Representation};
+
+fn zero_workload(net: Network) -> NetworkWorkload {
+    let specs = net.conv_layers();
+    let precs = profiles::precisions(net);
+    let layers = specs
+        .into_iter()
+        .zip(precs)
+        .map(|(spec, &p)| LayerWorkload {
+            window: layer_window(Representation::Fixed16, p),
+            stripes_precision: stripes_precision(Representation::Fixed16, p),
+            neurons: Tensor3::zeros(spec.input),
+            spec,
+        })
+        .collect();
+    NetworkWorkload {
+        network: net,
+        repr: Representation::Fixed16,
+        model: pra_workloads::ActivationModel {
+            zero_frac: 1.0,
+            sigma: 0.0,
+            suffix_density: 0.0,
+            outlier_prob: 0.0,
+            dense_prob: 0.0,
+            heavy_share: 0.0,
+        },
+        layers,
+    }
+}
+
+#[test]
+fn dadn_cycles_match_closed_form_on_all_networks() {
+    let chip = ChipConfig::dadn();
+    for net in Network::ALL {
+        let w = zero_workload(net);
+        let r = dadn::run(&chip, &w);
+        for (lr, layer) in r.layers.iter().zip(&w.layers) {
+            let spec = &layer.spec;
+            let expected = (spec.windows() * spec.brick_steps()) as u64
+                * chip.filter_groups(spec.num_filters) as u64;
+            assert_eq!(lr.cycles, expected, "{net}/{}", spec.name());
+        }
+    }
+}
+
+#[test]
+fn stripes_bounded_by_dadn_times_raggedness() {
+    // Per layer, Stripes = pallets·steps·p against DaDN's windows·steps:
+    // the ratio is exactly (p/16) × (pallet slots / windows). Layers with
+    // tiny spatial outputs (NiN's 6×6 stages fill only 6 of 16 lanes) can
+    // make bit-serial *slower* than bit-parallel — a real effect this
+    // test pins down; at the network level Stripes still wins everywhere.
+    let chip = ChipConfig::dadn();
+    for net in Network::ALL {
+        let w = zero_workload(net);
+        let d = dadn::run(&chip, &w);
+        let s = stripes::run(&chip, &w);
+        for ((dl, sl), layer) in d.layers.iter().zip(&s.layers).zip(&w.layers) {
+            let spec = &layer.spec;
+            let ragged = (spec.pallets() * 16) as f64 / spec.windows() as f64;
+            let p = f64::from(layer.stripes_precision);
+            let bound = dl.cycles as f64 * (p / 16.0) * ragged;
+            assert!(
+                (sl.cycles as f64 - bound).abs() < 1.0,
+                "{net}/{}: {} vs bound {bound}",
+                dl.layer,
+                sl.cycles
+            );
+        }
+        assert!(
+            s.total_cycles() < d.total_cycles(),
+            "{net}: Stripes must win at network level"
+        );
+    }
+}
+
+#[test]
+fn stripes_speedup_bounded_by_ideal_16_over_p() {
+    let chip = ChipConfig::dadn();
+    for net in Network::ALL {
+        let w = zero_workload(net);
+        let d = dadn::run(&chip, &w);
+        let s = stripes::run(&chip, &w);
+        for ((dl, sl), layer) in d.layers.iter().zip(&s.layers).zip(&w.layers) {
+            let speedup = dl.cycles as f64 / sl.cycles as f64;
+            let ideal = 16.0 / f64::from(layer.stripes_precision);
+            assert!(
+                speedup <= ideal + 1e-9,
+                "{net}/{}: {speedup:.3} > ideal {ideal:.3}",
+                dl.layer
+            );
+        }
+    }
+}
+
+#[test]
+fn nm_fetch_latency_stays_hidden_on_all_real_layers() {
+    // §V-A4 claims fetches overlap with processing at real strides and
+    // precisions; verify no Stripes layer of any network stalls on NM.
+    let chip = ChipConfig::dadn();
+    for net in Network::ALL {
+        let w = zero_workload(net);
+        let s = stripes::run(&chip, &w);
+        for l in &s.layers {
+            assert_eq!(l.counters.stall_cycles, 0, "{net}/{}", l.layer);
+        }
+    }
+}
+
+#[test]
+fn googlenet_aggregation_preserves_magnitude() {
+    // The 11-group GoogLeNet approximation (DESIGN.md) should still put
+    // the network's total work in the right ballpark: above AlexNet,
+    // below VGG19.
+    let g = Network::GoogLeNet.total_multiplications();
+    assert!(g > Network::AlexNet.total_multiplications());
+    assert!(g < Network::Vgg19.total_multiplications());
+}
+
+#[test]
+fn window_lanes_utilization_per_network() {
+    // Raggedness audit: the share of idle window lanes (pallet slots
+    // minus windows) explains the Stripes deficit discussed in
+    // EXPERIMENTS.md; it must stay below ~30% everywhere.
+    for net in Network::ALL {
+        let specs = net.conv_layers();
+        let windows: u64 = specs.iter().map(|s| s.windows() as u64).sum();
+        let slots: u64 = specs.iter().map(|s| (s.pallets() * 16) as u64).sum();
+        let waste = 1.0 - windows as f64 / slots as f64;
+        assert!(waste < 0.30, "{net}: lane waste {waste:.2}");
+    }
+}
+
+#[test]
+fn full_precision_stripes_equals_dadn_modulo_raggedness() {
+    let chip = ChipConfig::dadn();
+    for net in [Network::AlexNet, Network::Vgg19] {
+        let mut w = zero_workload(net);
+        for l in &mut w.layers {
+            l.stripes_precision = 16;
+            l.window = PrecisionWindow::full();
+        }
+        let d = dadn::run(&chip, &w).total_cycles();
+        let s = stripes::run(&chip, &w).total_cycles();
+        // With p = 16, Stripes' only deviation from DaDN is ragged pallet
+        // slots (s >= d), bounded by the lane-waste audit above.
+        assert!(s >= d, "{net}");
+        assert!((s as f64) < d as f64 * 1.45, "{net}: {s} vs {d}");
+    }
+}

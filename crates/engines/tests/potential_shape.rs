@@ -1,0 +1,76 @@
+//! Shape check of the §II potential study (Figs. 2 and 3) on calibrated
+//! workloads: who wins, by roughly what factor. Exact paper-vs-measured
+//! rows are printed by the `fig2`/`fig3` bench targets.
+
+use pra_engines::potential;
+use pra_sim::geomean;
+use pra_workloads::{Network, NetworkWorkload, Representation};
+
+#[test]
+fn fig2_shape_16bit() {
+    let mut zn = vec![];
+    let mut cvn = vec![];
+    let mut stripes = vec![];
+    let mut pra = vec![];
+    let mut pra_red = vec![];
+    for net in Network::ALL {
+        let w = NetworkWorkload::build(net, Representation::Fixed16, 0xF162);
+        let n = potential::network_terms(&w).normalized();
+        println!(
+            "{:8}  zn={:.3} cvn={:.3} str={:.3} pra={:.3} red={:.3} csd={:.3}",
+            net.name(),
+            n.zn,
+            n.cvn,
+            n.stripes,
+            n.pra,
+            n.pra_red,
+            n.pra_csd
+        );
+        zn.push(n.zn);
+        cvn.push(n.cvn);
+        stripes.push(n.stripes);
+        pra.push(n.pra);
+        pra_red.push(n.pra_red);
+    }
+    let (zn, cvn, stripes, pra, pra_red) = (
+        geomean(&zn),
+        geomean(&cvn),
+        geomean(&stripes),
+        geomean(&pra),
+        geomean(&pra_red),
+    );
+    println!("geo: zn={zn:.3} cvn={cvn:.3} str={stripes:.3} pra={pra:.3} red={pra_red:.3}");
+
+    // Paper averages: ZN 39%, CVN 63%, STR 53%, PRA-fp16 10%, PRA-red 8%.
+    // Require the ordering and the rough magnitudes.
+    assert!(pra_red < pra, "red {pra_red} < pra {pra}");
+    assert!(pra < zn, "pra {pra} < zn {zn}");
+    assert!(zn < stripes || zn < cvn, "zn should beat practical engines");
+    assert!(cvn > zn, "cvn {cvn} > zn {zn}");
+    assert!((0.05..0.20).contains(&pra), "pra {pra} vs paper 0.10");
+    assert!((0.04..0.16).contains(&pra_red), "pra_red {pra_red} vs paper 0.08");
+    assert!((0.40..0.70).contains(&stripes), "stripes {stripes} vs paper 0.53");
+    assert!((0.25..0.55).contains(&zn), "zn {zn} vs paper 0.39");
+    assert!((0.45..0.85).contains(&cvn), "cvn {cvn} vs paper 0.63");
+}
+
+#[test]
+fn fig3_shape_quant8() {
+    let mut zn = vec![];
+    let mut pra = vec![];
+    for net in Network::ALL {
+        let w = NetworkWorkload::build(net, Representation::Quant8, 0xF163);
+        let n = potential::network_terms(&w).normalized();
+        println!("{:8}  zn={:.3} pra={:.3}", net.name(), n.zn, n.pra);
+        zn.push(n.zn);
+        pra.push(n.pra);
+    }
+    let (zn, pra) = (geomean(&zn), geomean(&pra));
+    println!("geo: zn={zn:.3} pra={pra:.3}");
+
+    // Paper: skipping zero neurons removes ~30% of terms (zn ~ 0.70), PRA
+    // removes up to 71% (pra ~ 0.29).
+    assert!(pra < zn);
+    assert!((0.20..0.45).contains(&pra), "pra {pra} vs paper ~0.29");
+    assert!((0.55..0.85).contains(&zn), "zn {zn} vs paper ~0.70");
+}

@@ -1,0 +1,39 @@
+//! Numeric substrate for the Pragmatic (MICRO 2017) reproduction.
+//!
+//! The paper's key observation (§II) is that conventional positional binary
+//! representations process many *ineffectual* bits: a `p`-bit multiplier
+//! computes `p` terms `n_i · (s << i)`, one per multiplicator bit, and every
+//! zero bit of `n` yields a zero term. Pragmatic instead converts neurons
+//! on-the-fly into an explicit list of their constituent powers of two —
+//! *oneffsets* — and processes only those (§V-A1).
+//!
+//! This crate provides the number-representation machinery shared by all
+//! accelerator models:
+//!
+//! * [`oneffset`] — the explicit powers-of-two representation `(pow, eon)`
+//!   and streaming generators that mimic the hardware oneffset generators.
+//! * [`bits`] — essential-bit counting and the Table I statistics.
+//! * [`quant`] — the 8-bit quantized representation of TensorFlow/gemmlowp
+//!   used in §VI-F.
+//! * [`precision`] — per-layer precision windows (Stripes-style reduced
+//!   precision, and the software-guided prefix/suffix trimming of §V-F).
+//! * [`csd`] — canonical-signed-digit (modified Booth) recoding, the
+//!   extension suggested by the PIP's `neg` wires (Fig. 6), evaluated as an
+//!   ablation.
+//! * [`fixed16`] — conversions between real values and the 16-bit
+//!   fixed-point storage representation.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod csd;
+pub mod fixed16;
+pub mod oneffset;
+pub mod precision;
+pub mod quant;
+
+pub use bits::{essential_bits, BitContentStats};
+pub use csd::SignedPower;
+pub use oneffset::{Oneffset, OneffsetList};
+pub use precision::PrecisionWindow;
+pub use quant::QuantParams;

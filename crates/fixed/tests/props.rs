@@ -1,0 +1,115 @@
+//! Property-based tests for the numeric substrate invariants listed in
+//! DESIGN.md §6.
+
+use proptest::prelude::*;
+
+use pra_fixed::csd;
+use pra_fixed::oneffset::OneffsetGenerator;
+use pra_fixed::precision::{profile_window, required_bits};
+use pra_fixed::{essential_bits, OneffsetList, PrecisionWindow, QuantParams};
+
+proptest! {
+    /// Oneffset round-trip: Σ 2^pow reconstructs the value exactly.
+    #[test]
+    fn oneffset_round_trip(v in any::<u16>()) {
+        prop_assert_eq!(OneffsetList::encode(v).decode(), v);
+    }
+
+    /// The oneffset count is the essential-bit count.
+    #[test]
+    fn oneffset_len_is_popcount(v in any::<u16>()) {
+        prop_assert_eq!(OneffsetList::encode(v).len() as u32, essential_bits(v));
+    }
+
+    /// Powers are strictly ascending and eon marks exactly the last.
+    #[test]
+    fn oneffset_order_and_eon(v in 1u16..) {
+        let l = OneffsetList::encode(v);
+        let offs: Vec<_> = l.iter().collect();
+        for w in offs.windows(2) {
+            prop_assert!(w[0].pow < w[1].pow);
+            prop_assert!(!w[0].eon);
+        }
+        prop_assert!(offs.last().unwrap().eon);
+    }
+
+    /// The streaming generator emits the same sequence as the list.
+    #[test]
+    fn generator_matches_list(v in any::<u16>()) {
+        let g: Vec<_> = OneffsetGenerator::new(v).collect();
+        let l: Vec<_> = OneffsetList::encode(v).iter().collect();
+        prop_assert_eq!(g, l);
+    }
+
+    /// CSD round-trip and canonical form: value reconstructs, no adjacent
+    /// non-zero digits, term count never exceeds popcount.
+    #[test]
+    fn csd_canonical(v in any::<u16>()) {
+        let t = csd::encode(v);
+        prop_assert_eq!(csd::decode(&t), v as i32);
+        for w in t.windows(2) {
+            prop_assert!(w[1].pow >= w[0].pow + 2);
+        }
+        if v != 0 {
+            prop_assert!(t.len() as u32 <= essential_bits(v));
+        }
+    }
+
+    /// Trimming is idempotent and only removes bits.
+    #[test]
+    fn trim_idempotent(v in any::<u16>(), msb in 0u8..16, lsb in 0u8..16) {
+        prop_assume!(msb >= lsb);
+        let w = PrecisionWindow::new(msb, lsb);
+        let t = w.trim(v);
+        prop_assert_eq!(w.trim(t), t);
+        prop_assert_eq!(t & !v, 0); // no new bits
+        prop_assert!(essential_bits(t) <= essential_bits(v));
+    }
+
+    /// A profiled window with zero tolerance preserves every value.
+    #[test]
+    fn profile_zero_tolerance_lossless(values in prop::collection::vec(any::<u16>(), 1..200)) {
+        let w = profile_window(&values, 0.0);
+        for &v in &values {
+            prop_assert_eq!(w.trim(v), v);
+        }
+    }
+
+    /// A profiled window never loses more magnitude than the tolerance.
+    #[test]
+    fn profile_respects_tolerance(
+        values in prop::collection::vec(any::<u16>(), 1..200),
+        tol_milli in 0u32..200,
+    ) {
+        let tol = tol_milli as f64 / 1000.0;
+        let w = profile_window(&values, tol);
+        let total: u64 = values.iter().map(|&v| v as u64).sum();
+        let lost: u64 = values.iter().map(|&v| (v - w.trim(v)) as u64).sum();
+        prop_assert!(lost as f64 <= total as f64 * tol + 1.0);
+    }
+
+    /// required_bits is the minimal width that can hold the value.
+    #[test]
+    fn required_bits_minimal(v in 1u16..) {
+        let b = required_bits(v);
+        prop_assert!((v as u32) < (1u32 << b));
+        prop_assert!(v as u32 > (1u32 << (b - 1)) - 1);
+    }
+
+    /// Quantization round-trip error stays within half a step.
+    #[test]
+    fn quant_error_bounded(lo in -100.0f32..100.0, span in 0.1f32..100.0, frac in 0.0f32..1.0) {
+        let q = QuantParams::new(lo, lo + span);
+        let v = lo + span * frac;
+        let err = (q.dequantize(q.quantize(v)) - v).abs();
+        prop_assert!(err <= q.max_error() * 1.01);
+    }
+
+    /// Quantized codes are monotone in the input value.
+    #[test]
+    fn quant_monotone(lo in -10.0f32..10.0, span in 0.5f32..50.0, a in 0.0f32..1.0, b in 0.0f32..1.0) {
+        let q = QuantParams::new(lo, lo + span);
+        let (a, b) = (lo + span * a.min(b), lo + span * a.max(b));
+        prop_assert!(q.quantize(a) <= q.quantize(b));
+    }
+}

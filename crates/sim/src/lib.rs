@@ -1,0 +1,24 @@
+//! Simulation substrate for the Pragmatic (MICRO 2017) reproduction.
+//!
+//! Everything the accelerator models share: the chip configuration of the
+//! DaDianNao baseline (§IV-B), the memory system — central eDRAM Neuron
+//! Memory (NM), per-tile eDRAM Synapse Buffers (SB), NBin/NBout SRAM — with
+//! the address layouts and row-activation math behind §V-A4's pallet-fetch
+//! analysis, the dispatcher fetch model, access counters consumed by the
+//! energy model, and the run-result/metrics types every engine reports.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod config;
+pub mod counters;
+pub mod dispatcher;
+pub mod metrics;
+pub mod neuron_memory;
+
+pub use capacity::{layer_footprint, CapacityReport, MemoryFootprint};
+pub use config::ChipConfig;
+pub use counters::AccessCounters;
+pub use dispatcher::Dispatcher;
+pub use metrics::{geomean, LayerResult, RunResult};
+pub use neuron_memory::{NeuronMemory, NmLayout};

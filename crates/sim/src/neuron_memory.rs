@@ -1,0 +1,210 @@
+//! Neuron Memory (NM) layout and row-activation model (§IV-B, §V-A4).
+//!
+//! All inter-layer neuron outputs live in a 4 MB central eDRAM Neuron
+//! Memory connected to the tiles by a broadcast interconnect. The
+//! dispatcher assembles a pallet's 16 neuron bricks per brick step; how
+//! many NM *rows* those bricks touch determines the fetch latency `NMC`
+//! that overlaps with the compute time `PC` (§V-A4: the next pallet begins
+//! after `max(NMC, PC)`).
+//!
+//! Two layouts are modelled:
+//!
+//! * [`NmLayout::PalletMajor`] (default) — brick-interleaved storage
+//!   `((y · ceil(I/16) + i/16) · Nx + x) · 16 + i mod 16`: bricks of
+//!   adjacent windows (same `y`, `i`, consecutive `x`) are contiguous, so a
+//!   unit-stride pallet lands in one or two rows exactly as §V-A4 claims.
+//! * [`NmLayout::RowMajor`] — plain `i`-fastest order, the naive layout;
+//!   a pallet's bricks are `I` neurons apart and spread over many rows.
+//!   Kept as the `ablation_nm_layout` study.
+
+use serde::{Deserialize, Serialize};
+
+use pra_tensor::brick::{brick_for, BrickStep, PalletRef};
+use pra_tensor::{ConvLayerSpec, BRICK};
+
+/// Storage order of a layer's neuron array inside NM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NmLayout {
+    /// Brick-interleaved layout optimised for pallet fetches (default).
+    #[default]
+    PalletMajor,
+    /// Naive `i`-fastest layout (ablation).
+    RowMajor,
+}
+
+/// The Neuron Memory model: layout plus row geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeuronMemory {
+    layout: NmLayout,
+    /// Neurons per row (row bytes over neuron width).
+    row_neurons: usize,
+}
+
+impl NeuronMemory {
+    /// Creates a model with the given layout and `row_neurons` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_neurons` is not a positive multiple of the brick
+    /// size (rows hold whole bricks).
+    pub fn new(layout: NmLayout, row_neurons: usize) -> Self {
+        assert!(
+            row_neurons >= BRICK && row_neurons.is_multiple_of(BRICK),
+            "row must hold whole bricks, got {row_neurons}"
+        );
+        Self { layout, row_neurons }
+    }
+
+    /// The configured layout.
+    pub fn layout(&self) -> NmLayout {
+        self.layout
+    }
+
+    /// Neurons per NM row.
+    pub fn row_neurons(&self) -> usize {
+        self.row_neurons
+    }
+
+    /// Linear neuron address of `(x, y, i)` for a layer stored with this
+    /// layout.
+    pub fn address(&self, spec: &ConvLayerSpec, x: usize, y: usize, i: usize) -> usize {
+        let (nx, ni) = (spec.input.x, spec.input.i);
+        match self.layout {
+            NmLayout::RowMajor => (y * nx + x) * ni + i,
+            NmLayout::PalletMajor => {
+                let bricks_deep = ni.div_ceil(BRICK);
+                let ib = i / BRICK;
+                ((y * bricks_deep + ib) * nx + x) * BRICK + (i % BRICK)
+            }
+        }
+    }
+
+    /// NM row index containing `(x, y, i)`.
+    pub fn row_of(&self, spec: &ConvLayerSpec, x: usize, y: usize, i: usize) -> usize {
+        self.address(spec, x, y, i) / self.row_neurons
+    }
+
+    /// Number of distinct NM rows touched when fetching one pallet's
+    /// bricks for one brick step. Padding bricks (out-of-bounds) need no
+    /// fetch; a fully padded step returns 0.
+    pub fn pallet_fetch_rows(&self, spec: &ConvLayerSpec, pallet: PalletRef, step: BrickStep) -> usize {
+        // A brick occupies BRICK consecutive addresses in PalletMajor
+        // layout but spans no row boundary there (rows hold whole bricks
+        // and bricks are aligned); in RowMajor it is also contiguous and
+        // brick-aligned because `i0` is a multiple of BRICK. So each brick
+        // touches exactly one row unless it straddles (non-aligned I); we
+        // conservatively count both ends.
+        let mut rows: Vec<usize> = Vec::with_capacity(pallet.lanes * 2);
+        for lane in 0..pallet.lanes {
+            let b = brick_for(spec, pallet, lane, step);
+            if b.x < 0 || b.y < 0 || b.x as usize >= spec.input.x || b.y as usize >= spec.input.y {
+                continue; // padding: dispatcher injects zeros
+            }
+            let (x, y) = (b.x as usize, b.y as usize);
+            let first = self.row_of(spec, x, y, b.i);
+            let last_i = (b.i + BRICK - 1).min(spec.input.i - 1);
+            let last = self.row_of(spec, x, y, last_i);
+            rows.push(first);
+            if last != first {
+                rows.push(last);
+            }
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        rows.len()
+    }
+}
+
+impl Default for NeuronMemory {
+    /// DaDN's 512-byte rows of 16-bit neurons: 256 neurons per row.
+    fn default() -> Self {
+        Self::new(NmLayout::PalletMajor, 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_tensor::ConvLayerSpec;
+
+    fn spec(nx: usize, i: usize, stride: usize) -> ConvLayerSpec {
+        ConvLayerSpec::new("t", (nx, nx, i), (3, 3), 16, stride, 1).unwrap()
+    }
+
+    #[test]
+    fn pallet_major_unit_stride_hits_at_most_two_rows() {
+        // §V-A4: "with unit stride the 256 neurons would be typically all
+        // stored in the same NM row or at most over two adjacent NM rows".
+        let s = spec(64, 256, 1);
+        let nm = NeuronMemory::default();
+        let pallet = PalletRef { wx0: 8, wy: 3, lanes: 16 };
+        for step in pra_tensor::brick::brick_steps(&s).iter().take(24) {
+            let rows = nm.pallet_fetch_rows(&s, pallet, *step);
+            assert!(rows <= 2, "step {step:?} touched {rows} rows");
+        }
+    }
+
+    #[test]
+    fn larger_stride_touches_more_rows() {
+        let nm = NeuronMemory::default();
+        let s1 = ConvLayerSpec::new("s1", (128, 128, 64), (3, 3), 16, 1, 0).unwrap();
+        let s4 = ConvLayerSpec::new("s4", (128, 128, 64), (3, 3), 16, 4, 0).unwrap();
+        let pallet = PalletRef { wx0: 0, wy: 1, lanes: 16 };
+        let step = BrickStep { fx: 1, fy: 1, i0: 0 };
+        let r1 = nm.pallet_fetch_rows(&s1, pallet, step);
+        let r4 = nm.pallet_fetch_rows(&s4, pallet, step);
+        assert!(r4 > r1, "stride-4 rows {r4} vs stride-1 rows {r1}");
+        assert!(r4 <= 4);
+    }
+
+    #[test]
+    fn row_major_spreads_pallets_when_deep() {
+        // With I = 256 the naive layout separates adjacent windows' bricks
+        // by 256 neurons = one full row each.
+        let s = spec(64, 256, 1);
+        let rm = NeuronMemory::new(NmLayout::RowMajor, 256);
+        let pm = NeuronMemory::new(NmLayout::PalletMajor, 256);
+        let pallet = PalletRef { wx0: 8, wy: 3, lanes: 16 };
+        let step = BrickStep { fx: 1, fy: 1, i0: 16 };
+        assert!(rm.pallet_fetch_rows(&s, pallet, step) > pm.pallet_fetch_rows(&s, pallet, step));
+    }
+
+    #[test]
+    fn padding_bricks_need_no_rows() {
+        let s = spec(20, 16, 1);
+        let nm = NeuronMemory::default();
+        // Window row wy = 0 with fy = 0 reads y = -1: all padding.
+        let pallet = PalletRef { wx0: 0, wy: 0, lanes: 16 };
+        let rows = nm.pallet_fetch_rows(&s, pallet, BrickStep { fx: 0, fy: 0, i0: 0 });
+        assert_eq!(rows, 0);
+    }
+
+    #[test]
+    fn addresses_are_unique_and_dense() {
+        let s = spec(6, 24, 1); // ragged depth: 24 channels = 1.5 bricks
+        for layout in [NmLayout::PalletMajor, NmLayout::RowMajor] {
+            let nm = NeuronMemory::new(layout, 256);
+            let mut seen = std::collections::HashSet::new();
+            for y in 0..6 {
+                for x in 0..6 {
+                    for i in 0..24 {
+                        assert!(seen.insert(nm.address(&s, x, y, i)), "{layout:?} duplicate");
+                    }
+                }
+            }
+            // PalletMajor pads ragged bricks to full 16: addresses reach
+            // 6*6*2*16; RowMajor is fully dense.
+            let max = seen.iter().max().unwrap() + 1;
+            match layout {
+                NmLayout::RowMajor => assert_eq!(max, 6 * 6 * 24),
+                NmLayout::PalletMajor => assert!(max <= 6 * 6 * 32),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole bricks")]
+    fn rejects_partial_brick_rows() {
+        let _ = NeuronMemory::new(NmLayout::PalletMajor, 24);
+    }
+}

@@ -1,0 +1,165 @@
+//! Reference integer convolution — the functional golden model.
+//!
+//! Computes §IV-A's layer equation directly:
+//!
+//! ```text
+//! o(k, l, f) = Σ_y Σ_x Σ_i  s_f(x, y, i) · n(x + k·S − pad, y + l·S − pad, i)
+//! ```
+//!
+//! with unsigned 16-bit neurons, signed 16-bit synapses and exact `i64`
+//! accumulation. Every accelerator model in the workspace is verified
+//! bit-exactly against this function.
+
+use crate::shape::ConvLayerSpec;
+use crate::tensor3::Tensor3;
+
+/// Computes the layer's raw output sums (no activation function applied).
+///
+/// `neurons` must have the layer's input dimensions; `synapses` must contain
+/// `spec.num_filters` tensors of `Fx × Fy × I`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes do not match `spec`.
+pub fn convolve(spec: &ConvLayerSpec, neurons: &Tensor3<u16>, synapses: &[Tensor3<i16>]) -> Tensor3<i64> {
+    check_shapes(spec, neurons, synapses);
+    let mut out = Tensor3::<i64>::zeros(spec.output_dim());
+    for wy in 0..spec.out_y() {
+        for wx in 0..spec.out_x() {
+            let (ox, oy) = spec.window_origin(wx, wy);
+            for (f, filter) in synapses.iter().enumerate() {
+                let mut acc: i64 = 0;
+                for fy in 0..spec.filter.y {
+                    for fx in 0..spec.filter.x {
+                        let (nx, ny) = (ox + fx as isize, oy + fy as isize);
+                        for i in 0..spec.input.i {
+                            let n = neurons.get_padded(nx, ny, i) as i64;
+                            let s = filter.get(fx, fy, i) as i64;
+                            acc += n * s;
+                        }
+                    }
+                }
+                out.set(wx, wy, f, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Applies a rectifier (ReLU) and re-quantizes raw `i64` sums back to
+/// unsigned 16-bit neurons by an arithmetic right shift — the minimal model
+/// of the activation path between layers (the paper's `f` in Fig. 5).
+///
+/// Values are clamped to `u16::MAX` after shifting.
+pub fn relu_requantize(raw: &Tensor3<i64>, shift: u32) -> Tensor3<u16> {
+    raw.map(|v| {
+        let v = v.max(0) >> shift;
+        v.min(u16::MAX as i64) as u16
+    })
+}
+
+fn check_shapes(spec: &ConvLayerSpec, neurons: &Tensor3<u16>, synapses: &[Tensor3<i16>]) {
+    assert_eq!(neurons.dim(), spec.input, "neuron tensor shape mismatch");
+    assert_eq!(synapses.len(), spec.num_filters, "filter count mismatch");
+    for (f, s) in synapses.iter().enumerate() {
+        assert_eq!(
+            s.dim(),
+            crate::Dim3::new(spec.filter.x, spec.filter.y, spec.input.i),
+            "filter {f} shape mismatch"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConvLayerSpec;
+
+    #[test]
+    fn identity_filter_extracts_center() {
+        // 1x1 filter with weight 1 on channel 0: output = input channel 0.
+        let spec = ConvLayerSpec::new("t", (3, 3, 2), (1, 1), 1, 1, 0).unwrap();
+        let n = Tensor3::from_fn(spec.input, |x, y, i| if i == 0 { (10 * x + y) as u16 } else { 99 });
+        let s = spec.filters_from_fn(|_, _, _, i| if i == 0 { 1i16 } else { 0 });
+        let o = convolve(&spec, &n, &s);
+        assert_eq!(o.get(2, 1, 0), 21);
+        assert_eq!(o.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn all_ones_filter_sums_window() {
+        let spec = ConvLayerSpec::new("t", (4, 4, 1), (2, 2), 1, 1, 0).unwrap();
+        let n = Tensor3::from_fn(spec.input, |_, _, _| 1u16);
+        let s = spec.filters_from_fn(|_, _, _, _| 1i16);
+        let o = convolve(&spec, &n, &s);
+        // Every 2x2 window of ones sums to 4.
+        for wy in 0..3 {
+            for wx in 0..3 {
+                assert_eq!(o.get(wx, wy, 0), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_synapses_produce_negative_sums() {
+        let spec = ConvLayerSpec::new("t", (2, 2, 1), (2, 2), 1, 1, 0).unwrap();
+        let n = Tensor3::from_fn(spec.input, |_, _, _| 3u16);
+        let s = spec.filters_from_fn(|_, _, _, _| -2i16);
+        let o = convolve(&spec, &n, &s);
+        assert_eq!(o.get(0, 0, 0), -24);
+    }
+
+    #[test]
+    fn padding_contributes_zero() {
+        let spec = ConvLayerSpec::new("t", (2, 2, 1), (3, 3), 1, 1, 1).unwrap();
+        let n = Tensor3::from_fn(spec.input, |_, _, _| 1u16);
+        let s = spec.filters_from_fn(|_, _, _, _| 1i16);
+        let o = convolve(&spec, &n, &s);
+        // Corner window covers only the 2x2 valid region.
+        assert_eq!(o.get(0, 0, 0), 4);
+    }
+
+    #[test]
+    fn stride_skips_windows() {
+        let spec = ConvLayerSpec::new("t", (5, 5, 1), (1, 1), 1, 2, 0).unwrap();
+        let n = Tensor3::from_fn(spec.input, |x, y, _| (y * 5 + x) as u16);
+        let s = spec.filters_from_fn(|_, _, _, _| 1i16);
+        let o = convolve(&spec, &n, &s);
+        assert_eq!(o.dim().x, 3);
+        assert_eq!(o.get(1, 1, 0), (2 * 5 + 2) as i64);
+    }
+
+    #[test]
+    fn relu_requantize_rectifies_and_shifts() {
+        let raw = Tensor3::from_vec((2, 1, 1), vec![-100i64, 1 << 10]);
+        let q = relu_requantize(&raw, 4);
+        assert_eq!(q.as_slice(), &[0, 64]);
+    }
+
+    #[test]
+    fn relu_requantize_saturates() {
+        let raw = Tensor3::from_vec((1, 1, 1), vec![i64::MAX / 2]);
+        let q = relu_requantize(&raw, 0);
+        assert_eq!(q.get(0, 0, 0), u16::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter count mismatch")]
+    fn shape_mismatch_panics() {
+        let spec = ConvLayerSpec::new("t", (2, 2, 1), (2, 2), 2, 1, 0).unwrap();
+        let n = Tensor3::<u16>::zeros(spec.input);
+        let s = vec![Tensor3::<i16>::zeros((2, 2, 1))];
+        let _ = convolve(&spec, &n, &s);
+    }
+
+    #[test]
+    fn max_magnitude_does_not_overflow() {
+        // Worst case: 65535 * 32767 * (filter volume) must fit in i64.
+        let spec = ConvLayerSpec::new("t", (3, 3, 4), (3, 3), 1, 1, 0).unwrap();
+        let n = Tensor3::from_fn(spec.input, |_, _, _| u16::MAX);
+        let s = spec.filters_from_fn(|_, _, _, _| i16::MIN);
+        let o = convolve(&spec, &n, &s);
+        let expected = (u16::MAX as i64) * (i16::MIN as i64) * 36;
+        assert_eq!(o.get(0, 0, 0), expected);
+    }
+}

@@ -1,0 +1,41 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing layer geometry from inconsistent
+/// dimensions (e.g. a filter larger than the padded input, or a zero
+/// stride).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    msg: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid layer shape: {}", self.msg)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_message() {
+        let e = ShapeError::new("stride must be non-zero");
+        assert!(e.to_string().contains("stride must be non-zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Tensor substrate for the Pragmatic (MICRO 2017) reproduction.
+//!
+//! Convolutional layers process and produce *neuron arrays*: 3D arrays of
+//! numbers indexed `(x, y, i)` where `i` is the channel (depth) dimension
+//! (§IV-A of the paper). This crate provides:
+//!
+//! * [`Dim3`] and [`ConvLayerSpec`]: layer geometry (input dims, filter
+//!   dims, filter count, stride, padding) and the derived output geometry.
+//! * [`Tensor3`]: a dense 3D array with the accelerator's storage layout
+//!   (`i` fastest, then `x`, then `y`), so a *brick* — 16 elements
+//!   contiguous along `i` — is contiguous in memory.
+//! * Window, brick and pallet iteration ([`window`], [`brick`]).
+//! * A reference integer convolution ([`conv`]) used as the functional
+//!   golden model for every accelerator in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use pra_tensor::{ConvLayerSpec, Tensor3, conv::convolve};
+//!
+//! // A tiny 4x4x16 input, two 3x3x16 filters, stride 1, no padding.
+//! let spec = ConvLayerSpec::new("toy", (4, 4, 16), (3, 3), 2, 1, 0)?;
+//! let neurons = Tensor3::from_fn(spec.input, |x, y, i| (x + y + i) as u16);
+//! let synapses = spec.filters_from_fn(|_f, _x, _y, i| if i % 2 == 0 { 1i16 } else { -1 });
+//! let out = convolve(&spec, &neurons, &synapses);
+//! assert_eq!(out.dim(), spec.output_dim());
+//! # Ok::<(), pra_tensor::ShapeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod brick;
+pub mod conv;
+mod error;
+pub mod pool;
+mod shape;
+mod tensor3;
+pub mod window;
+
+pub use error::ShapeError;
+pub use shape::{ConvLayerSpec, Dim3, FilterDim};
+pub use tensor3::Tensor3;
+
+/// Number of elements in a brick: 16 elements contiguous along the `i`
+/// dimension (§IV-A1 of the paper). This is also the number of neuron lanes
+/// per window and synapse lanes per filter in DaDianNao and Pragmatic.
+pub const BRICK: usize = 16;
+
+/// Number of bricks in a pallet: 16 bricks from adjacent windows along the
+/// `x` dimension, separated by the layer stride (§IV-A1).
+pub const PALLET: usize = 16;

@@ -1,0 +1,135 @@
+//! Spatial pooling — the layer type between the convolutional stages of
+//! every evaluated network. Pooling does not involve synapses and runs on
+//! DaDianNao's (and Pragmatic's) activation path, so the accelerators'
+//! cycle models are unaffected; the functional model needs it to chain
+//! layers end to end (AlexNet conv1 → pool → conv2, etc.).
+
+use crate::shape::Dim3;
+use crate::tensor3::Tensor3;
+
+/// Max-pools `input` with a `k × k` window and the given stride,
+/// truncating partial windows (Caffe-style `floor` pooling).
+///
+/// # Panics
+///
+/// Panics if `k` or `stride` is zero, or `k` exceeds either spatial
+/// dimension.
+pub fn max_pool(input: &Tensor3<u16>, k: usize, stride: usize) -> Tensor3<u16> {
+    pool_by(input, k, stride, |acc, v| acc.max(v), 0)
+}
+
+/// Average-pools `input` with a `k × k` window and the given stride
+/// (integer mean, rounding down).
+///
+/// # Panics
+///
+/// Panics as for [`max_pool`].
+pub fn avg_pool(input: &Tensor3<u16>, k: usize, stride: usize) -> Tensor3<u16> {
+    let dim = input.dim();
+    assert!(k >= 1 && stride >= 1, "pool window and stride must be positive");
+    assert!(k <= dim.x && k <= dim.y, "pool window larger than input");
+    let ox = (dim.x - k) / stride + 1;
+    let oy = (dim.y - k) / stride + 1;
+    let mut out = Tensor3::<u16>::zeros(Dim3::new(ox, oy, dim.i));
+    for wy in 0..oy {
+        for wx in 0..ox {
+            for i in 0..dim.i {
+                let mut sum = 0u32;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        sum += u32::from(input.get(wx * stride + dx, wy * stride + dy, i));
+                    }
+                }
+                out.set(wx, wy, i, (sum / (k * k) as u32) as u16);
+            }
+        }
+    }
+    out
+}
+
+fn pool_by(
+    input: &Tensor3<u16>,
+    k: usize,
+    stride: usize,
+    mut reduce: impl FnMut(u16, u16) -> u16,
+    init: u16,
+) -> Tensor3<u16> {
+    let dim = input.dim();
+    assert!(k >= 1 && stride >= 1, "pool window and stride must be positive");
+    assert!(k <= dim.x && k <= dim.y, "pool window larger than input");
+    let ox = (dim.x - k) / stride + 1;
+    let oy = (dim.y - k) / stride + 1;
+    let mut out = Tensor3::<u16>::zeros(Dim3::new(ox, oy, dim.i));
+    for wy in 0..oy {
+        for wx in 0..ox {
+            for i in 0..dim.i {
+                let mut acc = init;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        acc = reduce(acc, input.get(wx * stride + dx, wy * stride + dy, i));
+                    }
+                }
+                out.set(wx, wy, i, acc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(nx: usize, ny: usize, i: usize) -> Tensor3<u16> {
+        Tensor3::from_fn((nx, ny, i), |x, y, c| (y * 100 + x * 10 + c) as u16)
+    }
+
+    #[test]
+    fn max_pool_2x2_stride_2() {
+        let t = ramp(4, 4, 1);
+        let p = max_pool(&t, 2, 2);
+        assert_eq!(p.dim(), crate::Dim3::new(2, 2, 1));
+        // Window (0,0): values {0,10,100,110} -> 110.
+        assert_eq!(p.get(0, 0, 0), 110);
+        assert_eq!(p.get(1, 1, 0), 330);
+    }
+
+    #[test]
+    fn overlapping_pool_3x3_stride_2() {
+        // AlexNet-style overlapped pooling: 4 -> (4-3)/2+1 = 1... use 5.
+        let t = ramp(5, 5, 2);
+        let p = max_pool(&t, 3, 2);
+        assert_eq!(p.dim().x, 2);
+        assert_eq!(p.dim().i, 2);
+        assert_eq!(p.get(0, 0, 1), 221);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let t = Tensor3::from_fn((2, 2, 3), |x, y, c| ((x + y) * 10 + c * 100) as u16);
+        let p = max_pool(&t, 2, 2);
+        assert_eq!(p.get(0, 0, 0), 20);
+        assert_eq!(p.get(0, 0, 2), 220);
+    }
+
+    #[test]
+    fn avg_pool_means() {
+        let t = Tensor3::from_fn((2, 2, 1), |x, y, _| ((y * 2 + x) * 4) as u16); // 0,4,8,12
+        let p = avg_pool(&t, 2, 2);
+        assert_eq!(p.get(0, 0, 0), 6);
+    }
+
+    #[test]
+    fn pool_truncates_partial_windows() {
+        let t = ramp(5, 5, 1);
+        let p = max_pool(&t, 2, 2);
+        assert_eq!(p.dim().x, 2); // column 4 dropped
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_window_panics() {
+        let t = ramp(2, 2, 1);
+        let _ = max_pool(&t, 3, 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Window enumeration for convolutional layers.
+//!
+//! A *window* is a filter-sized `Fx × Fy × I` sub-array of the input; there
+//! is one output neuron per window and filter (§IV-A). Windows are indexed
+//! by their output coordinates `(wx, wy)`.
+
+use crate::shape::ConvLayerSpec;
+
+/// One sliding window of a convolutional layer, identified by its output
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Output `x` coordinate of the window.
+    pub wx: usize,
+    /// Output `y` coordinate of the window.
+    pub wy: usize,
+    /// Input-space origin of the window (may be negative with padding).
+    pub origin: (isize, isize),
+}
+
+/// Iterator over all windows of a layer in row-major order (`wy` outer,
+/// `wx` inner), which matches the order pallets are scheduled in.
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    spec: &'a ConvLayerSpec,
+    wx: usize,
+    wy: usize,
+}
+
+impl<'a> Windows<'a> {
+    /// Creates the iterator for `spec`.
+    pub fn new(spec: &'a ConvLayerSpec) -> Self {
+        Self { spec, wx: 0, wy: 0 }
+    }
+}
+
+impl Iterator for Windows<'_> {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        if self.wy >= self.spec.out_y() {
+            return None;
+        }
+        let w = Window {
+            wx: self.wx,
+            wy: self.wy,
+            origin: self.spec.window_origin(self.wx, self.wy),
+        };
+        self.wx += 1;
+        if self.wx == self.spec.out_x() {
+            self.wx = 0;
+            self.wy += 1;
+        }
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = self.spec.windows();
+        let done = self.wy * self.spec.out_x() + self.wx;
+        let rem = total.saturating_sub(done);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Windows<'_> {}
+
+/// Returns an iterator over all windows of `spec`.
+pub fn windows(spec: &ConvLayerSpec) -> Windows<'_> {
+    Windows::new(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConvLayerSpec;
+
+    #[test]
+    fn enumerates_all_windows_in_row_major_order() {
+        let spec = ConvLayerSpec::new("t", (5, 4, 8), (2, 2), 1, 1, 0).unwrap();
+        let ws: Vec<_> = windows(&spec).collect();
+        assert_eq!(ws.len(), spec.windows());
+        assert_eq!(ws[0], Window { wx: 0, wy: 0, origin: (0, 0) });
+        assert_eq!(ws[1].wx, 1);
+        assert_eq!(ws[spec.out_x()].wy, 1);
+    }
+
+    #[test]
+    fn window_origins_follow_stride_and_padding() {
+        let spec = ConvLayerSpec::new("t", (7, 7, 8), (3, 3), 1, 2, 1).unwrap();
+        let ws: Vec<_> = windows(&spec).collect();
+        assert_eq!(ws[0].origin, (-1, -1));
+        assert_eq!(ws[1].origin, (1, -1));
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let spec = ConvLayerSpec::new("t", (5, 5, 8), (3, 3), 1, 1, 0).unwrap();
+        let mut it = windows(&spec);
+        assert_eq!(it.len(), 9);
+        it.next();
+        assert_eq!(it.len(), 8);
+    }
+}

@@ -1,0 +1,271 @@
+//! Calibration of the synthetic activation model against Table I.
+//!
+//! For each network and representation the paper reports the essential-bit
+//! content of the real activation stream over all neurons ("All") and over
+//! non-zero neurons ("NZ"). Two generator parameters are derived from the
+//! published row:
+//!
+//! * `zero_frac = 1 − All/NZ` — exact by definition of the two columns;
+//! * `sigma` — fitted by bisection so the measured NZ essential-bit
+//!   fraction of the generated stream matches the published NZ value.
+//!
+//! The suffix-noise density and prefix-outlier probability model the bits
+//! that §V-F software trimming removes; they are global constants chosen
+//! so the software-guidance benefit lands in the range of Table V (~19%
+//! on average), and they are *included* in the calibration measurement so
+//! Table I still matches.
+//!
+//! Bisection uses common random numbers (the same seed for every candidate
+//! sigma), making the objective deterministic and monotone enough for a
+//! robust fit. Results are cached process-wide.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::generator::{layer_window, ActivationModel, Representation};
+use crate::networks::Network;
+use crate::profiles;
+
+/// Suffix-noise density for the 16-bit fixed-point generator: each of the
+/// two bits below the precision window of a non-zero neuron is set with
+/// this probability (the fraction tail of a real-valued activation is
+/// essentially uniform, density ½).
+pub const SUFFIX_DENSITY: f64 = 0.35;
+
+/// Prefix-outlier probability for the 16-bit fixed-point generator: a
+/// non-zero neuron carries one stray bit above the precision window with
+/// this probability (profiled precisions tolerate a small accuracy loss,
+/// so real streams contain rare values that trimming clips).
+pub const OUTLIER_PROB: f64 = 0.008;
+
+/// Heavy-tail share: probability that a non-zero neuron is drawn uniformly
+/// over the precision window instead of from the half-Gaussian. Fitted
+/// once, globally, so the pallet-synchronized PRAsingle speedup lands at
+/// the paper's Fig. 9 geometric mean (2.59×); the half-Gaussian alone has
+/// too thin a tail and overstates Pragmatic's gains (max-oneffset
+/// statistics drive the cycle count).
+pub const DENSE_PROB: f64 = 0.10;
+
+/// Heavy share inside the dense component (see
+/// [`ActivationModel::heavy_share`]): fitted together with [`DENSE_PROB`]
+/// against Fig. 9 (pallet sync) and Fig. 10 (column sync).
+pub const HEAVY_SHARE: f64 = 0.40;
+
+/// Tail constants for the 8-bit quantized generator. Quantization
+/// compresses the value range (the layer maximum maps to 255), flattening
+/// the popcount tail relative to 16-bit fixed point, so the quantized
+/// stream needs a lighter dense component to land on the paper's Fig. 12
+/// speedups while Table I (which fixes the mean) still holds.
+pub const DENSE_PROB_Q8: f64 = 0.03;
+
+/// Heavy share for the 8-bit quantized generator (see [`DENSE_PROB_Q8`]).
+pub const HEAVY_SHARE_Q8: f64 = 0.25;
+
+/// Deterministic seed used by all calibration measurements.
+const CALIBRATION_SEED: u64 = 0xCA11_B8A7_E5EE_D001;
+
+/// Total samples drawn per objective evaluation, spread across layers in
+/// proportion to their neuron counts.
+const CALIBRATION_SAMPLES: usize = 120_000;
+
+/// Returns the calibrated activation model for `network` under `repr`,
+/// fitting it on first use and caching the result process-wide.
+pub fn calibrated_model(network: Network, repr: Representation) -> ActivationModel {
+    static CACHE: OnceLock<Mutex<HashMap<(Network, Representation), ActivationModel>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(m) = cache.lock().expect("calibration cache poisoned").get(&(network, repr)) {
+        return *m;
+    }
+    let fitted = fit_model(network, repr);
+    cache
+        .lock()
+        .expect("calibration cache poisoned")
+        .insert((network, repr), fitted);
+    fitted
+}
+
+/// Fits the activation model without touching the cache.
+pub fn fit_model(network: Network, repr: Representation) -> ActivationModel {
+    match repr {
+        Representation::Fixed16 => fit_model_with_tail(network, repr, DENSE_PROB, HEAVY_SHARE),
+        Representation::Quant8 => fit_model_with_tail(network, repr, DENSE_PROB_Q8, HEAVY_SHARE_Q8),
+    }
+}
+
+/// Fits the activation model with explicit tail parameters.
+pub fn fit_model_with_tail(
+    network: Network,
+    repr: Representation,
+    dense_prob: f64,
+    heavy_share: f64,
+) -> ActivationModel {
+    let row = profiles::table1(network);
+    let (all, nz) = match repr {
+        Representation::Fixed16 => (row.fp16_all, row.fp16_nz),
+        Representation::Quant8 => (row.q8_all, row.q8_nz),
+    };
+    let zero_frac = 1.0 - all / nz;
+    let (suffix_density, outlier_prob) = match repr {
+        Representation::Fixed16 => (SUFFIX_DENSITY, OUTLIER_PROB),
+        Representation::Quant8 => (0.0, 0.0),
+    };
+
+    let plan = sample_plan(network);
+    let objective = |sigma: f64| -> f64 {
+        let model = ActivationModel {
+            zero_frac: 0.0,
+            sigma,
+            suffix_density,
+            outlier_prob,
+            dense_prob,
+            heavy_share,
+        };
+        measure_nz_fraction(&model, repr, &plan)
+    };
+
+    // Bisection on sigma; the NZ essential-bit fraction grows with sigma
+    // (larger magnitudes set more window bits). Common random numbers make
+    // the objective deterministic.
+    let (mut lo, mut hi) = (1e-4, 2.0);
+    let f_lo = objective(lo);
+    let f_hi = objective(hi);
+    let target = nz;
+    let sigma = if target <= f_lo {
+        lo
+    } else if target >= f_hi {
+        hi
+    } else {
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if objective(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+
+    ActivationModel { zero_frac, sigma, suffix_density, outlier_prob, dense_prob, heavy_share }
+}
+
+/// Per-layer sampling plan: (Table II precision, samples to draw).
+fn sample_plan(network: Network) -> Vec<(u8, usize)> {
+    let specs = network.conv_layers();
+    let precs = profiles::precisions(network);
+    let total_neurons: f64 = specs.iter().map(|s| s.input.len() as f64).sum();
+    specs
+        .iter()
+        .zip(precs.iter().copied())
+        .map(|(spec, p)| {
+            let share = spec.input.len() as f64 / total_neurons;
+            let n = ((CALIBRATION_SAMPLES as f64 * share) as usize).max(2_000);
+            (p, n)
+        })
+        .collect()
+}
+
+/// Measures the essential-bit fraction of non-zero neurons produced by
+/// `model` (whose `zero_frac` should be 0 so every draw is non-zero).
+fn measure_nz_fraction(model: &ActivationModel, repr: Representation, plan: &[(u8, usize)]) -> f64 {
+    let mut bits: u64 = 0;
+    let mut count: u64 = 0;
+    for (idx, &(p, n)) in plan.iter().enumerate() {
+        let window = layer_window(repr, p);
+        let mut rng = StdRng::seed_from_u64(CALIBRATION_SEED ^ (idx as u64) << 32);
+        for _ in 0..n {
+            let v = model.sample(window, repr, &mut rng);
+            bits += v.count_ones() as u64;
+            count += 1;
+        }
+    }
+    bits as f64 / (count as f64 * repr.bits() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_fixed::BitContentStats;
+
+    /// End-to-end calibration check: generated streams reproduce Table I
+    /// within a percentage point (absolute, on the fraction scale).
+    fn check_network(net: Network, repr: Representation) {
+        let row = profiles::table1(net);
+        let (all_t, nz_t) = match repr {
+            Representation::Fixed16 => (row.fp16_all, row.fp16_nz),
+            Representation::Quant8 => (row.q8_all, row.q8_nz),
+        };
+        let model = calibrated_model(net, repr);
+        let plan = sample_plan(net);
+        let mut stats = BitContentStats::new();
+        for (idx, &(p, n)) in plan.iter().enumerate() {
+            let window = layer_window(repr, p);
+            let mut rng = StdRng::seed_from_u64(0xFEED ^ (idx as u64) << 24);
+            for _ in 0..n {
+                stats.record(model.sample(window, repr, &mut rng));
+            }
+        }
+        let all_m = stats.fraction_all(repr.bits());
+        let nz_m = stats.fraction_nonzero(repr.bits());
+        assert!(
+            (all_m - all_t).abs() < 0.012,
+            "{net} {repr}: All measured {all_m:.3} target {all_t:.3}"
+        );
+        assert!(
+            (nz_m - nz_t).abs() < 0.012,
+            "{net} {repr}: NZ measured {nz_m:.3} target {nz_t:.3}"
+        );
+    }
+
+    #[test]
+    fn alexnet_fixed16_matches_table1() {
+        check_network(Network::AlexNet, Representation::Fixed16);
+    }
+
+    #[test]
+    fn vgg19_fixed16_matches_table1() {
+        check_network(Network::Vgg19, Representation::Fixed16);
+    }
+
+    #[test]
+    fn googlenet_fixed16_matches_table1() {
+        check_network(Network::GoogLeNet, Representation::Fixed16);
+    }
+
+    #[test]
+    fn alexnet_quant8_matches_table1() {
+        check_network(Network::AlexNet, Representation::Quant8);
+    }
+
+    #[test]
+    fn vgg19_quant8_matches_table1() {
+        check_network(Network::Vgg19, Representation::Quant8);
+    }
+
+    #[test]
+    fn zero_frac_matches_table1_ratio() {
+        for net in Network::ALL {
+            let row = profiles::table1(net);
+            let m = calibrated_model(net, Representation::Fixed16);
+            assert!((m.zero_frac - (1.0 - row.fp16_all / row.fp16_nz)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_model() {
+        let a = calibrated_model(Network::VggM, Representation::Fixed16);
+        let b = calibrated_model(Network::VggM, Representation::Fixed16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let a = fit_model(Network::VggS, Representation::Quant8);
+        let b = fit_model(Network::VggS, Representation::Quant8);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,395 @@
+//! Seeded synthetic activation streams.
+//!
+//! The paper measures real ImageNet traces; this reproduction generates
+//! synthetic streams whose bit-level statistics are calibrated to the
+//! paper's own measurements (Table I), which is what every experiment
+//! actually depends on (DESIGN.md §2). The value model follows the paper's
+//! observation that "the measurements are consistent with the neuron values
+//! following a normal distribution centered at 0, and then being filtered
+//! by a rectifier linear unit" (§II-A):
+//!
+//! * a neuron is zero with probability `zero_frac` (the rectified half),
+//! * otherwise its magnitude is a half-Gaussian scaled into the layer's
+//!   precision window (Table II),
+//! * low-order *suffix* bits below the window and rare *prefix* outlier
+//!   bits above it model the fraction tail and outlier values that the
+//!   software-provided precision of §V-F trims away.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pra_fixed::PrecisionWindow;
+use pra_tensor::{ConvLayerSpec, Tensor3};
+
+use crate::networks::Network;
+use crate::profiles;
+
+/// Bit position where fixed-point precision windows are anchored: every
+/// layer keeps `lsb = 2`, leaving two suffix-noise bits below the window.
+pub const WINDOW_LSB: u8 = 2;
+
+/// The two neuron representations evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Representation {
+    /// DaDianNao's 16-bit fixed point (§I).
+    Fixed16,
+    /// TensorFlow's 8-bit quantized representation (§VI-F).
+    Quant8,
+}
+
+impl Representation {
+    /// Container width in bits (16 or 8).
+    pub fn bits(&self) -> u32 {
+        match self {
+            Representation::Fixed16 => 16,
+            Representation::Quant8 => 8,
+        }
+    }
+
+    /// Largest oneffset power (15 or 7).
+    pub fn max_pow(&self) -> u8 {
+        (self.bits() - 1) as u8
+    }
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Representation::Fixed16 => f.write_str("16-bit fixed-point"),
+            Representation::Quant8 => f.write_str("8-bit quantized"),
+        }
+    }
+}
+
+/// Distribution parameters of the synthetic activation stream for one
+/// network and representation. Produced by [`crate::calibrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivationModel {
+    /// Probability a neuron is exactly zero (rectified).
+    pub zero_frac: f64,
+    /// Half-Gaussian scale, relative to the precision-window maximum.
+    pub sigma: f64,
+    /// Probability that each suffix bit (below the window) of a non-zero
+    /// neuron is set. Zero in the 8-bit quantized representation.
+    pub suffix_density: f64,
+    /// Probability that a non-zero neuron carries a prefix outlier bit
+    /// above the window. Zero in the 8-bit quantized representation.
+    pub outlier_prob: f64,
+    /// Probability that a non-zero neuron comes from the *dense* mixture
+    /// component instead of the half-Gaussian: real activation traces
+    /// contain a share of large, bit-dense values that dominate the
+    /// max-oneffset statistics Pragmatic's synchronization pays for.
+    /// Fitted once, globally, against Fig. 9/10 (see `calibrate`).
+    pub dense_prob: f64,
+    /// Within the dense component, the share of *heavy* draws (uniform
+    /// over the full window, reaching the highest bit densities); the rest
+    /// are *medium* draws with 3–6 essential bits. Medium draws set the
+    /// per-column (max-of-16) statistics, heavy draws the per-pallet
+    /// (max-of-256) statistics.
+    pub heavy_share: f64,
+}
+
+impl ActivationModel {
+    /// Draws one stored neuron value for a layer whose precision window is
+    /// `window`, in representation `repr`.
+    pub fn sample(&self, window: PrecisionWindow, repr: Representation, rng: &mut StdRng) -> u16 {
+        if rng.random::<f64>() < self.zero_frac {
+            return 0;
+        }
+        match repr {
+            Representation::Fixed16 => {
+                let p = window.width() as u32;
+                let max = (1u32 << p) - 1;
+                let mag = if rng.random::<f64>() < self.dense_prob {
+                    self.dense_draw(p, max, rng)
+                } else {
+                    (half_gaussian(rng) * self.sigma * max as f64).round() as u32
+                };
+                let core = mag.clamp(1, max) as u16;
+                let mut stored = core << window.lsb();
+                for b in 0..window.lsb() {
+                    if rng.random::<f64>() < self.suffix_density {
+                        stored |= 1 << b;
+                    }
+                }
+                if window.msb() < 15 && rng.random::<f64>() < self.outlier_prob {
+                    let hi = rng.random_range(window.msb() + 1..=15);
+                    stored |= 1 << hi;
+                }
+                stored
+            }
+            Representation::Quant8 => {
+                let mag = if rng.random::<f64>() < self.dense_prob {
+                    self.dense_draw(8, 255, rng)
+                } else {
+                    (half_gaussian(rng) * self.sigma * 255.0).round() as u32
+                };
+                mag.clamp(1, 255) as u16
+            }
+        }
+    }
+
+    /// One draw of the dense mixture component: heavy (uniform over the
+    /// window) with probability `heavy_share`, otherwise medium — 3 to 6
+    /// essential bits scattered uniformly across the window.
+    fn dense_draw(&self, p: u32, max: u32, rng: &mut StdRng) -> u32 {
+        if rng.random::<f64>() < self.heavy_share {
+            return rng.random_range(1..=max);
+        }
+        let k = rng.random_range(3..=6u32).min(p);
+        let mut v = 0u32;
+        while v.count_ones() < k {
+            v |= 1 << rng.random_range(0..p);
+        }
+        v
+    }
+}
+
+/// A standard half-Gaussian sample via Box–Muller (the `rand_distr` crate
+/// is not among the vendored dependencies).
+fn half_gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let z: f64 = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    z.abs()
+}
+
+/// One convolutional layer plus its generated input-neuron stream.
+#[derive(Debug, Clone)]
+pub struct LayerWorkload {
+    /// Layer geometry.
+    pub spec: ConvLayerSpec,
+    /// The layer's precision window (Table II precision anchored at
+    /// [`WINDOW_LSB`] for fixed point; the full 8-bit window for Quant8).
+    pub window: PrecisionWindow,
+    /// The Stripes serial precision for this layer: the Table II value for
+    /// fixed point, clamped to 8 for the quantized representation.
+    pub stripes_precision: u8,
+    /// Generated input neurons (stored values; quantized codes fit in the
+    /// low 8 bits under [`Representation::Quant8`]).
+    pub neurons: Tensor3<u16>,
+}
+
+impl LayerWorkload {
+    /// The layer's neurons after §V-F software trimming (prefix/suffix
+    /// bits outside the precision window zeroed).
+    pub fn trimmed_neurons(&self) -> Tensor3<u16> {
+        let w = self.window;
+        self.neurons.map(|v| w.trim(v))
+    }
+}
+
+/// A network's full convolutional workload in one representation.
+#[derive(Debug, Clone)]
+pub struct NetworkWorkload {
+    /// Which network.
+    pub network: Network,
+    /// Which representation.
+    pub repr: Representation,
+    /// The activation model the layers were drawn from.
+    pub model: ActivationModel,
+    /// Per-layer geometry and neuron streams.
+    pub layers: Vec<LayerWorkload>,
+}
+
+impl NetworkWorkload {
+    /// Generates the workload for `network` under `repr` using the
+    /// calibrated activation model and a deterministic `seed`.
+    ///
+    /// This is the main entry point used by every experiment; calibration
+    /// results are cached process-wide, so repeated calls are cheap apart
+    /// from drawing the streams themselves.
+    pub fn build(network: Network, repr: Representation, seed: u64) -> Self {
+        let model = crate::calibrate::calibrated_model(network, repr);
+        Self::build_with_model(network, repr, model, seed)
+    }
+
+    /// Generates the workload from an explicit activation model.
+    pub fn build_with_model(
+        network: Network,
+        repr: Representation,
+        model: ActivationModel,
+        seed: u64,
+    ) -> Self {
+        let specs = network.conv_layers();
+        let precs = profiles::precisions(network);
+        let layers = specs
+            .into_iter()
+            .zip(precs.iter().copied())
+            .enumerate()
+            .map(|(idx, (spec, p))| {
+                let window = layer_window(repr, p);
+                let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let neurons = Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, repr, &mut rng));
+                LayerWorkload {
+                    spec,
+                    window,
+                    stripes_precision: stripes_precision(repr, p),
+                    neurons,
+                }
+            })
+            .collect();
+        Self { network, repr, model, layers }
+    }
+
+    /// Total multiplications over all layers.
+    pub fn total_multiplications(&self) -> u64 {
+        self.layers.iter().map(|l| l.spec.multiplications()).sum()
+    }
+}
+
+/// The precision window used for a layer of Table II precision `p` under
+/// `repr`: `p` bits anchored at [`WINDOW_LSB`] for fixed point; the full
+/// 8-bit window for the quantized representation.
+pub fn layer_window(repr: Representation, p: u8) -> PrecisionWindow {
+    match repr {
+        Representation::Fixed16 => PrecisionWindow::with_width(p, WINDOW_LSB),
+        Representation::Quant8 => PrecisionWindow::new(7, 0),
+    }
+}
+
+/// The per-layer Stripes serial precision under `repr` (Table II clamped
+/// to the container width).
+pub fn stripes_precision(repr: Representation, p: u8) -> u8 {
+    match repr {
+        Representation::Fixed16 => p,
+        Representation::Quant8 => p.min(8),
+    }
+}
+
+/// Deterministic synapse bank for functional verification: small signed
+/// values spanning positives, negatives and zeros.
+pub fn generate_synapses(spec: &ConvLayerSpec, seed: u64) -> Vec<Tensor3<i16>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    spec.filters_from_fn(|_, _, _, _| {
+        // Mix of magnitudes; ~10% zeros.
+        if rng.random::<f64>() < 0.1 {
+            0
+        } else {
+            let mag: i32 = rng.random_range(-256..=256);
+            mag as i16
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> ActivationModel {
+        ActivationModel {
+            zero_frac: 0.5,
+            sigma: 0.1,
+            suffix_density: 0.4,
+            outlier_prob: 0.01,
+            dense_prob: 0.05,
+            heavy_share: 0.5,
+        }
+    }
+
+    #[test]
+    fn sample_respects_zero_fraction_roughly() {
+        let m = toy_model();
+        let w = PrecisionWindow::with_width(8, WINDOW_LSB);
+        let mut rng = StdRng::seed_from_u64(1);
+        let zeros = (0..20_000)
+            .filter(|_| m.sample(w, Representation::Fixed16, &mut rng) == 0)
+            .count();
+        let frac = zeros as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "zero fraction {frac}");
+    }
+
+    #[test]
+    fn nonzero_fixed16_samples_have_window_bits() {
+        let m = ActivationModel { outlier_prob: 0.0, suffix_density: 0.0, dense_prob: 0.0, ..toy_model() };
+        let w = PrecisionWindow::with_width(9, WINDOW_LSB);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5_000 {
+            let v = m.sample(w, Representation::Fixed16, &mut rng);
+            if v != 0 {
+                assert_eq!(w.trim(v), v, "value {v:#018b} escapes window");
+                assert!(v >= 1 << WINDOW_LSB);
+            }
+        }
+    }
+
+    #[test]
+    fn quant8_samples_fit_in_8_bits() {
+        let m = toy_model();
+        let w = layer_window(Representation::Quant8, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let v = m.sample(w, Representation::Quant8, &mut rng);
+            assert!(v <= 255);
+        }
+    }
+
+    #[test]
+    fn larger_sigma_means_more_essential_bits() {
+        let w = PrecisionWindow::with_width(9, WINDOW_LSB);
+        let mean_bits = |sigma: f64| {
+            let m = ActivationModel {
+                zero_frac: 0.0,
+                sigma,
+                suffix_density: 0.0,
+                outlier_prob: 0.0,
+                dense_prob: 0.0,
+                heavy_share: 0.0,
+            };
+            let mut rng = StdRng::seed_from_u64(4);
+            (0..20_000)
+                .map(|_| m.sample(w, Representation::Fixed16, &mut rng).count_ones() as f64)
+                .sum::<f64>()
+                / 20_000.0
+        };
+        assert!(mean_bits(0.02) < mean_bits(0.2));
+        assert!(mean_bits(0.2) < mean_bits(0.9));
+    }
+
+    #[test]
+    fn build_is_deterministic_in_seed() {
+        let m = toy_model();
+        let a = NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, m, 7);
+        let b = NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, m, 7);
+        assert_eq!(a.layers[2].neurons, b.layers[2].neurons);
+        let c = NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, m, 8);
+        assert_ne!(a.layers[2].neurons, c.layers[2].neurons);
+    }
+
+    #[test]
+    fn layers_use_table2_windows() {
+        let m = toy_model();
+        let w = NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, m, 7);
+        let widths: Vec<u8> = w.layers.iter().map(|l| l.window.width()).collect();
+        assert_eq!(widths, vec![9, 8, 5, 5, 7]);
+    }
+
+    #[test]
+    fn trimmed_neurons_live_in_window() {
+        let m = toy_model();
+        let w = NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, m, 9);
+        let layer = &w.layers[0];
+        let trimmed = layer.trimmed_neurons();
+        for &v in trimmed.as_slice().iter().take(10_000) {
+            assert_eq!(layer.window.trim(v), v);
+        }
+    }
+
+    #[test]
+    fn stripes_precision_clamped_for_quant8() {
+        assert_eq!(stripes_precision(Representation::Fixed16, 12), 12);
+        assert_eq!(stripes_precision(Representation::Quant8, 12), 8);
+        assert_eq!(stripes_precision(Representation::Quant8, 5), 5);
+    }
+
+    #[test]
+    fn synapses_are_mixed_sign() {
+        let spec = ConvLayerSpec::new("t", (8, 8, 16), (3, 3), 4, 1, 0).unwrap();
+        let banks = generate_synapses(&spec, 11);
+        let all: Vec<i16> = banks.iter().flat_map(|t| t.as_slice().iter().copied()).collect();
+        assert!(all.iter().any(|&s| s > 0));
+        assert!(all.iter().any(|&s| s < 0));
+        assert!(all.contains(&0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Table I measurement over generated workloads.
+
+use pra_fixed::BitContentStats;
+
+use crate::generator::{NetworkWorkload, Representation};
+use crate::networks::Network;
+
+/// Essential-bit statistics of a full network workload (all layer input
+/// streams combined, weighted by layer neuron count as in Table I).
+pub fn measure_workload(workload: &NetworkWorkload) -> BitContentStats {
+    let mut stats = BitContentStats::new();
+    for layer in &workload.layers {
+        stats.record_all(layer.neurons.as_slice());
+    }
+    stats
+}
+
+/// One measured row of Table I: `(all, nz)` essential-bit fractions.
+pub fn measured_table1(network: Network, repr: Representation, seed: u64) -> (f64, f64) {
+    let w = NetworkWorkload::build(network, repr, seed);
+    let stats = measure_workload(&w);
+    (stats.fraction_all(repr.bits()), stats.fraction_nonzero(repr.bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn full_workload_reproduces_table1_alexnet() {
+        let row = profiles::table1(Network::AlexNet);
+        let (all, nz) = measured_table1(Network::AlexNet, Representation::Fixed16, 42);
+        assert!((all - row.fp16_all).abs() < 0.012, "All {all:.3} vs {:.3}", row.fp16_all);
+        assert!((nz - row.fp16_nz).abs() < 0.012, "NZ {nz:.3} vs {:.3}", row.fp16_nz);
+    }
+
+    #[test]
+    fn full_workload_reproduces_table1_vggm_quant8() {
+        let row = profiles::table1(Network::VggM);
+        let (all, nz) = measured_table1(Network::VggM, Representation::Quant8, 42);
+        assert!((all - row.q8_all).abs() < 0.012, "All {all:.3} vs {:.3}", row.q8_all);
+        assert!((nz - row.q8_nz).abs() < 0.012, "NZ {nz:.3} vs {:.3}", row.q8_nz);
+    }
+
+    #[test]
+    fn stats_merge_over_layers() {
+        let w = NetworkWorkload::build(Network::AlexNet, Representation::Fixed16, 1);
+        let total = measure_workload(&w);
+        let sum: u64 = w.layers.iter().map(|l| l.neurons.as_slice().len() as u64).sum();
+        assert_eq!(total.neurons, sum);
+    }
+}

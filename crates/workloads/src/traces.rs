@@ -1,0 +1,262 @@
+//! Activation-trace serialization: feed *real* traces to the simulators.
+//!
+//! The reproduction generates calibrated synthetic streams, but everything
+//! downstream only needs per-layer neuron tensors — so users who can run
+//! the original networks can dump their activations and evaluate every
+//! engine on real data. The `PRAT` format is deliberately simple:
+//!
+//! ```text
+//! magic   b"PRAT"
+//! u32 LE  version (1)
+//! u32 LE  representation bits (8 or 16)
+//! u32 LE  layer count
+//! per layer:
+//!   u32 LE       name length, then UTF-8 name bytes
+//!   u32 LE ×3    dims x, y, i
+//!   u16 LE ×len  stored neuron values, tensor storage order
+//! ```
+
+use std::io::{self, Read, Write};
+
+use pra_tensor::{Dim3, Tensor3};
+
+use crate::generator::{layer_window, stripes_precision, LayerWorkload, NetworkWorkload, Representation};
+use crate::networks::Network;
+use crate::profiles;
+
+const MAGIC: &[u8; 4] = b"PRAT";
+const VERSION: u32 = 1;
+
+/// Writes a network workload's activation streams as a trace.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(mut w: W, workload: &NetworkWorkload) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&workload.repr.bits().to_le_bytes())?;
+    w.write_all(&(workload.layers.len() as u32).to_le_bytes())?;
+    for layer in &workload.layers {
+        let name = layer.spec.name().as_bytes();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name)?;
+        let d = layer.neurons.dim();
+        for v in [d.x, d.y, d.i] {
+            w.write_all(&(v as u32).to_le_bytes())?;
+        }
+        for &v in layer.neurons.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// One layer read back from a trace.
+#[derive(Debug, Clone)]
+pub struct TraceLayer {
+    /// Layer name recorded in the trace.
+    pub name: String,
+    /// The stored neuron values.
+    pub neurons: Tensor3<u16>,
+}
+
+/// Reads a trace: the representation plus each layer's neuron tensor.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a bad magic, version,
+/// representation width or truncated payload, besides propagating I/O
+/// errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<(Representation, Vec<TraceLayer>)> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a PRAT trace (bad magic)"));
+    }
+    if read_u32(&mut r)? != VERSION {
+        return Err(bad("unsupported PRAT version"));
+    }
+    let repr = match read_u32(&mut r)? {
+        16 => Representation::Fixed16,
+        8 => Representation::Quant8,
+        other => return Err(bad(format!("unsupported representation width {other}"))),
+    };
+    let layers = read_u32(&mut r)? as usize;
+    if layers > 10_000 {
+        return Err(bad("implausible layer count"));
+    }
+    let mut out = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 4096 {
+            return Err(bad("implausible layer name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("layer name is not UTF-8"))?;
+        let (x, y, i) = (read_u32(&mut r)? as usize, read_u32(&mut r)? as usize, read_u32(&mut r)? as usize);
+        let dim = Dim3::new(x, y, i);
+        let mut data = vec![0u16; dim.len()];
+        let mut buf = [0u8; 2];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = u16::from_le_bytes(buf);
+            if repr == Representation::Quant8 && *v > 255 {
+                return Err(bad("8-bit trace contains values above 255"));
+            }
+        }
+        out.push(TraceLayer { name, neurons: Tensor3::from_vec(dim, data) });
+    }
+    Ok((repr, out))
+}
+
+/// Rebuilds a [`NetworkWorkload`] from a trace, attaching `network`'s
+/// layer geometry and Table II precision windows. Layer tensors must match
+/// the network's input dimensions layer by layer.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] if the trace's layer count or
+/// any tensor shape does not match `network`.
+pub fn workload_from_trace<R: Read>(r: R, network: Network) -> io::Result<NetworkWorkload> {
+    let (repr, traced) = read_trace(r)?;
+    let specs = network.conv_layers();
+    let precs = profiles::precisions(network);
+    if traced.len() != specs.len() {
+        return Err(bad(format!(
+            "trace has {} layers but {network} has {}",
+            traced.len(),
+            specs.len()
+        )));
+    }
+    let layers = specs
+        .into_iter()
+        .zip(precs)
+        .zip(traced)
+        .map(|((spec, &p), t)| {
+            if t.neurons.dim() != spec.input {
+                return Err(bad(format!(
+                    "layer {}: trace dims {:?} but the network expects {:?}",
+                    spec.name(),
+                    t.neurons.dim(),
+                    spec.input
+                )));
+            }
+            Ok(LayerWorkload {
+                window: layer_window(repr, p),
+                stripes_precision: stripes_precision(repr, p),
+                neurons: t.neurons,
+                spec,
+            })
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(NetworkWorkload {
+        network,
+        repr,
+        // Marker value: traced workloads carry no generator parameters.
+        model: crate::generator::ActivationModel {
+            zero_frac: f64::NAN,
+            sigma: f64::NAN,
+            suffix_density: f64::NAN,
+            outlier_prob: f64::NAN,
+            dense_prob: f64::NAN,
+            heavy_share: f64::NAN,
+        },
+        layers,
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ActivationModel;
+
+    fn tiny_workload() -> NetworkWorkload {
+        let model = ActivationModel {
+            zero_frac: 0.5,
+            sigma: 0.1,
+            suffix_density: 0.3,
+            outlier_prob: 0.0,
+            dense_prob: 0.05,
+            heavy_share: 0.5,
+        };
+        NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, model, 77)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let w = tiny_workload();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &w).unwrap();
+        let (repr, layers) = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(repr, Representation::Fixed16);
+        assert_eq!(layers.len(), w.layers.len());
+        for (t, l) in layers.iter().zip(&w.layers) {
+            assert_eq!(t.name, l.spec.name());
+            assert_eq!(&t.neurons, &l.neurons);
+        }
+    }
+
+    #[test]
+    fn workload_round_trip_is_simulatable() {
+        let w = tiny_workload();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &w).unwrap();
+        let back = workload_from_trace(buf.as_slice(), Network::AlexNet).unwrap();
+        assert_eq!(back.layers.len(), 5);
+        assert_eq!(back.layers[0].neurons, w.layers[0].neurons);
+        assert_eq!(back.layers[2].stripes_precision, 5);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE0000"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_trace_rejected() {
+        let w = tiny_workload();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &w).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_network_rejected() {
+        let w = tiny_workload();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &w).unwrap();
+        let err = workload_from_trace(buf.as_slice(), Network::Vgg19).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("layers"));
+    }
+
+    #[test]
+    fn oversized_q8_values_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"PRAT");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&8u32.to_le_bytes()); // Quant8
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'x');
+        for d in [1u32, 1, 1] {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        buf.extend_from_slice(&300u16.to_le_bytes());
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+}

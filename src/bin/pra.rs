@@ -1,0 +1,114 @@
+//! `pra` — command-line front end for the Pragmatic reproduction.
+//!
+//! ```text
+//! pra potential <network>              Fig. 2-style term counts
+//! pra speedup <network> [--quant8]     DaDN/Stripes/PRA speedups
+//! pra capacity <network>               NM/SB footprint audit
+//! pra networks                         list the evaluated networks
+//! ```
+
+use std::process::ExitCode;
+
+use pragmatic::core::{Fidelity, PraConfig};
+use pragmatic::engines::{dadn, potential, stripes};
+use pragmatic::sim::{capacity, ChipConfig};
+use pragmatic::workloads::{Network, NetworkWorkload, Representation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("networks") => {
+            for net in Network::ALL {
+                println!(
+                    "{:8} {:>2} conv layers, {:>6.1}M multiplications",
+                    net.name(),
+                    net.conv_layers().len(),
+                    net.total_multiplications() as f64 / 1e6
+                );
+            }
+            Ok(())
+        }
+        Some("potential") => parse_network(&args, 1).map(cmd_potential),
+        Some("speedup") => parse_network(&args, 1).map(|n| {
+            let repr = if args.iter().any(|a| a == "--quant8") {
+                Representation::Quant8
+            } else {
+                Representation::Fixed16
+            };
+            cmd_speedup(n, repr)
+        }),
+        Some("capacity") => parse_network(&args, 1).map(cmd_capacity),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET>\n\
+                     networks: Alexnet NiN Google VGGM VGGS VGG19";
+
+fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
+    let name = args.get(idx).ok_or(USAGE)?;
+    Network::ALL
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown network '{name}'\n{USAGE}"))
+}
+
+fn cmd_potential(net: Network) {
+    let w = NetworkWorkload::build(net, Representation::Fixed16, 0x90AD);
+    let t = potential::network_terms(&w).normalized();
+    println!("{net}: equivalent terms relative to DaDN (lower is better)");
+    println!("  ZN (ideal zero skip)  {:>6.1}%", 100.0 * t.zn);
+    println!("  CVN (Cnvlutin)        {:>6.1}%", 100.0 * t.cvn);
+    println!("  Stripes               {:>6.1}%", 100.0 * t.stripes);
+    println!("  PRA-fp16              {:>6.1}%", 100.0 * t.pra);
+    println!("  PRA-red               {:>6.1}%", 100.0 * t.pra_red);
+    println!("  PRA-CSD (extension)   {:>6.1}%", 100.0 * t.pra_csd);
+}
+
+fn cmd_speedup(net: Network, repr: Representation) {
+    let chip = ChipConfig::dadn();
+    let w = NetworkWorkload::build(net, repr, 0x90AD);
+    let base = dadn::run(&chip, &w);
+    let fid = Fidelity::Sampled { max_pallets: 64 };
+    println!("{net} ({repr}): speedup over the bit-parallel baseline");
+    println!("  Stripes    {:>5.2}x", stripes::run(&chip, &w).speedup_over(&base));
+    for cfg in [
+        PraConfig::two_stage(2, repr).with_fidelity(fid),
+        PraConfig::single_stage(repr).with_fidelity(fid),
+        PraConfig::per_column(1, repr).with_fidelity(fid),
+    ] {
+        println!(
+            "  {:10} {:>5.2}x",
+            cfg.label(),
+            pragmatic::core::run(&cfg, &w).speedup_over(&base)
+        );
+    }
+}
+
+fn cmd_capacity(net: Network) {
+    let chip = ChipConfig::dadn();
+    println!("{net}: on-chip memory audit (NM 4 MB, SB 16 x 2 MB)");
+    println!(
+        "{:18} {:>10} {:>10} {:>10} {:>6} {:>6}",
+        "layer", "in MB", "out MB", "syn MB", "NM ok", "SB ok"
+    );
+    for spec in net.conv_layers() {
+        let f = capacity::layer_footprint(&chip, &spec, 16);
+        println!(
+            "{:18} {:>10.2} {:>10.2} {:>10.2} {:>6} {:>6}",
+            spec.name(),
+            f.input_neuron_bytes as f64 / 1e6,
+            f.output_neuron_bytes as f64 / 1e6,
+            f.synapse_bytes as f64 / 1e6,
+            if f.fits_nm { "yes" } else { "NO" },
+            if f.fits_sb { "yes" } else { "NO" },
+        );
+    }
+}

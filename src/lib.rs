@@ -1,0 +1,36 @@
+//! # Pragmatic — Bit-Pragmatic Deep Neural Network Computing (MICRO 2017)
+//!
+//! This is the facade crate of the reproduction workspace: it re-exports
+//! the public API of every subsystem so examples, integration tests and
+//! downstream users can depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`tensor`] | `pra-tensor` | 3D arrays, layer geometry, bricks/pallets, reference convolution |
+//! | [`fixed`] | `pra-fixed` | oneffsets, essential bits, quantization, precision windows, CSD |
+//! | [`workloads`] | `pra-workloads` | the six networks, Table I/II data, calibrated activation streams |
+//! | [`sim`] | `pra-sim` | chip configuration, memory system, dispatcher, metrics |
+//! | [`engines`] | `pra-engines` | DaDianNao, Stripes, zero-skip baselines, potential (term) models |
+//! | [`core`] | `pra-core` | the Pragmatic accelerator: PIPs, 2-stage shifting, synchronization |
+//! | [`energy`] | `pra-energy` | 65 nm area/power/energy model calibrated to Tables III/IV |
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pragmatic::fixed::OneffsetList;
+//!
+//! // A neuron value's essential bits are its oneffsets:
+//! let n = OneffsetList::encode(0b0000_0001_0100_0100);
+//! assert_eq!(n.powers(), &[2, 6, 8]);
+//! ```
+
+pub use pra_core as core;
+pub use pra_energy as energy;
+pub use pra_engines as engines;
+pub use pra_fixed as fixed;
+pub use pra_sim as sim;
+pub use pra_tensor as tensor;
+pub use pra_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Cross-crate accounting invariants: the cycle simulator, the ideal
+//! potential model and the memory-traffic convention must agree with each
+//! other (DESIGN.md §6).
+
+use pragmatic::core::{Fidelity, PraConfig};
+use pragmatic::engines::{dadn, potential, shared_traffic, stripes};
+use pragmatic::fixed::PrecisionWindow;
+use pragmatic::sim::{ChipConfig, Dispatcher, NeuronMemory};
+use pragmatic::tensor::{ConvLayerSpec, Tensor3};
+use pragmatic::workloads::{LayerWorkload, Representation};
+
+fn layer() -> LayerWorkload {
+    let spec = ConvLayerSpec::new("acct", (20, 10, 40), (3, 3), 32, 1, 1).unwrap();
+    let neurons = Tensor3::from_fn(spec.input, |x, y, i| ((x * 131 + y * 37 + i * 11) % 777) as u16);
+    LayerWorkload {
+        spec,
+        window: PrecisionWindow::with_width(10, 2),
+        stripes_precision: 10,
+        neurons,
+    }
+}
+
+#[test]
+fn cycle_sim_terms_equal_potential_terms() {
+    let l = layer();
+    let cfg = PraConfig::two_stage(3, Representation::Fixed16).with_trim(false);
+    let r = pragmatic::core::simulate_layer(&cfg, &l);
+    let t = potential::layer_terms(&l, Representation::Fixed16, 1);
+    assert_eq!(r.counters.terms, t.pra);
+}
+
+#[test]
+fn trimmed_cycle_sim_terms_equal_pra_red() {
+    let l = layer();
+    let cfg = PraConfig::two_stage(3, Representation::Fixed16);
+    let r = pragmatic::core::simulate_layer(&cfg, &l);
+    let t = potential::layer_terms(&l, Representation::Fixed16, 1);
+    assert_eq!(r.counters.terms, t.pra_red);
+}
+
+#[test]
+fn terms_are_encoding_invariant_quantities() {
+    // Stripes terms = p x multiplications; DaDN = 16 x multiplications.
+    let chip = ChipConfig::dadn();
+    let l = layer();
+    let d = dadn::simulate_layer(&chip, &l, Representation::Fixed16);
+    let s = stripes::simulate_layer(&chip, &l, Representation::Fixed16);
+    assert_eq!(d.counters.terms, l.spec.multiplications() * 16);
+    assert_eq!(s.counters.terms, l.spec.multiplications() * 10);
+}
+
+#[test]
+fn all_engines_share_memory_traffic() {
+    // The scheduling convention of §VI-A: same SB and NM traffic across
+    // engines.
+    let chip = ChipConfig::dadn();
+    let l = layer();
+    let d = dadn::simulate_layer(&chip, &l, Representation::Fixed16);
+    let s = stripes::simulate_layer(&chip, &l, Representation::Fixed16);
+    let p = pragmatic::core::simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &l);
+    assert_eq!(d.counters.sb_set_reads, s.counters.sb_set_reads);
+    assert_eq!(d.counters.sb_set_reads, p.counters.sb_set_reads);
+    assert_eq!(d.counters.nm_brick_reads, p.counters.nm_brick_reads);
+    assert_eq!(d.counters.nm_brick_writes, p.counters.nm_brick_writes);
+}
+
+#[test]
+fn shared_traffic_matches_direct_computation() {
+    let chip = ChipConfig::dadn();
+    let l = layer();
+    let dispatcher = Dispatcher::new(NeuronMemory::default());
+    let c = shared_traffic(&chip, &l.spec, &dispatcher);
+    // One set read per (pallet x brick step x filter group).
+    let expected = l.spec.pallets() as u64 * l.spec.brick_steps() as u64;
+    assert_eq!(c.sb_set_reads, expected);
+}
+
+#[test]
+fn sampling_preserves_term_totals_approximately() {
+    let l = layer();
+    let full = pragmatic::core::simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &l);
+    let sampled = pragmatic::core::simulate_layer(
+        &PraConfig::two_stage(2, Representation::Fixed16).with_fidelity(Fidelity::Sampled { max_pallets: 5 }),
+        &l,
+    );
+    let ratio = sampled.counters.terms as f64 / full.counters.terms as f64;
+    assert!((0.85..1.15).contains(&ratio), "terms ratio {ratio}");
+}
+
+#[test]
+fn idle_lane_accounting_is_consistent() {
+    let l = layer();
+    let cfg = PraConfig::two_stage(2, Representation::Fixed16);
+    let r = pragmatic::core::simulate_layer(&cfg, &l);
+    let lane_cycles = r.cycles * 256;
+    let consumed = lane_cycles - r.counters.idle_lane_cycles;
+    // Consumed lane-cycles = oneffsets x filter groups; with N=32 there is
+    // one group, and terms = oneffsets x N.
+    assert_eq!(consumed, r.counters.terms / l.spec.num_filters as u64);
+}

@@ -1,0 +1,118 @@
+//! Fully-connected layers: why Pragmatic targets convolutions.
+//!
+//! The paper scopes to convolutional layers ("more than 92% of the
+//! processing time") and §V-A3 derives Pragmatic's worst-case guarantee
+//! from window parallelism — 16 windows share each synapse. An FC layer
+//! has exactly one window, so there is no synapse reuse to exploit: these
+//! tests document, quantitatively, that PRA degrades to (at best) DaDN's
+//! rate there, while EIE-style designs (paper §VII) win on FC instead.
+
+use pragmatic::core::PraConfig;
+use pragmatic::engines::dadn;
+use pragmatic::fixed::PrecisionWindow;
+use pragmatic::sim::{capacity, ChipConfig};
+use pragmatic::tensor::{ConvLayerSpec, Tensor3};
+use pragmatic::workloads::{LayerWorkload, Representation};
+
+fn fc_layer(inputs: usize, outputs: usize) -> LayerWorkload {
+    let spec = ConvLayerSpec::fully_connected("fc", inputs, outputs).unwrap();
+    let neurons = Tensor3::from_fn(spec.input, |_, _, i| {
+        if i % 2 == 0 {
+            0
+        } else {
+            ((i * 37) % 500 + 4) as u16
+        }
+    });
+    LayerWorkload {
+        spec,
+        window: PrecisionWindow::with_width(9, 2),
+        stripes_precision: 9,
+        neurons,
+    }
+}
+
+#[test]
+fn fc_has_single_window_and_no_pallet_parallelism() {
+    let l = fc_layer(4096, 4096);
+    assert_eq!(l.spec.windows(), 1);
+    assert_eq!(l.spec.pallets(), 1);
+    // One window lane active of 16: 15/16 of the tile idles.
+}
+
+#[test]
+fn pra_is_slower_than_dadn_on_fc() {
+    // On a conv layer PRA's 16-window parallelism absorbs the serial
+    // oneffset cycles — that is what §V-A3's worst-case guarantee rests
+    // on. An FC layer has one window, so the guarantee evaporates: each
+    // brick step takes max-popcount cycles against DaDN's one, and PRA is
+    // *slower*. This is exactly why the paper leaves non-conv layers on
+    // the baseline path ("PRA does not affect the execution time of the
+    // remaining layers") and why EIE-class designs own FC.
+    let chip = ChipConfig::dadn();
+    let l = fc_layer(4096, 256);
+    let base = dadn::simulate_layer(&chip, &l, Representation::Fixed16).cycles;
+    let pra = pragmatic::core::simulate_layer(
+        &PraConfig::single_stage(Representation::Fixed16).with_trim(false),
+        &l,
+    )
+    .cycles;
+    let speedup = base as f64 / pra as f64;
+    assert!(speedup < 1.0, "FC speedup {speedup}: window parallelism is gone");
+    // Still bounded: never worse than the 16x serial worst case.
+    assert!(pra <= base * 16);
+}
+
+#[test]
+fn conv_equivalent_work_is_much_faster_than_fc() {
+    // Same multiplication count arranged as a conv layer vs an FC layer:
+    // the conv arrangement gives PRA its window parallelism back.
+    let chip = ChipConfig::dadn();
+    let fc = fc_layer(4096, 256);
+
+    let conv_spec = ConvLayerSpec::new("conv", (16, 16, 16), (1, 1), 256, 1, 0).unwrap();
+    assert_eq!(conv_spec.multiplications(), fc.spec.multiplications());
+    let conv = LayerWorkload {
+        neurons: Tensor3::from_fn(conv_spec.input, |x, y, i| {
+            let k = (y * 16 + x) * 16 + i;
+            if k % 2 == 0 {
+                0
+            } else {
+                ((k * 37) % 500 + 4) as u16
+            }
+        }),
+        spec: conv_spec,
+        window: PrecisionWindow::with_width(9, 2),
+        stripes_precision: 9,
+    };
+
+    let cfg = PraConfig::single_stage(Representation::Fixed16).with_trim(false);
+    let fc_speedup = dadn::simulate_layer(&chip, &fc, Representation::Fixed16).cycles as f64
+        / pragmatic::core::simulate_layer(&cfg, &fc).cycles as f64;
+    let conv_speedup = dadn::simulate_layer(&chip, &conv, Representation::Fixed16).cycles as f64
+        / pragmatic::core::simulate_layer(&cfg, &conv).cycles as f64;
+    assert!(
+        conv_speedup > fc_speedup * 1.5,
+        "conv {conv_speedup:.2} vs fc {fc_speedup:.2}"
+    );
+}
+
+#[test]
+fn fc_synapses_blow_the_synapse_buffers() {
+    // The memory-system reason FC belongs to EIE-class designs: VGG's fc6
+    // needs ~205 MB of synapses against 32 MB of SBs.
+    let chip = ChipConfig::dadn();
+    let fc6 = ConvLayerSpec::fully_connected("fc6", 25088, 4096).unwrap();
+    let fp = capacity::layer_footprint(&chip, &fc6, 16);
+    assert!(!fp.fits_sb);
+    assert!(fp.sb_refills >= 6);
+    // Whereas every conv layer of every evaluated network fits.
+    for net in pragmatic::workloads::Network::ALL {
+        for spec in net.conv_layers() {
+            assert!(
+                capacity::layer_footprint(&chip, &spec, 16).fits_sb,
+                "{net}/{} should fit the SBs",
+                spec.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-crate functional equivalence: the Pragmatic datapath computes the
+//! same outputs as the reference convolution on calibrated workloads, for
+//! every encoding and first-stage width — the repository's core
+//! correctness invariant (DESIGN.md §6).
+
+use pragmatic::core::functional::compute_layer;
+use pragmatic::core::{Encoding, PraConfig};
+use pragmatic::fixed::PrecisionWindow;
+use pragmatic::tensor::conv::convolve;
+use pragmatic::tensor::{ConvLayerSpec, Tensor3};
+use pragmatic::workloads::generator::generate_synapses;
+use pragmatic::workloads::{ActivationModel, Representation};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn calibrated_small_layer(seed: u64) -> (ConvLayerSpec, Tensor3<u16>, PrecisionWindow) {
+    // A small layer whose values come from the real calibrated AlexNet
+    // model, so the functional test exercises realistic bit patterns.
+    let model = pragmatic::workloads::calibrate::calibrated_model(
+        pragmatic::workloads::Network::AlexNet,
+        Representation::Fixed16,
+    );
+    let window = PrecisionWindow::with_width(9, 2);
+    let spec = ConvLayerSpec::new("cal", (10, 8, 24), (3, 3), 6, 1, 1).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let neurons = Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, Representation::Fixed16, &mut rng));
+    (spec, neurons, window)
+}
+
+#[test]
+fn pragmatic_datapath_matches_reference_on_calibrated_values() {
+    let (spec, neurons, window) = calibrated_small_layer(0xA11CE);
+    let synapses = generate_synapses(&spec, 0xB0B);
+    let reference = convolve(&spec, &neurons, &synapses);
+    for l in 0..=4u8 {
+        let cfg = PraConfig::two_stage(l, Representation::Fixed16).with_trim(false);
+        let got = compute_layer(&cfg, &spec, &neurons, &synapses, window);
+        assert_eq!(got, reference, "L={l}");
+    }
+}
+
+#[test]
+fn csd_datapath_matches_reference_on_calibrated_values() {
+    let (spec, neurons, window) = calibrated_small_layer(0xCAFE);
+    let synapses = generate_synapses(&spec, 0xD00D);
+    let reference = convolve(&spec, &neurons, &synapses);
+    for l in [0u8, 2, 4] {
+        let cfg = PraConfig {
+            encoding: Encoding::Csd,
+            ..PraConfig::two_stage(l, Representation::Fixed16).with_trim(false)
+        };
+        let got = compute_layer(&cfg, &spec, &neurons, &synapses, window);
+        assert_eq!(got, reference, "CSD L={l}");
+    }
+}
+
+#[test]
+fn trimmed_datapath_equals_reference_over_trimmed_inputs() {
+    let (spec, neurons, window) = calibrated_small_layer(0x7E57);
+    let synapses = generate_synapses(&spec, 0x5EED);
+    let cfg = PraConfig::two_stage(2, Representation::Fixed16); // trim on
+    let got = compute_layer(&cfg, &spec, &neurons, &synapses, window);
+    let trimmed = neurons.map(|v| window.trim(v));
+    let reference = convolve(&spec, &trimmed, &synapses);
+    assert_eq!(got, reference);
+}
+
+#[test]
+fn quant8_style_values_are_exact_too() {
+    let spec = ConvLayerSpec::new("q8", (9, 9, 16), (3, 3), 4, 2, 0).unwrap();
+    let model = ActivationModel {
+        zero_frac: 0.3,
+        sigma: 0.3,
+        suffix_density: 0.0,
+        outlier_prob: 0.0,
+        dense_prob: 0.05,
+        heavy_share: 0.3,
+    };
+    let mut rng = StdRng::seed_from_u64(404);
+    let window = PrecisionWindow::new(7, 0);
+    let neurons = Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, Representation::Quant8, &mut rng));
+    let synapses = generate_synapses(&spec, 0xF00D);
+    let reference = convolve(&spec, &neurons, &synapses);
+    let cfg = PraConfig::two_stage(2, Representation::Quant8);
+    let got = compute_layer(&cfg, &spec, &neurons, &synapses, window);
+    assert_eq!(got, reference);
+}

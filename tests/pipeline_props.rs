@@ -1,0 +1,96 @@
+//! Property-based cross-crate tests: random layers, random values, the
+//! full pipeline's invariants must hold.
+
+use proptest::prelude::*;
+
+use pragmatic::core::functional::compute_layer;
+use pragmatic::core::PraConfig;
+use pragmatic::engines::dadn;
+use pragmatic::fixed::PrecisionWindow;
+use pragmatic::sim::ChipConfig;
+use pragmatic::tensor::conv::convolve;
+use pragmatic::tensor::{ConvLayerSpec, Tensor3};
+use pragmatic::workloads::generator::generate_synapses;
+use pragmatic::workloads::{LayerWorkload, Representation};
+
+fn arb_layer() -> impl Strategy<Value = (ConvLayerSpec, u64)> {
+    (
+        3usize..8,   // nx
+        3usize..6,   // ny
+        1usize..24,  // channels
+        1usize..=3,  // filter size
+        1usize..5,   // filters
+        1usize..=2,  // stride
+        0usize..=1,  // padding
+        any::<u64>(),
+    )
+        .prop_filter_map("valid geometry", |(nx, ny, i, f, n, s, p, seed)| {
+            ConvLayerSpec::new("prop", (nx.max(f), ny.max(f), i), (f, f), n, s, p)
+                .ok()
+                .map(|spec| (spec, seed))
+        })
+}
+
+fn tensor_for(spec: &ConvLayerSpec, seed: u64) -> Tensor3<u16> {
+    let mut state = seed | 1;
+    Tensor3::from_fn(spec.input, |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Mix of zeros and arbitrary 16-bit values.
+        if state >> 62 == 0 {
+            0
+        } else {
+            (state >> 40) as u16
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Functional equivalence holds for arbitrary geometry and values.
+    #[test]
+    fn functional_equivalence_random_layers((spec, seed) in arb_layer(), l in 0u8..=4) {
+        let neurons = tensor_for(&spec, seed);
+        let synapses = generate_synapses(&spec, seed ^ 0xFEED);
+        let cfg = PraConfig::two_stage(l, Representation::Fixed16).with_trim(false);
+        let got = compute_layer(&cfg, &spec, &neurons, &synapses, PrecisionWindow::full());
+        prop_assert_eq!(got, convolve(&spec, &neurons, &synapses));
+    }
+
+    /// The cycle simulator never exceeds DaDianNao on pallet-aligned,
+    /// unpadded layers, and its cycle count is positive.
+    #[test]
+    fn pra_bounded_by_dadn(seed in any::<u64>(), l in 0u8..=4) {
+        let spec = ConvLayerSpec::new("bound", (18, 6, 32), (3, 3), 16, 1, 0).unwrap();
+        let layer = LayerWorkload {
+            neurons: tensor_for(&spec, seed),
+            window: PrecisionWindow::full(),
+            stripes_precision: 16,
+            spec,
+        };
+        let chip = ChipConfig::dadn();
+        let base = dadn::simulate_layer(&chip, &layer, Representation::Fixed16).cycles;
+        let cfg = PraConfig::two_stage(l, Representation::Fixed16).with_trim(false);
+        let pra = pragmatic::core::simulate_layer(&cfg, &layer).cycles;
+        prop_assert!(pra >= layer.spec.pallets() as u64 * layer.spec.brick_steps() as u64);
+        prop_assert!(pra <= base, "PRA {} vs DaDN {}", pra, base);
+    }
+
+    /// Terms counted by the cycle simulator equal popcount-weighted usage
+    /// regardless of L and sync policy.
+    #[test]
+    fn terms_independent_of_schedule(seed in any::<u64>(), l in 0u8..=4, ssrs in 1usize..4) {
+        let spec = ConvLayerSpec::new("terms", (12, 5, 24), (3, 3), 8, 1, 1).unwrap();
+        let layer = LayerWorkload {
+            neurons: tensor_for(&spec, seed),
+            window: PrecisionWindow::full(),
+            stripes_precision: 16,
+            spec,
+        };
+        let pallet = PraConfig::two_stage(l, Representation::Fixed16).with_trim(false);
+        let column = PraConfig { sync: pragmatic::core::SyncPolicy::PerColumn { ssrs }, ..pallet };
+        let t1 = pragmatic::core::simulate_layer(&pallet, &layer).counters.terms;
+        let t2 = pragmatic::core::simulate_layer(&column, &layer).counters.terms;
+        prop_assert_eq!(t1, t2);
+    }
+}
