@@ -5,7 +5,7 @@
 //! quantifies what the encoding would buy on the calibrated workloads —
 //! the natural extension the paper's conclusion hints at.
 
-use pra_bench::{build_workloads, fidelity, per_network, pct, times, Table};
+use pra_bench::{build_workloads, fidelity, pct, per_network, times, Table};
 use pra_core::{Encoding, PraConfig};
 use pra_engines::{dadn, potential};
 use pra_sim::{geomean, ChipConfig};
@@ -26,7 +26,8 @@ fn main() {
         (s_one, s_csd, n.pra_red, n.pra_csd)
     });
 
-    let mut table = Table::new(["network", "PRA-2b oneffset", "PRA-2b CSD", "terms oneffset", "terms CSD"]);
+    let mut table =
+        Table::new(["network", "PRA-2b oneffset", "PRA-2b CSD", "terms oneffset", "terms CSD"]);
     let (mut so, mut sc) = (vec![], vec![]);
     for (w, (s_one, s_csd, t_one, t_csd)) in workloads.iter().zip(&rows) {
         so.push(*s_one);

@@ -17,7 +17,8 @@ fn main() {
 
     let rows = per_network(&workloads, |w| {
         let base = dadn::run(&chip, w);
-        let pallet_major = PraConfig::two_stage(2, Representation::Fixed16).with_fidelity(fidelity());
+        let pallet_major =
+            PraConfig::two_stage(2, Representation::Fixed16).with_fidelity(fidelity());
         let row_major = PraConfig { nm_layout: NmLayout::RowMajor, ..pallet_major };
         let r_pm = pra_core::run(&pallet_major, w);
         let r_rm = pra_core::run(&row_major, w);

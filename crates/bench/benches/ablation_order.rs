@@ -31,7 +31,8 @@ fn main() {
         out
     });
 
-    let mut table = Table::new(["network", "0b LSB", "0b MSB", "1b LSB", "1b MSB", "2b LSB", "2b MSB"]);
+    let mut table =
+        Table::new(["network", "0b LSB", "0b MSB", "1b LSB", "1b MSB", "2b LSB", "2b MSB"]);
     let mut cols: Vec<Vec<f64>> = vec![vec![]; 6];
     for (w, sp) in workloads.iter().zip(&rows) {
         for (c, v) in cols.iter_mut().zip(sp) {
@@ -46,7 +47,9 @@ fn main() {
         .chain(cols.iter().map(|c| times(geomean(c))))
         .collect();
     table.row(geo);
-    table.print("Ablation: oneffset consumption order (LSB-first vs MSB-first leading-one detector)");
+    table.print(
+        "Ablation: oneffset consumption order (LSB-first vs MSB-first leading-one detector)",
+    );
     println!(
         "The order is performance-neutral at every L: stalls depend on the\n\
          spread of pending offsets, which is symmetric under mirroring (at\n\

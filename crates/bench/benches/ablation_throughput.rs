@@ -20,10 +20,7 @@ fn main() {
         let base = dadn::run(&chip, w);
         let x1 = PraConfig::two_stage(2, Representation::Fixed16).with_fidelity(fidelity());
         let x2 = PraConfig { oneffsets_per_cycle: 2, ..x1 };
-        (
-            pra_core::run(&x1, w).speedup_over(&base),
-            pra_core::run(&x2, w).speedup_over(&base),
-        )
+        (pra_core::run(&x1, w).speedup_over(&base), pra_core::run(&x2, w).speedup_over(&base))
     });
 
     let mut table = Table::new(["network", "PRA-2b (x1)", "PRA-2b-x2"]);

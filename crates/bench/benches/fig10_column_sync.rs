@@ -35,7 +35,8 @@ fn main() {
         speedups
     });
 
-    let mut table = Table::new(["network", "Stripes", "1-reg", "4-regs", "16-regs", "perCol-ideal"]);
+    let mut table =
+        Table::new(["network", "Stripes", "1-reg", "4-regs", "16-regs", "perCol-ideal"]);
     let mut cols: Vec<Vec<f64>> = vec![vec![]; 5];
     for (w, sp) in workloads.iter().zip(&rows) {
         let paper = profiles::paper_speedups(w.network);
@@ -59,5 +60,8 @@ fn main() {
         times(geomean(&cols[3])),
         vs(&times(geomean(&cols[4])), "3.45x"),
     ]);
-    table.print_and_save("Figure 10: PRA-2b speedup over DaDN, per-column synchronization, measured (paper)", "fig10_column_sync");
+    table.print_and_save(
+        "Figure 10: PRA-2b speedup over DaDN, per-column synchronization, measured (paper)",
+        "fig10_column_sync",
+    );
 }

@@ -15,9 +15,18 @@ fn main() {
     let workloads = build_workloads(Representation::Fixed16);
 
     let configs = [
-        (PraConfig::single_stage(Representation::Fixed16), Design::Pra { first_stage_bits: 4, ssrs: 0 }),
-        (PraConfig::two_stage(2, Representation::Fixed16), Design::Pra { first_stage_bits: 2, ssrs: 0 }),
-        (PraConfig::per_column(1, Representation::Fixed16), Design::Pra { first_stage_bits: 2, ssrs: 1 }),
+        (
+            PraConfig::single_stage(Representation::Fixed16),
+            Design::Pra { first_stage_bits: 4, ssrs: 0 },
+        ),
+        (
+            PraConfig::two_stage(2, Representation::Fixed16),
+            Design::Pra { first_stage_bits: 2, ssrs: 0 },
+        ),
+        (
+            PraConfig::per_column(1, Representation::Fixed16),
+            Design::Pra { first_stage_bits: 2, ssrs: 1 },
+        ),
     ];
 
     let rows = per_network(&workloads, |w| {
@@ -52,5 +61,8 @@ fn main() {
         vs(&times(geomean(&cols[2])), "1.28x"),
         vs(&times(geomean(&cols[3])), "1.48x"),
     ]);
-    table.print_and_save("Figure 11: energy efficiency relative to DaDN, measured (paper)", "fig11_efficiency");
+    table.print_and_save(
+        "Figure 11: energy efficiency relative to DaDN, measured (paper)",
+        "fig11_efficiency",
+    );
 }

@@ -37,7 +37,14 @@ fn main() {
         speedups
     });
 
-    let mut table = Table::new(["network", "Stripes", "perPall", "perPall-2bit", "perCol-1reg-2bit", "perCol-ideal-2bit"]);
+    let mut table = Table::new([
+        "network",
+        "Stripes",
+        "perPall",
+        "perPall-2bit",
+        "perCol-1reg-2bit",
+        "perCol-ideal-2bit",
+    ]);
     let mut cols: Vec<Vec<f64>> = vec![vec![]; 5];
     for (w, sp) in workloads.iter().zip(&rows) {
         for (c, v) in cols.iter_mut().zip(sp) {
@@ -61,7 +68,10 @@ fn main() {
         times(geomean(&cols[3])),
         times(geomean(&cols[4])),
     ]);
-    table.print_and_save("Figure 12: speedup over the 8-bit bit-parallel baseline, quantized representation", "fig12_quantized");
+    table.print_and_save(
+        "Figure 12: speedup over the 8-bit bit-parallel baseline, quantized representation",
+        "fig12_quantized",
+    );
     println!(
         "The paper's \"nearly 3.5x for PRA-2b-1R\" corresponds to the top bar\n\
          (VGG19, whose quantized stream has the lowest essential-bit content\n\

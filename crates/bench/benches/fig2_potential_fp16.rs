@@ -23,7 +23,8 @@ fn main() {
         (0.50, 0.79, 0.75, 0.14, 0.11),
     ];
 
-    let mut table = Table::new(["network", "ZN", "CVN", "Stripes", "PRA-fp16", "PRA-red", "PRA-csd*"]);
+    let mut table =
+        Table::new(["network", "ZN", "CVN", "Stripes", "PRA-fp16", "PRA-red", "PRA-csd*"]);
     let mut cols: Vec<Vec<f64>> = vec![vec![]; 6];
     for ((w, t), p) in workloads.iter().zip(&terms).zip(paper) {
         let n = t.normalized();

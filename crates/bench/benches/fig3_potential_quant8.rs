@@ -26,5 +26,8 @@ fn main() {
         vs(&pct(geomean(&zs)), "70.0%"),
         vs(&pct(geomean(&ps)), "29.0%"),
     ]);
-    table.print_and_save("Figure 3: terms relative to the 8-bit bit-parallel baseline, measured (paper)", "fig3_potential_quant8");
+    table.print_and_save(
+        "Figure 3: terms relative to the 8-bit bit-parallel baseline, measured (paper)",
+        "fig3_potential_quant8",
+    );
 }

@@ -50,5 +50,8 @@ fn main() {
         times(geomean(&cols[4])),
         vs(&times(geomean(&cols[5])), "2.59x"),
     ]);
-    table.print_and_save("Figure 9: speedup over DaDN, per-pallet synchronization, measured (paper)", "fig9_pallet_sync");
+    table.print_and_save(
+        "Figure 9: speedup over DaDN, per-pallet synchronization, measured (paper)",
+        "fig9_pallet_sync",
+    );
 }

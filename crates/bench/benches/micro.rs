@@ -15,7 +15,8 @@ use pra_workloads::generator::generate_synapses;
 use pra_workloads::{LayerWorkload, Representation};
 
 fn bench_encoding(c: &mut Criterion) {
-    let values: Vec<u16> = (0..4096u32).map(|k| (k.wrapping_mul(2654435761) >> 16) as u16).collect();
+    let values: Vec<u16> =
+        (0..4096u32).map(|k| (k.wrapping_mul(2654435761) >> 16) as u16).collect();
     c.bench_function("oneffset_encode_4k", |b| {
         b.iter(|| {
             let mut total = 0usize;

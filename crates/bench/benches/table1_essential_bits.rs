@@ -16,8 +16,10 @@ fn main() {
     let q8 = build_workloads(Representation::Quant8);
     for (wf, wq) in fp16.iter().zip(&q8) {
         let paper = profiles::table1(wf.network);
-        let sf: BitContentStats = wf.layers.iter().flat_map(|l| l.neurons.as_slice().iter().copied()).collect();
-        let sq: BitContentStats = wq.layers.iter().flat_map(|l| l.neurons.as_slice().iter().copied()).collect();
+        let sf: BitContentStats =
+            wf.layers.iter().flat_map(|l| l.neurons.as_slice().iter().copied()).collect();
+        let sq: BitContentStats =
+            wq.layers.iter().flat_map(|l| l.neurons.as_slice().iter().copied()).collect();
         table.row([
             wf.network.name().to_string(),
             vs(&pct(sf.fraction_all(16)), &pct(paper.fp16_all)),
@@ -26,5 +28,8 @@ fn main() {
             vs(&pct(sq.fraction_nonzero(8)), &pct(paper.q8_nz)),
         ]);
     }
-    table.print_and_save("Table I: essential neuron bit content, measured (paper)", "table1_essential_bits");
+    table.print_and_save(
+        "Table I: essential neuron bit content, measured (paper)",
+        "table1_essential_bits",
+    );
 }

@@ -14,7 +14,8 @@ fn main() {
     let workloads = build_workloads(Representation::Fixed16);
     let mut table = Table::new(["network", "Table II (paper)", "profiled on synthetic stream"]);
     for w in &workloads {
-        let paper: Vec<String> = profiles::precisions(w.network).iter().map(u8::to_string).collect();
+        let paper: Vec<String> =
+            profiles::precisions(w.network).iter().map(u8::to_string).collect();
         let profiled: Vec<String> = w
             .layers
             .iter()

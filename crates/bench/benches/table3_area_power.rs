@@ -16,7 +16,15 @@ fn main() {
     let dadn_area = chip_area_mm2(Design::Dadn);
     let dadn_power = chip_power_w(Design::Dadn);
 
-    let mut table = Table::new(["design", "Area U.", "dArea U.", "Area T.", "dArea T.", "Power T.", "dPower T."]);
+    let mut table = Table::new([
+        "design",
+        "Area U.",
+        "dArea U.",
+        "Area T.",
+        "dArea T.",
+        "Power T.",
+        "dPower T.",
+    ]);
     for d in designs {
         let u = unit_area_mm2(d);
         let a = chip_area_mm2(d);
@@ -31,5 +39,8 @@ fn main() {
             format!("{:.2}", p / dadn_power),
         ]);
     }
-    table.print_and_save("Table III: area [mm2] and power [W], pallet synchronization, measured (paper)", "table3_area_power");
+    table.print_and_save(
+        "Table III: area [mm2] and power [W], pallet synchronization, measured (paper)",
+        "table3_area_power",
+    );
 }

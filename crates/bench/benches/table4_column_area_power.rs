@@ -18,7 +18,15 @@ fn main() {
     let dadn_area = chip_area_mm2(Design::Dadn);
     let dadn_power = chip_power_w(Design::Dadn);
 
-    let mut table = Table::new(["design", "Area U.", "dArea U.", "Area T.", "dArea T.", "Power T.", "dPower T."]);
+    let mut table = Table::new([
+        "design",
+        "Area U.",
+        "dArea U.",
+        "Area T.",
+        "dArea T.",
+        "Power T.",
+        "dPower T.",
+    ]);
     for d in designs {
         let u = unit_area_mm2(d);
         let a = chip_area_mm2(d);
@@ -33,5 +41,8 @@ fn main() {
             format!("{:.2}", p / dadn_power),
         ]);
     }
-    table.print_and_save("Table IV: area [mm2] and power [W], column synchronization with PRA-2b, measured (paper)", "table4_column_area_power");
+    table.print_and_save(
+        "Table IV: area [mm2] and power [W], column synchronization with PRA-2b, measured (paper)",
+        "table4_column_area_power",
+    );
 }

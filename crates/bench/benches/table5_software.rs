@@ -33,5 +33,8 @@ fn main() {
     }
     let avg = benefits.iter().sum::<f64>() / benefits.len() as f64;
     table.row(["average".into(), String::new(), String::new(), vs(&pct(avg), "19.0%")]);
-    table.print_and_save("Table V: performance benefit of software guidance for PRA-2b-1R, measured (paper)", "table5_software");
+    table.print_and_save(
+        "Table V: performance benefit of software guidance for PRA-2b-1R, measured (paper)",
+        "table5_software",
+    );
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod sweep;
 
 use std::fmt::Write as _;
 

@@ -31,7 +31,10 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<Pa
         let escaped: Vec<String> = row
             .iter()
             .map(|c| {
-                if c.contains(',') || c.contains('"') {
+                // RFC 4180: quote any cell holding a separator, a quote,
+                // or a line break — an unquoted newline would split the
+                // record across rows.
+                if c.contains([',', '"', '\n', '\r']) {
                     format!("\"{}\"", c.replace('"', "\"\""))
                 } else {
                     c.clone()
@@ -68,6 +71,29 @@ mod tests {
         assert!(body.starts_with("net,speedup\n"));
         assert!(body.contains("\"a,b\""));
         assert!(body.contains("\"say \"\"hi\"\"\""));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn quotes_cells_with_line_breaks() {
+        let rows = vec![
+            vec!["multi\nline".to_string(), "cr\rcell".to_string()],
+            vec!["crlf\r\ncell".to_string(), "plain".to_string()],
+        ];
+        let path = write_csv("test_report_newlines", &["a", "b"], &rows).expect("writable target");
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"multi\nline\""));
+        assert!(body.contains("\"cr\rcell\""));
+        assert!(body.contains("\"crlf\r\ncell\""));
+        // Quoted line breaks keep the logical record count intact: header
+        // + 2 records, each terminated by exactly one bare `\n`.
+        let logical_rows = body
+            .split('"')
+            .enumerate()
+            .filter(|(i, part)| i % 2 == 0 && !part.is_empty()) // outside quotes
+            .map(|(_, part)| part.matches('\n').count())
+            .sum::<usize>();
+        assert_eq!(logical_rows, 3, "csv body: {body:?}");
         let _ = fs::remove_file(path);
     }
 

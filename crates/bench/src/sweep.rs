@@ -1,0 +1,314 @@
+//! Rayon-parallel multi-network sweep — the batch runner behind
+//! `pra sweep`.
+//!
+//! One *job* is a `(network, representation)` pair: the job builds the
+//! calibrated workload once, runs the bit-parallel DaDianNao baseline,
+//! and then every other engine against it. Jobs are independent, so the
+//! sweep fans them out across a work-stealing thread pool and collects
+//! the per-engine speedup rows in a deterministic order (input order is
+//! preserved by the parallel map; every job is seeded independently of
+//! scheduling). This is the first step on the ROADMAP path toward
+//! batched, heavy-traffic simulation serving: the driver is the shape a
+//! request batch would take, with the CSV standing in for the response.
+//!
+//! Results land in one consolidated CSV under `target/pra-reports/`
+//! via [`crate::report`].
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+
+use rayon::prelude::*;
+
+use pra_core::{Fidelity, PraConfig};
+use pra_engines::{dadn, stripes};
+use pra_sim::{geomean, ChipConfig};
+use pra_workloads::{Network, NetworkWorkload, Representation};
+
+use crate::report;
+
+/// What to sweep. [`SweepConfig::full`] is the `pra sweep` default:
+/// every network, both representations, the shared bench seed.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Networks to evaluate.
+    pub networks: Vec<Network>,
+    /// Representations to evaluate each network under.
+    pub representations: Vec<Representation>,
+    /// Workload generation seed (jobs derive per-layer seeds from it).
+    pub seed: u64,
+    /// Simulation fidelity for the cycle-level engines.
+    pub fidelity: Fidelity,
+    /// Run jobs on the parallel pool (`false` forces the serial path;
+    /// results are identical, only scheduling differs).
+    pub parallel: bool,
+}
+
+impl SweepConfig {
+    /// The full paper sweep: all six networks x both representations.
+    pub fn full() -> Self {
+        Self {
+            networks: Network::ALL.to_vec(),
+            representations: vec![Representation::Fixed16, Representation::Quant8],
+            seed: crate::SEED,
+            fidelity: crate::fidelity(),
+            parallel: true,
+        }
+    }
+}
+
+/// One engine's result on one `(network, representation)` job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Network name, e.g. `"Alexnet"`.
+    pub network: String,
+    /// Representation label: `"fp16"` or `"quant8"`.
+    pub repr: String,
+    /// Engine label, e.g. `"DaDN"`, `"Stripes"`, `"PRA-2b"`.
+    pub engine: String,
+    /// Total cycles over the convolutional stack.
+    pub cycles: u64,
+    /// Total effectual terms processed.
+    pub terms: u64,
+    /// Speedup over the DaDianNao baseline of the same job (1.0 for
+    /// DaDN itself).
+    pub speedup: f64,
+}
+
+/// A completed sweep: the rows plus scheduling telemetry.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One row per job x engine, in job order (networks outer,
+    /// representations inner) with engines in [`engine_labels`] order.
+    pub rows: Vec<SweepRow>,
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Distinct worker threads observed while running jobs.
+    pub threads_used: usize,
+}
+
+/// Short, CSV-stable label for a representation.
+pub fn repr_label(repr: Representation) -> &'static str {
+    match repr {
+        Representation::Fixed16 => "fp16",
+        Representation::Quant8 => "quant8",
+    }
+}
+
+/// The PRA configurations the sweep evaluates, in row order.
+fn pra_configs(repr: Representation, fidelity: Fidelity) -> Vec<PraConfig> {
+    vec![
+        PraConfig::two_stage(2, repr).with_fidelity(fidelity),
+        PraConfig::single_stage(repr).with_fidelity(fidelity),
+        PraConfig::per_column(1, repr).with_fidelity(fidelity),
+    ]
+}
+
+/// Engine labels in the order each job emits its rows.
+pub fn engine_labels(repr: Representation) -> Vec<String> {
+    let mut labels = vec!["DaDN".to_string(), "Stripes".to_string()];
+    labels.extend(pra_configs(repr, Fidelity::Full).iter().map(PraConfig::label));
+    labels
+}
+
+/// Runs the sweep described by `cfg` and returns every row.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
+    let jobs: Vec<(Network, Representation)> = cfg
+        .networks
+        .iter()
+        .flat_map(|&net| cfg.representations.iter().map(move |&repr| (net, repr)))
+        .collect();
+    let n_jobs = jobs.len();
+    let seen_threads: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+
+    let run_job = |(net, repr): (Network, Representation)| -> Vec<SweepRow> {
+        seen_threads
+            .lock()
+            .expect("thread-telemetry lock poisoned")
+            .insert(std::thread::current().id());
+        let chip = ChipConfig::dadn();
+        let workload = NetworkWorkload::build(net, repr, cfg.seed);
+        let base = dadn::run(&chip, &workload);
+        let mut rows = Vec::with_capacity(2 + pra_configs(repr, cfg.fidelity).len());
+        let mut push = |engine: String, result: &pra_sim::RunResult| {
+            rows.push(SweepRow {
+                network: net.name().to_string(),
+                repr: repr_label(repr).to_string(),
+                engine,
+                cycles: result.total_cycles(),
+                terms: result.total_terms(),
+                speedup: result.speedup_over(&base),
+            });
+        };
+        push("DaDN".to_string(), &base);
+        push("Stripes".to_string(), &stripes::run(&chip, &workload));
+        for pra_cfg in pra_configs(repr, cfg.fidelity) {
+            push(pra_cfg.label(), &pra_core::run(&pra_cfg, &workload));
+        }
+        rows
+    };
+
+    let nested: Vec<Vec<SweepRow>> = if cfg.parallel {
+        jobs.into_par_iter().map(run_job).collect()
+    } else {
+        jobs.into_iter().map(run_job).collect()
+    };
+
+    SweepOutcome {
+        rows: nested.into_iter().flatten().collect(),
+        jobs: n_jobs,
+        threads_used: seen_threads.into_inner().expect("thread-telemetry lock poisoned").len(),
+    }
+}
+
+/// The consolidated CSV header, matching [`csv_rows`].
+pub const CSV_HEADER: [&str; 6] = ["network", "repr", "engine", "cycles", "terms", "speedup"];
+
+/// Stringifies rows for [`report::write_csv`].
+pub fn csv_rows(rows: &[SweepRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                r.repr.clone(),
+                r.engine.clone(),
+                r.cycles.to_string(),
+                r.terms.to_string(),
+                format!("{:.4}", r.speedup),
+            ]
+        })
+        .collect()
+}
+
+/// Writes the consolidated sweep CSV (`target/pra-reports/sweep.csv`).
+/// Returns the path on success (best-effort, like every report).
+pub fn write_report(rows: &[SweepRow]) -> Option<PathBuf> {
+    report::write_csv("sweep", &CSV_HEADER, &csv_rows(rows))
+}
+
+/// Cross-network geometric-mean speedup per `(representation, engine)`,
+/// in first-appearance order — the paper's "geo" summary bars.
+pub fn geomean_summary(rows: &[SweepRow]) -> Vec<(String, String, f64)> {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for r in rows {
+        let key = (r.repr.clone(), r.engine.clone());
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    keys.into_iter()
+        .map(|(repr, engine)| {
+            let speedups: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.repr == repr && r.engine == engine)
+                .map(|r| r.speedup)
+                .collect();
+            let g = geomean(&speedups);
+            (repr, engine, g)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small deterministic sweep that still exercises every engine:
+    /// two networks, one representation, sampled fidelity.
+    fn small_config(parallel: bool) -> SweepConfig {
+        SweepConfig {
+            networks: vec![Network::AlexNet, Network::NiN],
+            representations: vec![Representation::Fixed16],
+            seed: 0x00DE_C0DE,
+            fidelity: Fidelity::Sampled { max_pallets: 4 },
+            parallel,
+        }
+    }
+
+    fn sort_key(r: &SweepRow) -> (String, String, String) {
+        (r.network.clone(), r.repr.clone(), r.engine.clone())
+    }
+
+    #[test]
+    fn every_network_gets_a_row_for_every_engine() {
+        let out = run_sweep(&small_config(true));
+        assert_eq!(out.jobs, 2);
+        let engines = engine_labels(Representation::Fixed16);
+        assert_eq!(out.rows.len(), 2 * engines.len());
+        for net in ["Alexnet", "NiN"] {
+            for engine in &engines {
+                let row = out
+                    .rows
+                    .iter()
+                    .find(|r| r.network == net && &r.engine == engine)
+                    .unwrap_or_else(|| panic!("missing row {net}/{engine}"));
+                assert!(row.cycles > 0, "{net}/{engine} has zero cycles");
+                assert!(row.speedup > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dadn_rows_have_unit_speedup_and_pra_beats_it() {
+        let out = run_sweep(&small_config(true));
+        for row in &out.rows {
+            if row.engine == "DaDN" {
+                assert!((row.speedup - 1.0).abs() < 1e-12);
+            }
+            if row.engine.starts_with("PRA") {
+                assert!(row.speedup > 1.0, "{}: {} not > 1", row.network, row.speedup);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_after_sorting() {
+        let par = run_sweep(&small_config(true));
+        let ser = run_sweep(&small_config(false));
+        let mut par_rows = par.rows;
+        let mut ser_rows = ser.rows;
+        par_rows.sort_by_key(sort_key);
+        ser_rows.sort_by_key(sort_key);
+        assert_eq!(par_rows, ser_rows);
+    }
+
+    #[test]
+    fn parallel_preserves_job_order_even_unsorted() {
+        // The shim's parallel map is order-preserving, so the stronger
+        // property holds too: identical row order without sorting.
+        let par = run_sweep(&small_config(true));
+        let ser = run_sweep(&small_config(false));
+        assert_eq!(par.rows, ser.rows);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_in_seed() {
+        let a = run_sweep(&small_config(true));
+        let b = run_sweep(&small_config(true));
+        assert_eq!(a.rows, b.rows);
+        let mut other = small_config(true);
+        other.seed ^= 1;
+        let c = run_sweep(&other);
+        assert_ne!(a.rows, c.rows, "different seed must change some cycle count");
+    }
+
+    #[test]
+    fn csv_rows_match_header_arity() {
+        let out = run_sweep(&small_config(true));
+        for row in csv_rows(&out.rows) {
+            assert_eq!(row.len(), CSV_HEADER.len());
+        }
+    }
+
+    #[test]
+    fn geomean_summary_covers_each_engine_once() {
+        let out = run_sweep(&small_config(true));
+        let summary = geomean_summary(&out.rows);
+        let engines = engine_labels(Representation::Fixed16);
+        assert_eq!(summary.len(), engines.len());
+        for (_, _, g) in summary {
+            assert!(g > 0.0);
+        }
+    }
+}

@@ -33,7 +33,9 @@ pub struct ColumnSchedule {
 }
 
 /// Order in which a lane's oneffsets are consumed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ScanOrder {
     /// Least-significant first: the cycle's *minimum* pending oneffset
     /// drives the second-stage shifter — the order of the Fig. 7 worked
@@ -148,9 +150,7 @@ pub fn schedule_values(values: &[u16; 16], l_bits: u8) -> ColumnSchedule {
 
 /// Power-set mask of the CSD recoding of `v` (for the encoding ablation).
 pub fn csd_mask(v: u16) -> u32 {
-    pra_fixed::csd::encode(v)
-        .iter()
-        .fold(0u32, |acc, t| acc | (1 << t.pow))
+    pra_fixed::csd::encode(v).iter().fold(0u32, |acc, t| acc | (1 << t.pow))
 }
 
 #[cfg(test)]
@@ -253,9 +253,7 @@ mod tests {
 
     #[test]
     fn terms_equal_total_popcount() {
-        let vals: [u16; 16] = [
-            3, 0, 0xFFFF, 17, 0b1010, 9, 0, 1, 2, 4, 8, 0x8000, 0x00F0, 5, 6, 7,
-        ];
+        let vals: [u16; 16] = [3, 0, 0xFFFF, 17, 0b1010, 9, 0, 1, 2, 4, 8, 0x8000, 0x00F0, 5, 6, 7];
         let pop: u32 = vals.iter().map(|v| v.count_ones()).sum();
         for l in 0..=4 {
             assert_eq!(schedule_values(&vals, l).terms, pop, "L={l}");
@@ -349,7 +347,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one")]
     fn zero_per_cycle_rejected() {
-        let _ = schedule_brick_with(&[0u32; 16], SchedulerConfig { l_bits: 2, order: ScanOrder::LsbFirst, per_cycle: 0 });
+        let _ = schedule_brick_with(
+            &[0u32; 16],
+            SchedulerConfig { l_bits: 2, order: ScanOrder::LsbFirst, per_cycle: 0 },
+        );
     }
 
     #[test]

@@ -121,10 +121,7 @@ impl PraConfig {
     /// PRA-2b with per-column synchronization and `ssrs` synapse set
     /// registers (the PRAxR-2b family of §VI-C).
     pub fn per_column(ssrs: usize, repr: Representation) -> Self {
-        Self {
-            sync: SyncPolicy::PerColumn { ssrs },
-            ..Self::two_stage(2, repr)
-        }
+        Self { sync: SyncPolicy::PerColumn { ssrs }, ..Self::two_stage(2, repr) }
     }
 
     /// Whether a second-stage shifter exists (it does not when the first

@@ -47,7 +47,8 @@ pub fn compute_layer(
             let (ox, oy) = spec.window_origin(wx, wy);
             let mut acc = vec![0i64; spec.num_filters];
             for step in &steps {
-                let brick = neurons.brick_padded(ox + step.fx as isize, oy + step.fy as isize, step.i0);
+                let brick =
+                    neurons.brick_padded(ox + step.fx as isize, oy + step.fy as isize, step.i0);
                 let queues = encode_brick(cfg, window, &brick);
                 accumulate_step(cfg, spec, synapses, *step, queues, &mut acc);
             }
@@ -72,10 +73,9 @@ fn encode_brick(
                 .iter()
                 .map(|&pow| Term { pow, neg: false })
                 .collect(),
-            Encoding::Csd => pra_fixed::csd::encode(v)
-                .iter()
-                .map(|t| Term { pow: t.pow, neg: t.neg })
-                .collect(),
+            Encoding::Csd => {
+                pra_fixed::csd::encode(v).iter().map(|t| Term { pow: t.pow, neg: t.neg }).collect()
+            }
         }
     })
 }
@@ -198,7 +198,8 @@ mod tests {
     #[test]
     fn extreme_values_are_exact() {
         let spec = ConvLayerSpec::new("e", (4, 4, 16), (2, 2), 2, 1, 0).unwrap();
-        let neurons = Tensor3::from_fn(spec.input, |x, _, i| if (x + i) % 3 == 0 { u16::MAX } else { 1 });
+        let neurons =
+            Tensor3::from_fn(spec.input, |x, _, i| if (x + i) % 3 == 0 { u16::MAX } else { 1 });
         let cfg = PraConfig::two_stage(1, Representation::Fixed16).with_trim(false);
         check_equivalence(&cfg, &spec, &neurons);
     }

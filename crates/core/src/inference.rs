@@ -100,7 +100,11 @@ impl NetworkModel {
     ///
     /// Returns [`InferenceError`] when an operation's expected input shape
     /// does not match the tensor flowing into it.
-    pub fn run(&self, cfg: &PraConfig, input: Tensor3<u16>) -> Result<InferenceOutcome, InferenceError> {
+    pub fn run(
+        &self,
+        cfg: &PraConfig,
+        input: Tensor3<u16>,
+    ) -> Result<InferenceOutcome, InferenceError> {
         let mut acts = input;
         let mut conv_results = Vec::new();
         for (idx, op) in self.ops.iter().enumerate() {
@@ -191,10 +195,9 @@ pub enum InferenceError {
 impl fmt::Display for InferenceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InferenceError::ShapeMismatch { op, layer, expected, got } => write!(
-                f,
-                "op {op} ({layer}): expected input {expected}, got {got}"
-            ),
+            InferenceError::ShapeMismatch { op, layer, expected, got } => {
+                write!(f, "op {op} ({layer}): expected input {expected}, got {got}")
+            }
         }
     }
 }
@@ -214,9 +217,12 @@ mod tests {
         let spec2 = ConvLayerSpec::new("c2", (6, 6, 16), (3, 3), 8, 1, 1).unwrap();
         let syn2 = generate_synapses(&spec2, 2);
         let mut m = NetworkModel::new();
-        m.conv(spec1.clone(), syn1, PrecisionWindow::full(), 6)
-            .max_pool(2, 2)
-            .conv(spec2, syn2, PrecisionWindow::full(), 6);
+        m.conv(spec1.clone(), syn1, PrecisionWindow::full(), 6).max_pool(2, 2).conv(
+            spec2,
+            syn2,
+            PrecisionWindow::full(),
+            6,
+        );
         let input = Tensor3::from_fn(spec1.input, |x, y, i| ((x * 7 + y * 5 + i * 3) % 200) as u16);
         (m, input)
     }
@@ -282,7 +288,12 @@ mod tests {
         let mut trimmed_model = NetworkModel::new();
         for op in m.ops() {
             if let LayerOp::Conv { spec, synapses, requant_shift, .. } = op {
-                trimmed_model.conv(spec.clone(), synapses.clone(), PrecisionWindow::new(9, 3), *requant_shift);
+                trimmed_model.conv(
+                    spec.clone(),
+                    synapses.clone(),
+                    PrecisionWindow::new(9, 3),
+                    *requant_shift,
+                );
             } else if let LayerOp::MaxPool { k, stride } = op {
                 trimmed_model.max_pool(*k, *stride);
             }

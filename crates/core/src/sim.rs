@@ -71,7 +71,9 @@ pub fn simulate_layer(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult {
         }
         let outcome: PalletOutcome = match cfg.sync {
             SyncPolicy::PerPallet => pallet_sync(&col_cycles_buf, &nmc_buf),
-            SyncPolicy::PerColumn { ssrs } => column_sync(&col_cycles_buf, pallet.lanes, Some(ssrs)),
+            SyncPolicy::PerColumn { ssrs } => {
+                column_sync(&col_cycles_buf, pallet.lanes, Some(ssrs))
+            }
             SyncPolicy::PerColumnIdeal => column_sync(&col_cycles_buf, pallet.lanes, None),
         };
         cycles += outcome.cycles;
@@ -126,10 +128,7 @@ fn schedule_column(cfg: &PraConfig, layer: &LayerWorkload, brick: &[u16; BRICK])
 /// Simulates a network's convolutional layers on the configured design
 /// point, labelled with [`PraConfig::label`].
 pub fn run(cfg: &PraConfig, workload: &NetworkWorkload) -> RunResult {
-    assert_eq!(
-        cfg.repr, workload.repr,
-        "configuration representation must match the workload"
-    );
+    assert_eq!(cfg.repr, workload.repr, "configuration representation must match the workload");
     let mut result = RunResult::new(cfg.label());
     for layer in &workload.layers {
         result.layers.push(simulate_layer(cfg, layer));
@@ -232,7 +231,9 @@ mod tests {
         for ssrs in [1usize, 4, 16] {
             let col = simulate_layer(&PraConfig::per_column(ssrs, Representation::Fixed16), &layer);
             assert!(
-                col.cycles <= pallet.cycles + layer.spec.brick_steps() as u64 * layer.spec.pallets() as u64,
+                col.cycles
+                    <= pallet.cycles
+                        + layer.spec.brick_steps() as u64 * layer.spec.pallets() as u64,
                 "{ssrs} SSRs: {} vs pallet {}",
                 col.cycles,
                 pallet.cycles

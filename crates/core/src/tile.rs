@@ -64,10 +64,7 @@ pub fn pallet_sync(col_cycles: &[[u32; 16]], nmc: &[u64]) -> PalletOutcome {
 /// lanes (ragged pallets at row ends have fewer than 16).
 pub fn column_sync(col_cycles: &[[u32; 16]], active: usize, ssrs: Option<usize>) -> PalletOutcome {
     let steps = col_cycles.len();
-    let mut out = PalletOutcome {
-        sb_set_reads: steps as u64,
-        ..Default::default()
-    };
+    let mut out = PalletOutcome { sb_set_reads: steps as u64, ..Default::default() };
     if steps == 0 || active == 0 {
         out.sb_set_reads = 0;
         return out;
@@ -109,19 +106,16 @@ pub fn column_sync(col_cycles: &[[u32; 16]], active: usize, ssrs: Option<usize>)
             if remaining[c] == 0 {
                 let want = step_idx[c];
                 // Copy from an SSR that already holds the set...
-                let have = pool
-                    .iter_mut()
-                    .flatten()
-                    .find(|e| e.step == want);
+                let have = pool.iter_mut().flatten().find(|e| e.step == want);
                 if let Some(e) = have {
                     e.copied |= 1 << c;
                     remaining[c] = col_cycles[want][c].max(1);
                 } else if sb_port_free {
                     // ...or read it from SB into a free SSR (empty, or one
                     // whose set every active column has copied).
-                    let slot = pool
-                        .iter_mut()
-                        .find(|s| s.is_none() || s.as_ref().is_some_and(|e| e.copied == all_copied));
+                    let slot = pool.iter_mut().find(|s| {
+                        s.is_none() || s.as_ref().is_some_and(|e| e.copied == all_copied)
+                    });
                     if let Some(slot) = slot {
                         *slot = Some(Ssr { step: want, copied: 1 << c });
                         sb_port_free = false;

@@ -72,7 +72,10 @@ fn fig10_column_sync_shape() {
     ];
     let (_, pra) = speedups_for(Representation::Fixed16, &cfgs);
     let geos: Vec<f64> = pra.iter().map(|v| geomean(v)).collect();
-    println!("pallet {:.2}, 1R {:.2}, 4R {:.2}, 16R {:.2}, ideal {:.2}", geos[0], geos[1], geos[2], geos[3], geos[4]);
+    println!(
+        "pallet {:.2}, 1R {:.2}, 4R {:.2}, 16R {:.2}, ideal {:.2}",
+        geos[0], geos[1], geos[2], geos[3], geos[4]
+    );
 
     // Paper: PRA-2b pallet 2.59x; 1 SSR boosts to 3.1x, ideal 3.45x.
     assert!(geos[1] > geos[0] * 1.08, "column sync should clearly beat pallet sync");
@@ -117,15 +120,18 @@ fn fig12_quantized_shape() {
         ..PraConfig::two_stage(l, Representation::Quant8).with_fidelity(FIDELITY)
     };
     let cfgs = vec![
-        mk(3, SyncPolicy::PerPallet),               // single-stage (8-bit)
-        mk(2, SyncPolicy::PerPallet),               // perPall-2bit
-        mk(2, SyncPolicy::PerColumn { ssrs: 1 }),   // perCol-1reg-2bit
-        mk(2, SyncPolicy::PerColumnIdeal),          // perCol-ideal-2bit
+        mk(3, SyncPolicy::PerPallet),             // single-stage (8-bit)
+        mk(2, SyncPolicy::PerPallet),             // perPall-2bit
+        mk(2, SyncPolicy::PerColumn { ssrs: 1 }), // perCol-1reg-2bit
+        mk(2, SyncPolicy::PerColumnIdeal),        // perCol-ideal-2bit
     ];
     let (stripes, pra) = speedups_for(Representation::Quant8, &cfgs);
     let sg = geomean(&stripes);
     let geos: Vec<f64> = pra.iter().map(|v| geomean(v)).collect();
-    println!("stripes8 {sg:.2}; perPall {:.2}, perPall-2b {:.2}, 1R-2b {:.2}, ideal-2b {:.2}", geos[0], geos[1], geos[2], geos[3]);
+    println!(
+        "stripes8 {sg:.2}; perPall {:.2}, perPall-2b {:.2}, 1R-2b {:.2}, ideal-2b {:.2}",
+        geos[0], geos[1], geos[2], geos[3]
+    );
 
     // Paper: PRA benefits persist with 8-bit quantization; PRA-2b-1R is
     // nearly 3.5x over the 8-bit DaDN while Stripes barely helps (its

@@ -32,7 +32,9 @@ fn sweep_dense_prob() {
             let w = NetworkWorkload::build_with_model(net, Representation::Fixed16, model, 0x51AE);
             let base = dadn::run(&chip, &w);
             strs.push(stripes::run(&chip, &w).speedup_over(&base));
-            let mk = |cfg: PraConfig| pra_core::run(&cfg.with_fidelity(fidelity), &w).speedup_over(&base);
+            let mk = |cfg: PraConfig| {
+                pra_core::run(&cfg.with_fidelity(fidelity), &w).speedup_over(&base)
+            };
             p4.push(mk(PraConfig::single_stage(Representation::Fixed16)));
             p2.push(mk(PraConfig::two_stage(2, Representation::Fixed16)));
             p2_1r.push(mk(PraConfig::per_column(1, Representation::Fixed16)));

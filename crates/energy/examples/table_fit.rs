@@ -2,14 +2,31 @@
 //! paper — the calibration record for the energy model.
 
 fn main() {
-    use pra_energy::unit::{unit_area_mm2, paper_unit_area_mm2, Design};
     use pra_energy::chip::{chip_area_mm2, chip_power_w, paper_chip_area_mm2, paper_chip_power_w};
+    use pra_energy::unit::{paper_unit_area_mm2, unit_area_mm2, Design};
     let pra = |l, s| Design::Pra { first_stage_bits: l, ssrs: s };
-    let all = [Design::Dadn, Design::Stripes, pra(0,0), pra(1,0), pra(2,0), pra(3,0), pra(4,0), pra(2,1), pra(2,4), pra(2,16)];
+    let all = [
+        Design::Dadn,
+        Design::Stripes,
+        pra(0, 0),
+        pra(1, 0),
+        pra(2, 0),
+        pra(3, 0),
+        pra(4, 0),
+        pra(2, 1),
+        pra(2, 4),
+        pra(2, 16),
+    ];
     for d in all {
-        println!("{:12} unit {:5.2} ({:5.2})  chip {:5.0} ({:5.0})  power {:5.1} ({:5.1})",
-            d.label(), unit_area_mm2(d), paper_unit_area_mm2(d).unwrap(),
-            chip_area_mm2(d), paper_chip_area_mm2(d).unwrap(),
-            chip_power_w(d), paper_chip_power_w(d).unwrap());
+        println!(
+            "{:12} unit {:5.2} ({:5.2})  chip {:5.0} ({:5.0})  power {:5.1} ({:5.1})",
+            d.label(),
+            unit_area_mm2(d),
+            paper_unit_area_mm2(d).unwrap(),
+            chip_area_mm2(d),
+            paper_chip_area_mm2(d).unwrap(),
+            chip_power_w(d),
+            paper_chip_power_w(d).unwrap()
+        );
     }
 }

@@ -20,7 +20,11 @@ pub fn layer_cycles(cfg: &ChipConfig, layer: &LayerWorkload) -> u64 {
 }
 
 /// Simulates one layer on DaDN.
-pub fn simulate_layer(cfg: &ChipConfig, layer: &LayerWorkload, repr: Representation) -> LayerResult {
+pub fn simulate_layer(
+    cfg: &ChipConfig,
+    layer: &LayerWorkload,
+    repr: Representation,
+) -> LayerResult {
     let spec = &layer.spec;
     let dispatcher = Dispatcher::new(NeuronMemory::default());
     let mut counters = shared_traffic(cfg, spec, &dispatcher);
@@ -51,12 +55,7 @@ mod tests {
     fn toy_layer(nx: usize, i: usize, n: usize) -> LayerWorkload {
         let spec = ConvLayerSpec::new("toy", (nx, nx, i), (3, 3), n, 1, 1).unwrap();
         let neurons = Tensor3::from_fn(spec.input, |x, y, k| ((x + y + k) % 7) as u16);
-        LayerWorkload {
-            spec,
-            window: PrecisionWindow::full(),
-            stripes_precision: 16,
-            neurons,
-        }
+        LayerWorkload { spec, window: PrecisionWindow::full(), stripes_precision: 16, neurons }
     }
 
     #[test]

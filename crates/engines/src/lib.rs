@@ -35,7 +35,11 @@ use pra_workloads::Representation;
 /// convention: one synapse-set read per (filter group × pallet × brick
 /// step), neuron bricks fetched once per (pallet × brick step), NM rows
 /// counted by the dispatcher's layout model.
-pub fn shared_traffic(cfg: &ChipConfig, spec: &ConvLayerSpec, dispatcher: &Dispatcher) -> AccessCounters {
+pub fn shared_traffic(
+    cfg: &ChipConfig,
+    spec: &ConvLayerSpec,
+    dispatcher: &Dispatcher,
+) -> AccessCounters {
     let fg = cfg.filter_groups(spec.num_filters) as u64;
     let mut c = AccessCounters::new();
     for pallet in pallets(spec) {

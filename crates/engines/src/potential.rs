@@ -176,7 +176,12 @@ mod tests {
     use pra_fixed::PrecisionWindow;
     use pra_tensor::{ConvLayerSpec, Tensor3};
 
-    fn layer(nx: usize, i: usize, pad: usize, f: impl FnMut(usize, usize, usize) -> u16) -> LayerWorkload {
+    fn layer(
+        nx: usize,
+        i: usize,
+        pad: usize,
+        f: impl FnMut(usize, usize, usize) -> u16,
+    ) -> LayerWorkload {
         let spec = ConvLayerSpec::new("toy", (nx, nx, i), (3, 3), 8, 1, pad).unwrap();
         LayerWorkload {
             neurons: Tensor3::from_fn(spec.input, f),

@@ -18,13 +18,15 @@ use crate::shared_traffic;
 
 /// Simulates one layer on Stripes with serial precision
 /// `layer.stripes_precision`.
-pub fn simulate_layer(cfg: &ChipConfig, layer: &LayerWorkload, repr: Representation) -> LayerResult {
+pub fn simulate_layer(
+    cfg: &ChipConfig,
+    layer: &LayerWorkload,
+    repr: Representation,
+) -> LayerResult {
     let spec = &layer.spec;
     let p = u64::from(layer.stripes_precision.max(1));
-    let dispatcher = Dispatcher::new(NeuronMemory::new(
-        Default::default(),
-        cfg.nm_row_neurons(repr.bits()),
-    ));
+    let dispatcher =
+        Dispatcher::new(NeuronMemory::new(Default::default(), cfg.nm_row_neurons(repr.bits())));
     let fg = cfg.filter_groups(spec.num_filters) as u64;
 
     let mut cycles = 0u64;
@@ -84,7 +86,8 @@ pub fn compute_layer(
             let (ox, oy) = spec.window_origin(wx, wy);
             let mut acc = vec![0i64; spec.num_filters];
             for step in &steps {
-                let brick = neurons.brick_padded(ox + step.fx as isize, oy + step.fy as isize, step.i0);
+                let brick =
+                    neurons.brick_padded(ox + step.fx as isize, oy + step.fy as isize, step.i0);
                 let trimmed: [u16; BRICK] = std::array::from_fn(|k| window.trim(brick[k]));
                 for (f, filter) in synapses.iter().enumerate() {
                     // Serial cycles: bit positions lsb..=msb of the window.
@@ -120,7 +123,8 @@ mod tests {
     fn layer_with_precision(nx: usize, p: u8) -> LayerWorkload {
         let spec = ConvLayerSpec::new("toy", (nx, nx, 32), (3, 3), 256, 1, 1).unwrap();
         let neurons = Tensor3::from_fn(spec.input, |x, y, k| ((x * y + k) % 13) as u16);
-        let window = if p >= 14 { PrecisionWindow::full() } else { PrecisionWindow::with_width(p, 2) };
+        let window =
+            if p >= 14 { PrecisionWindow::full() } else { PrecisionWindow::with_width(p, 2) };
         LayerWorkload { spec, window, stripes_precision: p, neurons }
     }
 
@@ -192,7 +196,8 @@ mod tests {
     fn functional_model_matches_reference_on_trimmed_values() {
         use pra_tensor::conv::convolve;
         let spec = ConvLayerSpec::new("f", (7, 6, 20), (3, 3), 4, 1, 1).unwrap();
-        let neurons = Tensor3::from_fn(spec.input, |x, y, i| ((x * 977 + y * 131 + i * 17) % 65536) as u16);
+        let neurons =
+            Tensor3::from_fn(spec.input, |x, y, i| ((x * 977 + y * 131 + i * 17) % 65536) as u16);
         let synapses = pra_workloads::generator::generate_synapses(&spec, 0xABBA);
         let window = PrecisionWindow::new(10, 2);
         let got = compute_layer(&spec, &neurons, &synapses, window);
@@ -204,7 +209,8 @@ mod tests {
     fn functional_model_full_window_is_exact() {
         use pra_tensor::conv::convolve;
         let spec = ConvLayerSpec::new("f", (5, 5, 16), (2, 2), 3, 2, 0).unwrap();
-        let neurons = Tensor3::from_fn(spec.input, |x, y, i| ((x + 3 * y + 7 * i) * 2551 % 65536) as u16);
+        let neurons =
+            Tensor3::from_fn(spec.input, |x, y, i| ((x + 3 * y + 7 * i) * 2551 % 65536) as u16);
         let synapses = pra_workloads::generator::generate_synapses(&spec, 0xD1CE);
         let got = compute_layer(&spec, &neurons, &synapses, PrecisionWindow::full());
         assert_eq!(got, convolve(&spec, &neurons, &synapses));

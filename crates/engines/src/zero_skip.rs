@@ -31,7 +31,11 @@ pub fn cvn_window_cycles(layer: &LayerWorkload, is_first_layer: bool) -> u64 {
             for fy in 0..spec.filter.y {
                 for fx in 0..spec.filter.x {
                     let (nx, ny) = (ox + fx as isize, oy + fy as isize);
-                    if nx < 0 || ny < 0 || nx as usize >= spec.input.x || ny as usize >= spec.input.y {
+                    if nx < 0
+                        || ny < 0
+                        || nx as usize >= spec.input.x
+                        || ny as usize >= spec.input.y
+                    {
                         continue; // padding: all zeros, skipped by CVN
                     }
                     let (nx, ny) = (nx as usize, ny as usize);
@@ -60,7 +64,10 @@ pub fn cvn_terms(layer: &LayerWorkload, is_first_layer: bool, bits: u32) -> u64 
     if is_first_layer {
         return layer.spec.multiplications() * u64::from(bits);
     }
-    cvn_window_cycles(layer, is_first_layer) * BRICK as u64 * bits as u64 * layer.spec.num_filters as u64
+    cvn_window_cycles(layer, is_first_layer)
+        * BRICK as u64
+        * bits as u64
+        * layer.spec.num_filters as u64
 }
 
 #[cfg(test)]

@@ -76,10 +76,7 @@ fn stripes_bounded_by_dadn_times_raggedness() {
                 sl.cycles
             );
         }
-        assert!(
-            s.total_cycles() < d.total_cycles(),
-            "{net}: Stripes must win at network level"
-        );
+        assert!(s.total_cycles() < d.total_cycles(), "{net}: Stripes must win at network level");
     }
 }
 
@@ -93,11 +90,7 @@ fn stripes_speedup_bounded_by_ideal_16_over_p() {
         for ((dl, sl), layer) in d.layers.iter().zip(&s.layers).zip(&w.layers) {
             let speedup = dl.cycles as f64 / sl.cycles as f64;
             let ideal = 16.0 / f64::from(layer.stripes_precision);
-            assert!(
-                speedup <= ideal + 1e-9,
-                "{net}/{}: {speedup:.3} > ideal {ideal:.3}",
-                dl.layer
-            );
+            assert!(speedup <= ideal + 1e-9, "{net}/{}: {speedup:.3} > ideal {ideal:.3}", dl.layer);
         }
     }
 }

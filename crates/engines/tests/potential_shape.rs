@@ -32,13 +32,8 @@ fn fig2_shape_16bit() {
         pra.push(n.pra);
         pra_red.push(n.pra_red);
     }
-    let (zn, cvn, stripes, pra, pra_red) = (
-        geomean(&zn),
-        geomean(&cvn),
-        geomean(&stripes),
-        geomean(&pra),
-        geomean(&pra_red),
-    );
+    let (zn, cvn, stripes, pra, pra_red) =
+        (geomean(&zn), geomean(&cvn), geomean(&stripes), geomean(&pra), geomean(&pra_red));
     println!("geo: zn={zn:.3} cvn={cvn:.3} str={stripes:.3} pra={pra:.3} red={pra_red:.3}");
 
     // Paper averages: ZN 39%, CVN 63%, STR 53%, PRA-fp16 10%, PRA-red 8%.

@@ -86,10 +86,7 @@ impl OneffsetList {
     /// the last one.
     pub fn iter(&self) -> impl Iterator<Item = Oneffset> + '_ {
         let n = self.len as usize;
-        self.powers[..n]
-            .iter()
-            .enumerate()
-            .map(move |(k, &pow)| Oneffset { pow, eon: k + 1 == n })
+        self.powers[..n].iter().enumerate().map(move |(k, &pow)| Oneffset { pow, eon: k + 1 == n })
     }
 
     /// Iterates the oneffsets in descending power order (MSB first), the
@@ -149,10 +146,7 @@ impl OneffsetGenerator {
         }
         let pow = self.remaining.trailing_zeros() as u8;
         self.remaining &= self.remaining - 1;
-        Some(Oneffset {
-            pow,
-            eon: self.remaining == 0,
-        })
+        Some(Oneffset { pow, eon: self.remaining == 0 })
     }
 
     /// The power of the next oneffset without consuming it.

@@ -65,11 +65,7 @@ impl PrecisionWindow {
 
     /// The AND mask that implements trimming.
     pub fn mask(&self) -> u16 {
-        let ones = if self.width() >= 16 {
-            u16::MAX
-        } else {
-            (1u16 << self.width()) - 1
-        };
+        let ones = if self.width() >= 16 { u16::MAX } else { (1u16 << self.width()) - 1 };
         ones << self.lsb
     }
 
@@ -134,10 +130,7 @@ pub fn profile_window(values: &[u16], tolerance: f64) -> PrecisionWindow {
     let mut lsb = 0u8;
     let mut lost: u64 = 0;
     while lsb < 15 {
-        let extra: u64 = values
-            .iter()
-            .map(|&v| (v & ((1u16 << (lsb + 1)) - 1)) as u64)
-            .sum();
+        let extra: u64 = values.iter().map(|&v| (v & ((1u16 << (lsb + 1)) - 1)) as u64).sum();
         if extra > budget {
             break;
         }
@@ -165,7 +158,11 @@ pub fn profile_window(values: &[u16], tolerance: f64) -> PrecisionWindow {
 /// smallest `msb` such that at most `clip_quantile` of the values carry
 /// bits above it — while the suffix uses the magnitude criterion of
 /// [`profile_window`] over the non-clipped values.
-pub fn profile_window_clipped(values: &[u16], tolerance: f64, clip_quantile: f64) -> PrecisionWindow {
+pub fn profile_window_clipped(
+    values: &[u16],
+    tolerance: f64,
+    clip_quantile: f64,
+) -> PrecisionWindow {
     assert!((0.0..1.0).contains(&clip_quantile), "clip quantile must be in [0, 1)");
     let n = values.len();
     if n == 0 || values.iter().all(|&v| v == 0) {
@@ -177,21 +174,15 @@ pub fn profile_window_clipped(values: &[u16], tolerance: f64, clip_quantile: f64
     let mut msb = 15u8;
     while msb > 0 {
         let candidate = msb - 1;
-        let clipped = values
-            .iter()
-            .filter(|&&v| u32::from(v) >= 1u32 << (candidate + 1))
-            .count();
+        let clipped = values.iter().filter(|&&v| u32::from(v) >= 1u32 << (candidate + 1)).count();
         if clipped > budget {
             break;
         }
         msb = candidate;
     }
     // Suffix over the surviving (non-clipped) values.
-    let kept: Vec<u16> = values
-        .iter()
-        .copied()
-        .filter(|&v| u32::from(v) < 1u32 << (msb + 1))
-        .collect();
+    let kept: Vec<u16> =
+        values.iter().copied().filter(|&v| u32::from(v) < 1u32 << (msb + 1)).collect();
     let suffix = profile_window(&kept, tolerance);
     PrecisionWindow::new(msb, suffix.lsb().min(msb))
 }
@@ -308,9 +299,8 @@ mod tests {
     #[test]
     fn clipped_profile_keeps_common_high_bits() {
         // 30% of values at bit 12: far above any sane clip quantile.
-        let vals: Vec<u16> = (0..1000u16)
-            .map(|k| if k % 3 == 0 { 1 << 12 } else { 1 << 4 })
-            .collect();
+        let vals: Vec<u16> =
+            (0..1000u16).map(|k| if k % 3 == 0 { 1 << 12 } else { 1 << 4 }).collect();
         let w = profile_window_clipped(&vals, 0.0, 0.01);
         assert_eq!(w.msb(), 12);
         assert_eq!(w.lsb(), 4);

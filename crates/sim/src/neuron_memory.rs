@@ -87,7 +87,12 @@ impl NeuronMemory {
     /// Number of distinct NM rows touched when fetching one pallet's
     /// bricks for one brick step. Padding bricks (out-of-bounds) need no
     /// fetch; a fully padded step returns 0.
-    pub fn pallet_fetch_rows(&self, spec: &ConvLayerSpec, pallet: PalletRef, step: BrickStep) -> usize {
+    pub fn pallet_fetch_rows(
+        &self,
+        spec: &ConvLayerSpec,
+        pallet: PalletRef,
+        step: BrickStep,
+    ) -> usize {
         // A brick occupies BRICK consecutive addresses in PalletMajor
         // layout but spans no row boundary there (rows hold whole bricks
         // and bricks are aligned); in RowMajor it is also contiguous and

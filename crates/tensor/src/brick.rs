@@ -85,13 +85,14 @@ pub fn brick_steps(spec: &ConvLayerSpec) -> Vec<BrickStep> {
 
 /// The input-space brick reference for window lane `lane` of `pallet` at
 /// `step`.
-pub fn brick_for(spec: &ConvLayerSpec, pallet: PalletRef, lane: usize, step: BrickStep) -> BrickRef {
+pub fn brick_for(
+    spec: &ConvLayerSpec,
+    pallet: PalletRef,
+    lane: usize,
+    step: BrickStep,
+) -> BrickRef {
     let (ox, oy) = spec.window_origin(pallet.wx0 + lane, pallet.wy);
-    BrickRef {
-        x: ox + step.fx as isize,
-        y: oy + step.fy as isize,
-        i: step.i0,
-    }
+    BrickRef { x: ox + step.fx as isize, y: oy + step.fy as isize, i: step.i0 }
 }
 
 /// Fetches the neuron values of one pallet at one brick step: `lanes`

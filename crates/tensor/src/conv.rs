@@ -21,7 +21,11 @@ use crate::tensor3::Tensor3;
 /// # Panics
 ///
 /// Panics if the tensor shapes do not match `spec`.
-pub fn convolve(spec: &ConvLayerSpec, neurons: &Tensor3<u16>, synapses: &[Tensor3<i16>]) -> Tensor3<i64> {
+pub fn convolve(
+    spec: &ConvLayerSpec,
+    neurons: &Tensor3<u16>,
+    synapses: &[Tensor3<i16>],
+) -> Tensor3<i64> {
     check_shapes(spec, neurons, synapses);
     let mut out = Tensor3::<i64>::zeros(spec.output_dim());
     for wy in 0..spec.out_y() {
@@ -79,7 +83,8 @@ mod tests {
     fn identity_filter_extracts_center() {
         // 1x1 filter with weight 1 on channel 0: output = input channel 0.
         let spec = ConvLayerSpec::new("t", (3, 3, 2), (1, 1), 1, 1, 0).unwrap();
-        let n = Tensor3::from_fn(spec.input, |x, y, i| if i == 0 { (10 * x + y) as u16 } else { 99 });
+        let n =
+            Tensor3::from_fn(spec.input, |x, y, i| if i == 0 { (10 * x + y) as u16 } else { 99 });
         let s = spec.filters_from_fn(|_, _, _, i| if i == 0 { 1i16 } else { 0 });
         let o = convolve(&spec, &n, &s);
         assert_eq!(o.get(2, 1, 0), 21);

@@ -116,14 +116,7 @@ impl ConvLayerSpec {
                 filter.y
             )));
         }
-        Ok(Self {
-            name: name.into(),
-            input,
-            filter,
-            num_filters,
-            stride,
-            padding,
-        })
+        Ok(Self { name: name.into(), input, filter, num_filters, stride, padding })
     }
 
     /// The layer's human-readable name (e.g. `"conv2"`).
@@ -208,9 +201,7 @@ impl ConvLayerSpec {
         mut f: impl FnMut(usize, usize, usize, usize) -> T,
     ) -> Vec<Tensor3<T>> {
         let fdim = Dim3::new(self.filter.x, self.filter.y, self.input.i);
-        (0..self.num_filters)
-            .map(|n| Tensor3::from_fn(fdim, |x, y, i| f(n, x, y, i)))
-            .collect()
+        (0..self.num_filters).map(|n| Tensor3::from_fn(fdim, |x, y, i| f(n, x, y, i))).collect()
     }
 
     /// Coordinates of the input-space origin (top-left, first channel) of
@@ -227,7 +218,13 @@ impl ConvLayerSpec {
 mod tests {
     use super::*;
 
-    fn spec(input: (usize, usize, usize), f: (usize, usize), n: usize, s: usize, p: usize) -> ConvLayerSpec {
+    fn spec(
+        input: (usize, usize, usize),
+        f: (usize, usize),
+        n: usize,
+        s: usize,
+        p: usize,
+    ) -> ConvLayerSpec {
         ConvLayerSpec::new("t", input, f, n, s, p).unwrap()
     }
 

@@ -19,10 +19,7 @@ impl<T: Copy + Default> Tensor3<T> {
     /// Creates a tensor filled with `T::default()`.
     pub fn zeros(dim: impl Into<Dim3>) -> Self {
         let dim = dim.into();
-        Self {
-            dim,
-            data: vec![T::default(); dim.len()],
-        }
+        Self { dim, data: vec![T::default(); dim.len()] }
     }
 
     /// Creates a tensor by evaluating `f(x, y, i)` for every element.
@@ -126,10 +123,7 @@ impl<T: Copy + Default> Tensor3<T> {
     /// Applies `f` to every element, producing a new tensor of the same
     /// shape.
     pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Tensor3<U> {
-        Tensor3 {
-            dim: self.dim,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor3 { dim: self.dim, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 }
 

@@ -41,11 +41,8 @@ impl Iterator for Windows<'_> {
         if self.wy >= self.spec.out_y() {
             return None;
         }
-        let w = Window {
-            wx: self.wx,
-            wy: self.wy,
-            origin: self.spec.window_origin(self.wx, self.wy),
-        };
+        let w =
+            Window { wx: self.wx, wy: self.wy, origin: self.spec.window_origin(self.wx, self.wy) };
         self.wx += 1;
         if self.wx == self.spec.out_x() {
             self.wx = 0;

@@ -81,10 +81,7 @@ pub fn calibrated_model(network: Network, repr: Representation) -> ActivationMod
         return *m;
     }
     let fitted = fit_model(network, repr);
-    cache
-        .lock()
-        .expect("calibration cache poisoned")
-        .insert((network, repr), fitted);
+    cache.lock().expect("calibration cache poisoned").insert((network, repr), fitted);
     fitted
 }
 

@@ -16,7 +16,7 @@
 //!   software-provided precision of §V-F trims away.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use pra_fixed::PrecisionWindow;
@@ -220,8 +220,10 @@ impl NetworkWorkload {
             .enumerate()
             .map(|(idx, (spec, p))| {
                 let window = layer_window(repr, p);
-                let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let neurons = Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, repr, &mut rng));
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let neurons =
+                    Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, repr, &mut rng));
                 LayerWorkload {
                     spec,
                     window,
@@ -293,16 +295,20 @@ mod tests {
         let m = toy_model();
         let w = PrecisionWindow::with_width(8, WINDOW_LSB);
         let mut rng = StdRng::seed_from_u64(1);
-        let zeros = (0..20_000)
-            .filter(|_| m.sample(w, Representation::Fixed16, &mut rng) == 0)
-            .count();
+        let zeros =
+            (0..20_000).filter(|_| m.sample(w, Representation::Fixed16, &mut rng) == 0).count();
         let frac = zeros as f64 / 20_000.0;
         assert!((frac - 0.5).abs() < 0.02, "zero fraction {frac}");
     }
 
     #[test]
     fn nonzero_fixed16_samples_have_window_bits() {
-        let m = ActivationModel { outlier_prob: 0.0, suffix_density: 0.0, dense_prob: 0.0, ..toy_model() };
+        let m = ActivationModel {
+            outlier_prob: 0.0,
+            suffix_density: 0.0,
+            dense_prob: 0.0,
+            ..toy_model()
+        };
         let w = PrecisionWindow::with_width(9, WINDOW_LSB);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..5_000 {

@@ -130,11 +130,7 @@ mod tests {
 
     #[test]
     fn max_precision_is_13_bits() {
-        let max = Network::ALL
-            .iter()
-            .flat_map(|&n| precisions(n).iter().copied())
-            .max()
-            .unwrap();
+        let max = Network::ALL.iter().flat_map(|&n| precisions(n).iter().copied()).max().unwrap();
         assert_eq!(max, 13);
     }
 

@@ -20,7 +20,9 @@ use std::io::{self, Read, Write};
 
 use pra_tensor::{Dim3, Tensor3};
 
-use crate::generator::{layer_window, stripes_precision, LayerWorkload, NetworkWorkload, Representation};
+use crate::generator::{
+    layer_window, stripes_precision, LayerWorkload, NetworkWorkload, Representation,
+};
 use crate::networks::Network;
 use crate::profiles;
 
@@ -95,7 +97,8 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<(Representation, Vec<TraceLay
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
         let name = String::from_utf8(name).map_err(|_| bad("layer name is not UTF-8"))?;
-        let (x, y, i) = (read_u32(&mut r)? as usize, read_u32(&mut r)? as usize, read_u32(&mut r)? as usize);
+        let (x, y, i) =
+            (read_u32(&mut r)? as usize, read_u32(&mut r)? as usize, read_u32(&mut r)? as usize);
         let dim = Dim3::new(x, y, i);
         let mut data = vec![0u16; dim.len()];
         let mut buf = [0u8; 2];

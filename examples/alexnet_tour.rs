@@ -35,12 +35,8 @@ fn main() {
         "{:8} {:>12} {:>10} {:>10} {:>10} {:>16}",
         "layer", "DaDN cycles", "Stripes", "PRA-2b", "PRA-2b-1R", "essential terms"
     );
-    for (((bl, sl), pl), cl) in base
-        .layers
-        .iter()
-        .zip(&str_r.layers)
-        .zip(&pra2b.layers)
-        .zip(&pra1r.layers)
+    for (((bl, sl), pl), cl) in
+        base.layers.iter().zip(&str_r.layers).zip(&pra2b.layers).zip(&pra1r.layers)
     {
         let t = bl.counters.terms;
         println!(

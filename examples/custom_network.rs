@@ -28,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     // First-layer input: a synthetic "image" (dense, low precision).
-    let mut acts = Tensor3::from_fn(specs[0].input, |x, y, i| (((x * 7 + y * 13 + i * 29) % 255) + 1) as u16);
+    let mut acts =
+        Tensor3::from_fn(specs[0].input, |x, y, i| (((x * 7 + y * 13 + i * 29) % 255) + 1) as u16);
 
     let chip = ChipConfig::dadn();
     let cfg = PraConfig::two_stage(2, Representation::Fixed16).with_fidelity(Fidelity::Full);

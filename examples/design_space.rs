@@ -19,10 +19,8 @@ fn main() {
     let fid = Fidelity::Sampled { max_pallets: 32 };
     // Two representative networks keep the sweep quick.
     let nets = [Network::AlexNet, Network::Vgg19];
-    let workloads: Vec<_> = nets
-        .iter()
-        .map(|&n| NetworkWorkload::build(n, Representation::Fixed16, 3))
-        .collect();
+    let workloads: Vec<_> =
+        nets.iter().map(|&n| NetworkWorkload::build(n, Representation::Fixed16, 3)).collect();
     let bases: Vec<_> = workloads.iter().map(|w| dadn::run(&chip, w)).collect();
 
     let mut points: Vec<(String, Design, PraConfig)> = Vec::new();

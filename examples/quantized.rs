@@ -32,8 +32,14 @@ fn main() {
     let fid = Fidelity::Sampled { max_pallets: 64 };
     let configs = [
         ("Stripes (p<=8)", None),
-        ("PRA perPall-2b", Some(PraConfig::two_stage(2, Representation::Quant8).with_fidelity(fid))),
-        ("PRA perCol-1R-2b", Some(PraConfig::per_column(1, Representation::Quant8).with_fidelity(fid))),
+        (
+            "PRA perPall-2b",
+            Some(PraConfig::two_stage(2, Representation::Quant8).with_fidelity(fid)),
+        ),
+        (
+            "PRA perCol-1R-2b",
+            Some(PraConfig::per_column(1, Representation::Quant8).with_fidelity(fid)),
+        ),
         (
             "PRA perCol-ideal",
             Some(PraConfig {

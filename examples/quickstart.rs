@@ -17,14 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oneffsets = OneffsetList::encode(neuron);
     println!("neuron {neuron:#018b}");
     println!("  essential bits (oneffsets, LSB first): {:?}", oneffsets.powers());
-    println!("  a bit-parallel multiplier would process 16 terms; Pragmatic processes {}\n", oneffsets.len());
+    println!(
+        "  a bit-parallel multiplier would process 16 terms; Pragmatic processes {}\n",
+        oneffsets.len()
+    );
 
     // 2. A small convolutional layer: 32x32x64 input, 64 3x3 filters.
     let spec = ConvLayerSpec::new("demo", (32, 32, 64), (3, 3), 64, 1, 1)?;
     // Sparse-ish activations in a 9-bit precision window, like a profiled
     // real layer.
     let neurons = Tensor3::from_fn(spec.input, |x, y, i| {
-        let h = (x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503) ^ i.wrapping_mul(2246822519)) % 100;
+        let h =
+            (x.wrapping_mul(2654435761) ^ y.wrapping_mul(40503) ^ i.wrapping_mul(2246822519)) % 100;
         if h < 55 {
             0 // rectified
         } else {

@@ -1,0 +1,194 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the harness surface used by `benches/micro.rs`: a
+//! [`Criterion`] driver with `bench_function`, a [`Bencher`] with `iter`
+//! and `iter_batched`, [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple mean of wall-clock
+//! time over `sample_size` samples after a warm-up — no statistics, no
+//! plots — which is enough to compare kernels locally while offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion exposes its own).
+pub use std::hint::black_box;
+
+/// Benchmark driver (upstream `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        println!("{name:<44} {:>12.3?}/iter ({} iters)", per_iter, b.iters);
+        self
+    }
+}
+
+/// Per-benchmark measurement context (upstream `criterion::Bencher`).
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+/// Batch sizing for `iter_batched` (semantics collapsed: every batch is
+/// one iteration, which is exact for `PerIteration` and a fair
+/// approximation for the rest at this shim's fidelity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measure: keep iterating until the measurement budget elapses,
+        // in sample_size chunks.
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            for _ in 0..self.sample_size {
+                let t = Instant::now();
+                black_box(routine());
+                self.total += t.elapsed();
+                self.iters += 1;
+            }
+        }
+    }
+
+    /// Measures `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            for _ in 0..self.sample_size {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                self.total += t.elapsed();
+                self.iters += 1;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group (both upstream forms are accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut hits = 0u64;
+        c.bench_function("probe", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

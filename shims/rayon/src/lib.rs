@@ -1,0 +1,246 @@
+//! Offline shim for `rayon`.
+//!
+//! Implements the data-parallel subset this workspace uses —
+//! `par_iter()` / `into_par_iter()` → `map` → `collect::<Vec<_>>()`,
+//! plus [`join`] and [`current_num_threads`] — on top of
+//! `std::thread::scope`. Work is distributed dynamically (an atomic
+//! index acts as the work-stealing queue) and results are written back
+//! by input index, so output order always equals input order, exactly
+//! like upstream rayon's indexed parallel iterators.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count configured through [`ThreadPoolBuilder::build_global`]
+/// (0 = unset).
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads a parallel operation will use. Resolution
+/// order mirrors upstream: an explicit [`ThreadPoolBuilder::build_global`]
+/// wins, then `RAYON_NUM_THREADS`, then the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_NUM_THREADS.load(Ordering::Relaxed) {
+        0 => match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        },
+        n => n,
+    }
+}
+
+/// Global-pool configuration (upstream `rayon::ThreadPoolBuilder`,
+/// reduced to the worker-count knob — the shim spins up scoped threads
+/// per operation instead of keeping a persistent pool).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 restores the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Installs the configuration globally. Unlike upstream this always
+    /// succeeds and later calls simply overwrite earlier ones.
+    pub fn build_global(self) -> Result<(), Box<dyn std::error::Error>> {
+        GLOBAL_NUM_THREADS.store(self.num_threads.unwrap_or(0), Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: joined closure panicked"))
+    })
+}
+
+/// Executes `f` over every item on a scoped thread pool, preserving
+/// input order in the output.
+fn run_parallel<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("rayon shim: item lock poisoned")
+                    .take()
+                    .expect("rayon shim: item taken twice");
+                let result = f(item);
+                *out[i].lock().expect("rayon shim: result lock poisoned") = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon shim: result lock poisoned")
+                .expect("rayon shim: worker died before producing a result")
+        })
+        .collect()
+}
+
+/// A parallel iterator over owned items (upstream's `IntoParallelIterator::Iter`).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Calls `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_parallel(self.items, |t| f(t));
+    }
+
+    /// Collects the items (identity pipeline).
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Runs the pipeline and collects results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(run_parallel(self.items, self.f))
+    }
+
+    /// Runs the pipeline and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        run_parallel(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// `par_iter()` over borrowed slices (upstream `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Commonly imported names (upstream `rayon::prelude`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|v| v * 3).collect();
+        assert_eq!(out, input.iter().map(|v| v * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = input.par_iter().map(|&v| v + 1).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_available() {
+        if super::current_num_threads() < 2 {
+            return; // single-core CI runner: nothing to assert
+        }
+        let seen = Mutex::new(HashSet::new());
+        let work: Vec<u32> = (0..256).collect();
+        work.into_par_iter()
+            .map(|v| {
+                // Hold the slot long enough for other workers to run.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                seen.lock().unwrap().insert(std::thread::current().id());
+                v
+            })
+            .collect::<Vec<_>>();
+        assert!(seen.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

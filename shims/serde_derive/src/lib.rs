@@ -1,0 +1,210 @@
+//! Offline shim for `serde_derive`: emits empty marker-trait impls for
+//! `#[derive(Serialize, Deserialize)]` without depending on `syn`/`quote`.
+//!
+//! The companion `serde` shim defines `Serialize` and `Deserialize` as
+//! method-less marker traits, so an empty impl block is a complete
+//! implementation. The only parsing needed is the type's name and its
+//! generic parameter list (bounds are re-emitted on the impl, stripped
+//! from the type arguments).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_args) = item.generics_split();
+    format!(
+        "impl{ig} serde::Serialize for {name}{ta} {{}}",
+        ig = impl_generics,
+        name = item.name,
+        ta = ty_args
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_generics, ty_args) = item.generics_split_with_lifetime("'de");
+    format!(
+        "impl{ig} serde::Deserialize<'de> for {name}{ta} {{}}",
+        ig = impl_generics,
+        name = item.name,
+        ta = ty_args
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+struct Item {
+    name: String,
+    /// Raw generic parameter tokens between `<` and `>`, e.g. `T: Clone, const N: usize`.
+    params: Vec<GenericParam>,
+}
+
+struct GenericParam {
+    /// Full declaration, e.g. `T: Clone` or `'a` or `const N: usize`.
+    decl: String,
+    /// Bare argument for the type position, e.g. `T`, `'a`, `N`.
+    arg: String,
+}
+
+impl Item {
+    fn generics_split(&self) -> (String, String) {
+        self.split(None)
+    }
+
+    fn generics_split_with_lifetime(&self, extra: &str) -> (String, String) {
+        self.split(Some(extra))
+    }
+
+    fn split(&self, extra_lifetime: Option<&str>) -> (String, String) {
+        let mut decls: Vec<String> = Vec::new();
+        if let Some(lt) = extra_lifetime {
+            decls.push(lt.to_string());
+        }
+        decls.extend(self.params.iter().map(|p| p.decl.clone()));
+        let args: Vec<String> = self.params.iter().map(|p| p.arg.clone()).collect();
+        let ig = if decls.is_empty() { String::new() } else { format!("<{}>", decls.join(", ")) };
+        let ta = if args.is_empty() { String::new() } else { format!("<{}>", args.join(", ")) };
+        (ig, ta)
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    // Find the `struct` / `enum` / `union` keyword; the next ident is the name.
+    let mut idx = 0;
+    while idx < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[idx] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                idx += 1;
+                break;
+            }
+        }
+        idx += 1;
+    }
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    idx += 1;
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            params = parse_generics(&tokens[idx + 1..]);
+        }
+    }
+    Item { name, params }
+}
+
+/// Parses the token run after `<` up to the matching `>` into parameter
+/// declarations and bare argument names. Handles lifetimes, type params
+/// with bounds, const params, and defaults (`= ...`, which are dropped
+/// from the impl declaration as Rust requires).
+fn parse_generics(tokens: &[TokenTree]) -> Vec<GenericParam> {
+    let mut depth = 1usize; // we are inside one `<`
+    let mut params = Vec::new();
+    let mut decl = String::new();
+    let mut arg = String::new();
+    let mut seen_colon = false;
+    let mut seen_eq = false;
+    let mut is_const = false;
+    let mut pending_lifetime = false;
+
+    let mut flush = |decl: &mut String, arg: &mut String, seen_colon: &mut bool, seen_eq: &mut bool, is_const: &mut bool| {
+        let d = decl.trim().to_string();
+        if !d.is_empty() {
+            params.push(GenericParam { decl: d, arg: arg.trim().to_string() });
+        }
+        decl.clear();
+        arg.clear();
+        *seen_colon = false;
+        *seen_eq = false;
+        *is_const = false;
+    };
+
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => {
+                        depth += 1;
+                        if !seen_eq {
+                            decl.push('<');
+                        }
+                    }
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        if !seen_eq {
+                            decl.push('>');
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        flush(&mut decl, &mut arg, &mut seen_colon, &mut seen_eq, &mut is_const);
+                    }
+                    ':' if depth == 1 && !seen_colon && !is_const => {
+                        seen_colon = true;
+                        decl.push(':');
+                    }
+                    '=' if depth == 1 => {
+                        seen_eq = true; // default value: drop from decl
+                    }
+                    '\'' => {
+                        pending_lifetime = true;
+                        if !seen_eq {
+                            decl.push('\'');
+                        }
+                        if !seen_colon {
+                            arg.push('\'');
+                        }
+                        continue;
+                    }
+                    _ => {
+                        if !seen_eq {
+                            decl.push(c);
+                        }
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "const" && depth == 1 && decl.trim().is_empty() {
+                    is_const = true;
+                    decl.push_str("const ");
+                    continue;
+                }
+                if !seen_eq {
+                    if !decl.is_empty() && !decl.ends_with([' ', '<', ':', ',', '\'']) {
+                        decl.push(' ');
+                    }
+                    decl.push_str(&s);
+                }
+                // The bare argument is the first ident of the parameter
+                // (after `const` for const params, after `'` for lifetimes).
+                if !seen_colon && (arg.is_empty() || pending_lifetime || arg == "'") {
+                    arg.push_str(&s);
+                }
+                pending_lifetime = false;
+            }
+            TokenTree::Literal(l) => {
+                if !seen_eq {
+                    decl.push_str(&l.to_string());
+                }
+            }
+            TokenTree::Group(g) => {
+                if !seen_eq && g.delimiter() == Delimiter::Bracket {
+                    decl.push_str(&g.to_string());
+                }
+            }
+        }
+    }
+    flush(&mut decl, &mut arg, &mut seen_colon, &mut seen_eq, &mut is_const);
+    params
+}

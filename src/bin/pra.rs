@@ -5,10 +5,14 @@
 //! pra speedup <network> [--quant8]     DaDN/Stripes/PRA speedups
 //! pra capacity <network>               NM/SB footprint audit
 //! pra networks                         list the evaluated networks
+//! pra sweep [--serial] [--seed N]      all networks x engines x representations,
+//!                                      parallel, consolidated CSV report
 //! ```
 
 use std::process::ExitCode;
 
+use pra_bench::sweep::{self, SweepConfig};
+use pra_bench::Table;
 use pragmatic::core::{Fidelity, PraConfig};
 use pragmatic::engines::{dadn, potential, stripes};
 use pragmatic::sim::{capacity, ChipConfig};
@@ -38,6 +42,7 @@ fn main() -> ExitCode {
             cmd_speedup(n, repr)
         }),
         Some("capacity") => parse_network(&args, 1).map(cmd_capacity),
+        Some("sweep") => cmd_sweep(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -49,7 +54,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--seed N]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -90,6 +95,81 @@ fn cmd_speedup(net: Network, repr: Representation) {
             pragmatic::core::run(&cfg, &w).speedup_over(&base)
         );
     }
+}
+
+/// `pra sweep [--serial] [--seed N]`: every network x engine x
+/// representation, fanned out over the thread pool, with one
+/// consolidated CSV dropped under `target/pra-reports/`.
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let mut cfg = SweepConfig::full();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--serial" => cfg.parallel = false,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = parse_seed(v)?;
+            }
+            other => return Err(format!("unknown sweep flag '{other}'\n{USAGE}")),
+        }
+    }
+
+    if cfg.parallel {
+        // The jobs are independent simulations; overlap them even on a
+        // single-core machine so batch latency tracks the slowest job
+        // rather than the sum. An explicit RAYON_NUM_THREADS wins; the
+        // pool must be configured before any other rayon call, since on
+        // upstream rayon the first use freezes the global pool size.
+        let workers = match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()).max(2),
+        };
+        let _ = rayon::ThreadPoolBuilder::new().num_threads(workers).build_global();
+    }
+    let mode = if cfg.parallel { "parallel" } else { "serial" };
+    println!(
+        "sweeping {} networks x {} representations x {} engines ({mode}, seed {:#x})",
+        cfg.networks.len(),
+        cfg.representations.len(),
+        sweep::engine_labels(Representation::Fixed16).len(),
+        cfg.seed,
+    );
+    let start = std::time::Instant::now();
+    let out = sweep::run_sweep(&cfg);
+    let elapsed = start.elapsed();
+
+    let mut table = Table::new(sweep::CSV_HEADER);
+    for row in sweep::csv_rows(&out.rows) {
+        table.row(row);
+    }
+    table.print("Sweep: cycles and speedup over DaDN");
+
+    let mut geo = Table::new(["repr", "engine", "geomean speedup"]);
+    for (repr, engine, g) in sweep::geomean_summary(&out.rows) {
+        geo.row([repr, engine, format!("{g:.2}x")]);
+    }
+    geo.print("Cross-network geometric means");
+
+    match sweep::write_report(&out.rows) {
+        Some(path) => println!("consolidated report: {}", path.display()),
+        None => eprintln!("warning: consolidated report could not be written"),
+    }
+    println!(
+        "{} jobs on {} worker thread(s) in {:.1}s",
+        out.jobs,
+        out.threads_used,
+        elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        v.replace('_', "").parse()
+    };
+    parsed.map_err(|e| format!("invalid --seed '{v}': {e}"))
 }
 
 fn cmd_capacity(net: Network) {

@@ -11,7 +11,8 @@ use pragmatic::workloads::{LayerWorkload, Representation};
 
 fn layer() -> LayerWorkload {
     let spec = ConvLayerSpec::new("acct", (20, 10, 40), (3, 3), 32, 1, 1).unwrap();
-    let neurons = Tensor3::from_fn(spec.input, |x, y, i| ((x * 131 + y * 37 + i * 11) % 777) as u16);
+    let neurons =
+        Tensor3::from_fn(spec.input, |x, y, i| ((x * 131 + y * 37 + i * 11) % 777) as u16);
     LayerWorkload {
         spec,
         window: PrecisionWindow::with_width(10, 2),
@@ -78,9 +79,11 @@ fn shared_traffic_matches_direct_computation() {
 #[test]
 fn sampling_preserves_term_totals_approximately() {
     let l = layer();
-    let full = pragmatic::core::simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &l);
+    let full =
+        pragmatic::core::simulate_layer(&PraConfig::two_stage(2, Representation::Fixed16), &l);
     let sampled = pragmatic::core::simulate_layer(
-        &PraConfig::two_stage(2, Representation::Fixed16).with_fidelity(Fidelity::Sampled { max_pallets: 5 }),
+        &PraConfig::two_stage(2, Representation::Fixed16)
+            .with_fidelity(Fidelity::Sampled { max_pallets: 5 }),
         &l,
     );
     let ratio = sampled.counters.terms as f64 / full.counters.terms as f64;

@@ -16,19 +16,18 @@ use pragmatic::workloads::{LayerWorkload, Representation};
 
 fn fc_layer(inputs: usize, outputs: usize) -> LayerWorkload {
     let spec = ConvLayerSpec::fully_connected("fc", inputs, outputs).unwrap();
-    let neurons = Tensor3::from_fn(spec.input, |_, _, i| {
-        if i % 2 == 0 {
-            0
-        } else {
-            ((i * 37) % 500 + 4) as u16
-        }
-    });
-    LayerWorkload {
-        spec,
-        window: PrecisionWindow::with_width(9, 2),
-        stripes_precision: 9,
-        neurons,
-    }
+    let neurons =
+        Tensor3::from_fn(
+            spec.input,
+            |_, _, i| {
+                if i % 2 == 0 {
+                    0
+                } else {
+                    ((i * 37) % 500 + 4) as u16
+                }
+            },
+        );
+    LayerWorkload { spec, window: PrecisionWindow::with_width(9, 2), stripes_precision: 9, neurons }
 }
 
 #[test]
@@ -90,10 +89,7 @@ fn conv_equivalent_work_is_much_faster_than_fc() {
         / pragmatic::core::simulate_layer(&cfg, &fc).cycles as f64;
     let conv_speedup = dadn::simulate_layer(&chip, &conv, Representation::Fixed16).cycles as f64
         / pragmatic::core::simulate_layer(&cfg, &conv).cycles as f64;
-    assert!(
-        conv_speedup > fc_speedup * 1.5,
-        "conv {conv_speedup:.2} vs fc {fc_speedup:.2}"
-    );
+    assert!(conv_speedup > fc_speedup * 1.5, "conv {conv_speedup:.2} vs fc {fc_speedup:.2}");
 }
 
 #[test]

@@ -24,7 +24,9 @@ fn calibrated_small_layer(seed: u64) -> (ConvLayerSpec, Tensor3<u16>, PrecisionW
     let window = PrecisionWindow::with_width(9, 2);
     let spec = ConvLayerSpec::new("cal", (10, 8, 24), (3, 3), 6, 1, 1).unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
-    let neurons = Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, Representation::Fixed16, &mut rng));
+    let neurons = Tensor3::from_fn(spec.input, |_, _, _| {
+        model.sample(window, Representation::Fixed16, &mut rng)
+    });
     (spec, neurons, window)
 }
 
@@ -79,7 +81,9 @@ fn quant8_style_values_are_exact_too() {
     };
     let mut rng = StdRng::seed_from_u64(404);
     let window = PrecisionWindow::new(7, 0);
-    let neurons = Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, Representation::Quant8, &mut rng));
+    let neurons = Tensor3::from_fn(spec.input, |_, _, _| {
+        model.sample(window, Representation::Quant8, &mut rng)
+    });
     let synapses = generate_synapses(&spec, 0xF00D);
     let reference = convolve(&spec, &neurons, &synapses);
     let cfg = PraConfig::two_stage(2, Representation::Quant8);

@@ -15,13 +15,13 @@ use pragmatic::workloads::{LayerWorkload, Representation};
 
 fn arb_layer() -> impl Strategy<Value = (ConvLayerSpec, u64)> {
     (
-        3usize..8,   // nx
-        3usize..6,   // ny
-        1usize..24,  // channels
-        1usize..=3,  // filter size
-        1usize..5,   // filters
-        1usize..=2,  // stride
-        0usize..=1,  // padding
+        3usize..8,  // nx
+        3usize..6,  // ny
+        1usize..24, // channels
+        1usize..=3, // filter size
+        1usize..5,  // filters
+        1usize..=2, // stride
+        0usize..=1, // padding
         any::<u64>(),
     )
         .prop_filter_map("valid geometry", |(nx, ny, i, f, n, s, p, seed)| {
