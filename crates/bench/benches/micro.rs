@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use pra_core::column::{schedule_brick, schedule_values};
+use pra_core::column::{schedule_brick, schedule_brick_oracle, schedule_values, SchedulerConfig};
 use pra_core::pip::{pip_cycle, LaneControl};
 use pra_core::PraConfig;
 use pra_fixed::{csd, OneffsetList};
@@ -63,6 +63,38 @@ fn bench_scheduler(c: &mut Criterion) {
         let masks: [u32; 16] = std::array::from_fn(|i| (0x5A5Au32).rotate_left(i as u32) & 0xFFFF);
         b.iter(|| black_box(schedule_brick(black_box(&masks), 2)))
     });
+    // Fast path vs retained oracle on the same bricks: the dispatching
+    // entry point (schedule_brick) takes the branchless path for the
+    // paper configuration; schedule_brick_oracle is the general loop.
+    let mask_bricks: Vec<[u32; 16]> = bricks
+        .iter()
+        .map(|vals| {
+            let mut m = [0u32; 16];
+            for (slot, &v) in m.iter_mut().zip(vals) {
+                *slot = u32::from(v);
+            }
+            m
+        })
+        .collect();
+    c.bench_function("schedule_brick_fast_256bricks_l2", |b| {
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for m in &mask_bricks {
+                cycles += u64::from(schedule_brick(black_box(m), 2).cycles);
+            }
+            black_box(cycles)
+        })
+    });
+    c.bench_function("schedule_brick_oracle_256bricks_l2", |b| {
+        let cfg = SchedulerConfig::paper(2);
+        b.iter(|| {
+            let mut cycles = 0u64;
+            for m in &mask_bricks {
+                cycles += u64::from(schedule_brick_oracle(black_box(m), cfg).cycles);
+            }
+            black_box(cycles)
+        })
+    });
 }
 
 fn bench_pip(c: &mut Criterion) {
@@ -92,6 +124,15 @@ fn bench_layers(c: &mut Criterion) {
         b.iter_batched(
             || layer.clone(),
             |l| black_box(pra_core::simulate_layer(black_box(&cfg), &l)),
+            BatchSize::LargeInput,
+        )
+    });
+    // Memoized pipeline vs the retained pre-memoization oracle: the gap
+    // is the K×K brick-reuse factor plus the encode-once saving.
+    c.bench_function("pra2b_simulate_layer_raw_32x32x64", |b| {
+        b.iter_batched(
+            || layer.clone(),
+            |l| black_box(pra_core::simulate_layer_raw(black_box(&cfg), &l)),
             BatchSize::LargeInput,
         )
     });

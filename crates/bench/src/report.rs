@@ -14,16 +14,32 @@ pub fn report_dir() -> PathBuf {
     PathBuf::from(target).join("pra-reports")
 }
 
-/// Writes `rows` (with a `header`) to `target/pra-reports/<name>.csv`.
-/// Returns the path on success; `None` if the filesystem refused (the
-/// failure is printed but not fatal).
-pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+/// Writes `body` to `target/pra-reports/<filename>` best-effort,
+/// printing a `(<label>: path)` note on success — the shared tail of
+/// every report writer.
+fn write_report_file(filename: &str, label: &str, body: &str) -> Option<PathBuf> {
     let dir = report_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("note: could not create {}: {e}", dir.display());
         return None;
     }
-    let path = dir.join(format!("{name}.csv"));
+    let path = dir.join(filename);
+    match fs::write(&path, body) {
+        Ok(()) => {
+            println!("({label}: {})", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("note: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Writes `rows` (with a `header`) to `target/pra-reports/<name>.csv`.
+/// Returns the path on success; `None` if the filesystem refused (the
+/// failure is printed but not fatal).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
     let mut out = String::new();
     out.push_str(&header.join(","));
     out.push('\n');
@@ -44,21 +60,51 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> Option<Pa
         out.push_str(&escaped.join(","));
         out.push('\n');
     }
-    match fs::write(&path, out) {
-        Ok(()) => {
-            println!("(csv: {})", path.display());
-            Some(path)
-        }
-        Err(e) => {
-            eprintln!("note: could not write {}: {e}", path.display());
-            None
+    write_report_file(&format!("{name}.csv"), "csv", &out)
+}
+
+/// Writes a pre-rendered JSON document to `target/pra-reports/<name>.json`.
+/// Best-effort like [`write_csv`]; returns the path on success.
+pub fn write_json(name: &str, body: &str) -> Option<PathBuf> {
+    write_report_file(&format!("{name}.json"), "json", body)
+}
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn writes_json_report() {
+        let path = write_json("test_json_report", "{\"ok\":true}\n").expect("writable target");
+        assert!(fs::read_to_string(&path).unwrap().contains("\"ok\""));
+        let _ = fs::remove_file(path);
+    }
 
     #[test]
     fn writes_and_escapes() {

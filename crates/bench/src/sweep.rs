@@ -14,10 +14,13 @@
 //! Results land in one consolidated CSV under `target/pra-reports/`
 //! via [`crate::report`].
 
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::Mutex;
-use std::thread::ThreadId;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use rayon::prelude::*;
 
@@ -76,7 +79,23 @@ pub struct SweepRow {
     pub speedup: f64,
 }
 
-/// A completed sweep: the rows plus scheduling telemetry.
+/// Wall-clock telemetry for one `(network, representation)` job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTiming {
+    /// Network name, e.g. `"Alexnet"`.
+    pub network: String,
+    /// Representation label: `"fp16"` or `"quant8"`.
+    pub repr: String,
+    /// Wall-clock milliseconds the job took (workload build + every
+    /// engine), as observed on its worker thread. Jobs running
+    /// concurrently contend for cores (and the cycle simulator itself
+    /// parallelizes over pallets), so per-job numbers are comparable
+    /// *within* a run; cross-run trends should use
+    /// [`SweepOutcome::total_wall_ms`].
+    pub wall_ms: f64,
+}
+
+/// A completed sweep: the rows plus scheduling and timing telemetry.
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// One row per job x engine, in job order (networks outer,
@@ -86,6 +105,11 @@ pub struct SweepOutcome {
     pub jobs: usize,
     /// Distinct worker threads observed while running jobs.
     pub threads_used: usize,
+    /// Per-job wall-clock timings, in job order.
+    pub timings: Vec<JobTiming>,
+    /// Wall-clock milliseconds for the whole sweep (including the fan-out
+    /// overhead the per-job timings cannot see).
+    pub total_wall_ms: f64,
 }
 
 /// Short, CSV-stable label for a representation.
@@ -120,17 +144,33 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         .flat_map(|&net| cfg.representations.iter().map(move |&repr| (net, repr)))
         .collect();
     let n_jobs = jobs.len();
-    let seen_threads: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
 
-    let run_job = |(net, repr): (Network, Representation)| -> Vec<SweepRow> {
-        seen_threads
-            .lock()
-            .expect("thread-telemetry lock poisoned")
-            .insert(std::thread::current().id());
+    // Lock-free distinct-thread telemetry: each thread keeps the set of
+    // sweep epochs it has been counted in (thread-local, so uncontended)
+    // and bumps a relaxed shared counter at most once per sweep — no
+    // mutex on the job hot path, correct across repeated sweeps on reused
+    // pool threads, and robust to several sweeps interleaving on the same
+    // worker (e.g. parallel test runs on a shared global pool).
+    static SWEEP_EPOCH: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static COUNTED_EPOCHS: RefCell<HashSet<u64>> = RefCell::new(HashSet::new());
+    }
+    let epoch = SWEEP_EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+    let threads_used = AtomicUsize::new(0);
+
+    let sweep_start = Instant::now();
+    let run_job = |(net, repr): (Network, Representation)| -> (Vec<SweepRow>, JobTiming) {
+        COUNTED_EPOCHS.with(|c| {
+            if c.borrow_mut().insert(epoch) {
+                threads_used.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let start = Instant::now();
         let chip = ChipConfig::dadn();
         let workload = NetworkWorkload::build(net, repr, cfg.seed);
         let base = dadn::run(&chip, &workload);
-        let mut rows = Vec::with_capacity(2 + pra_configs(repr, cfg.fidelity).len());
+        let configs = pra_configs(repr, cfg.fidelity);
+        let mut rows = Vec::with_capacity(2 + configs.len());
         let mut push = |engine: String, result: &pra_sim::RunResult| {
             rows.push(SweepRow {
                 network: net.name().to_string(),
@@ -143,22 +183,36 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         };
         push("DaDN".to_string(), &base);
         push("Stripes".to_string(), &stripes::run(&chip, &workload));
-        for pra_cfg in pra_configs(repr, cfg.fidelity) {
+        for pra_cfg in configs {
             push(pra_cfg.label(), &pra_core::run(&pra_cfg, &workload));
         }
-        rows
+        let timing = JobTiming {
+            network: net.name().to_string(),
+            repr: repr_label(repr).to_string(),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        };
+        (rows, timing)
     };
 
-    let nested: Vec<Vec<SweepRow>> = if cfg.parallel {
+    let nested: Vec<(Vec<SweepRow>, JobTiming)> = if cfg.parallel {
         jobs.into_par_iter().map(run_job).collect()
     } else {
         jobs.into_iter().map(run_job).collect()
     };
+    let total_wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
 
+    let mut rows = Vec::new();
+    let mut timings = Vec::with_capacity(n_jobs);
+    for (job_rows, timing) in nested {
+        rows.extend(job_rows);
+        timings.push(timing);
+    }
     SweepOutcome {
-        rows: nested.into_iter().flatten().collect(),
+        rows,
         jobs: n_jobs,
-        threads_used: seen_threads.into_inner().expect("thread-telemetry lock poisoned").len(),
+        threads_used: threads_used.into_inner(),
+        timings,
+        total_wall_ms,
     }
 }
 
@@ -187,25 +241,68 @@ pub fn write_report(rows: &[SweepRow]) -> Option<PathBuf> {
     report::write_csv("sweep", &CSV_HEADER, &csv_rows(rows))
 }
 
+/// Renders the machine-readable perf report: one record per job x engine
+/// with the job's wall-clock, plus sweep-level totals. This is the file
+/// future PRs diff against to keep the perf trajectory visible.
+pub fn bench_json(out: &SweepOutcome) -> String {
+    let mut wall_by_job: HashMap<(&str, &str), f64> = HashMap::new();
+    for t in &out.timings {
+        wall_by_job.insert((t.network.as_str(), t.repr.as_str()), t.wall_ms);
+    }
+    let mut body = String::new();
+    let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"total_wall_ms\": {:.3},", out.total_wall_ms);
+    let _ = writeln!(body, "  \"jobs\": {},", out.jobs);
+    let _ = writeln!(body, "  \"threads_used\": {},", out.threads_used);
+    let _ = writeln!(body, "  \"rows\": [");
+    for (k, r) in out.rows.iter().enumerate() {
+        let wall = wall_by_job.get(&(r.network.as_str(), r.repr.as_str())).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            body,
+            "    {{\"job\": {}, \"repr\": {}, \"engine\": {}, \"cycles\": {}, \"wall_ms\": {:.3}}}{}",
+            report::json_string(&r.network),
+            report::json_string(&r.repr),
+            report::json_string(&r.engine),
+            r.cycles,
+            wall,
+            if k + 1 == out.rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(body, "  ]");
+    let _ = writeln!(body, "}}");
+    body
+}
+
+/// Writes `target/pra-reports/bench.json` (best-effort, like every
+/// report). Returns the path on success.
+pub fn write_bench_json(out: &SweepOutcome) -> Option<PathBuf> {
+    report::write_json("bench", &bench_json(out))
+}
+
 /// Cross-network geometric-mean speedup per `(representation, engine)`,
 /// in first-appearance order — the paper's "geo" summary bars.
 pub fn geomean_summary(rows: &[SweepRow]) -> Vec<(String, String, f64)> {
-    let mut keys: Vec<(String, String)> = Vec::new();
+    // One pass: a hash map accumulates per-key speedups while a side
+    // vector remembers first-appearance order (the old implementation
+    // rescanned a key vector per row and refiltered all rows per key —
+    // O(n²) both ways).
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut acc: HashMap<(String, String), Vec<f64>> = HashMap::new();
     for r in rows {
         let key = (r.repr.clone(), r.engine.clone());
-        if !keys.contains(&key) {
-            keys.push(key);
+        match acc.entry(key) {
+            Entry::Vacant(e) => {
+                order.push(e.key().clone());
+                e.insert(vec![r.speedup]);
+            }
+            Entry::Occupied(mut e) => e.get_mut().push(r.speedup),
         }
     }
-    keys.into_iter()
-        .map(|(repr, engine)| {
-            let speedups: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.repr == repr && r.engine == engine)
-                .map(|r| r.speedup)
-                .collect();
-            let g = geomean(&speedups);
-            (repr, engine, g)
+    order
+        .into_iter()
+        .map(|key| {
+            let g = geomean(&acc[&key]);
+            (key.0, key.1, g)
         })
         .collect()
 }
@@ -291,6 +388,34 @@ mod tests {
         other.seed ^= 1;
         let c = run_sweep(&other);
         assert_ne!(a.rows, c.rows, "different seed must change some cycle count");
+    }
+
+    #[test]
+    fn every_job_reports_a_timing() {
+        let out = run_sweep(&small_config(true));
+        assert_eq!(out.timings.len(), out.jobs);
+        for t in &out.timings {
+            assert!(t.wall_ms > 0.0, "{}/{} has zero wall time", t.network, t.repr);
+        }
+        assert!(
+            out.total_wall_ms >= out.timings.iter().cloned().fold(0.0f64, |m, t| m.max(t.wall_ms))
+        );
+        assert!(out.threads_used >= 1);
+    }
+
+    #[test]
+    fn bench_json_contains_every_row_and_the_totals() {
+        let out = run_sweep(&small_config(false));
+        let body = bench_json(&out);
+        assert!(body.contains("\"total_wall_ms\""));
+        assert!(body.contains("\"jobs\": 2"));
+        for r in &out.rows {
+            assert!(body.contains(&format!("\"engine\": \"{}\"", r.engine)), "{}", r.engine);
+            assert!(body.contains(&format!("\"cycles\": {}", r.cycles)));
+        }
+        // One record per row, each carrying the five keys.
+        assert_eq!(body.matches("\"wall_ms\"").count(), out.rows.len());
+        assert_eq!(body.matches("\"job\"").count(), out.rows.len());
     }
 
     #[test]

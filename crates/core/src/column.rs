@@ -82,7 +82,60 @@ pub fn schedule_brick(masks: &[u32; 16], l_bits: u8) -> ColumnSchedule {
 }
 
 /// Schedules one brick under an explicit [`SchedulerConfig`].
+///
+/// Dispatches to a branchless fast path for the paper configuration
+/// (LSB-first scan, one oneffset per lane per cycle); every other
+/// configuration runs the general loop, which is also retained as
+/// [`schedule_brick_oracle`] — the property-tested reference the fast
+/// path is checked against.
 pub fn schedule_brick_with(masks: &[u32; 16], cfg: SchedulerConfig) -> ColumnSchedule {
+    assert!(cfg.per_cycle >= 1, "lanes must consume at least one oneffset per cycle");
+    if cfg.order == ScanOrder::LsbFirst && cfg.per_cycle == 1 {
+        return schedule_brick_fast(masks, cfg.l_bits);
+    }
+    schedule_brick_oracle(masks, cfg)
+}
+
+/// Branchless scheduler for the paper's PIP (LSB first, one oneffset per
+/// lane per cycle).
+///
+/// The column control's per-cycle work collapses to bit operations: the
+/// anchor is one `trailing_zeros` on the union-OR of the lane masks
+/// (instead of a 16-lane min scan), and each lane consumes its lowest
+/// pending oneffset exactly when that bit lands inside the anchored
+/// window — `low & window_mask` is the bit itself or zero, so an XOR
+/// clears it without a branch. Terms are conserved by construction, so
+/// the total popcount is counted once up front.
+fn schedule_brick_fast(masks: &[u32; 16], l_bits: u8) -> ColumnSchedule {
+    let mut masks = *masks;
+    let mut union = 0u32;
+    let mut terms = 0u32;
+    for &m in &masks {
+        union |= m;
+        terms += m.count_ones();
+    }
+    let span = 1u32 << l_bits; // window width in bit positions
+    let window_ones = if span >= 32 { u32::MAX } else { (1u32 << span) - 1 };
+    let mut cycles = 0u32;
+    while union != 0 {
+        let window_mask = window_ones << union.trailing_zeros();
+        let mut next_union = 0u32;
+        for m in &mut masks {
+            let low = *m & m.wrapping_neg();
+            *m ^= low & window_mask;
+            next_union |= *m;
+        }
+        union = next_union;
+        cycles += 1;
+    }
+    ColumnSchedule { cycles, terms, idle_lane_cycles: cycles * 16 - terms }
+}
+
+/// The general column scheduler — the direct transcription of the §V-D
+/// control rule for any [`SchedulerConfig`]. Kept public as the oracle
+/// that property tests and the `micro` bench compare the fast path
+/// against.
+pub fn schedule_brick_oracle(masks: &[u32; 16], cfg: SchedulerConfig) -> ColumnSchedule {
     assert!(cfg.per_cycle >= 1, "lanes must consume at least one oneffset per cycle");
     let window = 1u32 << cfg.l_bits;
     let mut masks = *masks;
@@ -149,8 +202,9 @@ pub fn schedule_values(values: &[u16; 16], l_bits: u8) -> ColumnSchedule {
 }
 
 /// Power-set mask of the CSD recoding of `v` (for the encoding ablation).
+/// Delegates to the allocation-free [`pra_fixed::csd::mask`].
 pub fn csd_mask(v: u16) -> u32 {
-    pra_fixed::csd::encode(v).iter().fold(0u32, |acc, t| acc | (1 << t.pow))
+    pra_fixed::csd::mask(v)
 }
 
 #[cfg(test)]
@@ -351,6 +405,29 @@ mod tests {
             &[0u32; 16],
             SchedulerConfig { l_bits: 2, order: ScanOrder::LsbFirst, per_cycle: 0 },
         );
+    }
+
+    #[test]
+    fn fast_path_matches_oracle_on_pseudo_random_bricks() {
+        let mut state = 0xDEAD_BEEF_0BAD_F00Du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 48) as u16
+        };
+        for l in 0..=4u8 {
+            for _ in 0..200 {
+                let mut masks = [0u32; 16];
+                for m in &mut masks {
+                    *m = u32::from(next());
+                }
+                let cfg = SchedulerConfig::paper(l);
+                assert_eq!(
+                    schedule_brick_with(&masks, cfg),
+                    schedule_brick_oracle(&masks, cfg),
+                    "L={l} masks={masks:?}"
+                );
+            }
+        }
     }
 
     #[test]

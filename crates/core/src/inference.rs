@@ -16,7 +16,7 @@ use pra_sim::LayerResult;
 use pra_tensor::conv::relu_requantize;
 use pra_tensor::pool::{avg_pool, max_pool};
 use pra_tensor::{ConvLayerSpec, Tensor3};
-use pra_workloads::LayerWorkload;
+use pra_workloads::LayerView;
 
 use crate::config::PraConfig;
 use crate::functional::compute_layer;
@@ -119,14 +119,15 @@ impl NetworkModel {
                         });
                     }
                     // The cycle model sees the same trimmed stream the
-                    // datapath consumes.
-                    let workload = LayerWorkload {
-                        spec: spec.clone(),
+                    // datapath consumes — borrowed, not cloned: the
+                    // simulator only reads the activations.
+                    let view = LayerView {
+                        spec,
                         window: *window,
                         stripes_precision: window.width(),
-                        neurons: acts.clone(),
+                        neurons: &acts,
                     };
-                    conv_results.push(crate::sim::simulate_layer(cfg, &workload));
+                    conv_results.push(crate::sim::simulate_layer_view(cfg, view));
                     let raw = compute_layer(cfg, spec, &acts, synapses, *window);
                     acts = relu_requantize(&raw, *requant_shift);
                 }

@@ -19,6 +19,9 @@
 //!   negate, reduce, second-stage shift; used by the functional model.
 //! * [`tile`] — a 16×16 PIP tile under per-pallet (§V-A4) or per-column
 //!   (§V-E) synchronization with synapse set registers (SSRs).
+//! * [`schedule`] — the layer-scoped scheduling pipeline: encode-once
+//!   mask buffers and the brick-schedule memo the simulator's hot path
+//!   runs on.
 //! * [`sim`] — layer- and network-level simulation producing
 //!   [`pra_sim::RunResult`]s comparable with the baseline engines.
 //! * [`functional`] — bit-exact computation of layer outputs through the
@@ -38,9 +41,11 @@ pub mod config;
 pub mod functional;
 pub mod inference;
 pub mod pip;
+pub mod schedule;
 pub mod sim;
 pub mod tile;
 
 pub use column::{ScanOrder, SchedulerConfig};
 pub use config::{Encoding, Fidelity, PraConfig, SyncPolicy};
-pub use sim::{run, simulate_layer};
+pub use schedule::{EncodedLayer, LayerScheduler};
+pub use sim::{run, simulate_layer, simulate_layer_raw, simulate_layer_view};

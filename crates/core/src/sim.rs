@@ -5,29 +5,115 @@
 //! window columns, then combines columns according to the configured
 //! synchronization policy. Tiles are identical by construction (§V-A3), so
 //! one tile is simulated and the filter-group count scales the result.
+//!
+//! The hot path is the layer-scoped pipeline of [`crate::schedule`]:
+//! neurons are trimmed and encoded once per layer, each unique input brick
+//! is scheduled once and memoized (overlapping convolution windows reuse
+//! the entry instead of re-scheduling — a K×K-fold saving), and pallets
+//! fan out across the thread pool with an order-preserving reduction, so
+//! a single-layer request scales across cores. The pre-memoization
+//! implementation is retained as [`simulate_layer_raw`], the
+//! cycle-for-cycle oracle that tests and the `micro` bench compare
+//! against.
 
 use pra_engines::shared_traffic;
 use pra_sim::{ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
-use pra_tensor::brick::{brick_steps, fetch_pallet_step, pallets, PalletRef};
-use pra_tensor::{BRICK, PALLET};
-use pra_workloads::{LayerWorkload, NetworkWorkload};
+use pra_tensor::brick::{brick_for, brick_steps, fetch_pallet_step, pallets, BrickStep, PalletRef};
+use pra_tensor::{ConvLayerSpec, BRICK, PALLET};
+use pra_workloads::{LayerView, LayerWorkload, NetworkWorkload};
+use rayon::prelude::*;
 
 use crate::column::{csd_mask, schedule_brick_with, ColumnSchedule};
 use crate::config::{Encoding, Fidelity, PraConfig, SyncPolicy};
+use crate::schedule::LayerScheduler;
 use crate::tile::{column_sync, pallet_sync, PalletOutcome};
 
 /// Simulates one layer on the configured Pragmatic design point.
 pub fn simulate_layer(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult {
-    let spec = &layer.spec;
-    let chip = &cfg.chip;
-    let nm = NeuronMemory::new(cfg.nm_layout, chip.nm_row_neurons(cfg.repr.bits()));
-    let dispatcher = Dispatcher::new(nm);
-    let steps = brick_steps(spec);
-    let all_pallets = pallets(spec);
-    let fg = chip.filter_groups(spec.num_filters) as u64;
+    simulate_layer_view(cfg, layer.view())
+}
 
-    // Deterministic pallet sampling for bounded simulation time.
-    let (selected, total, sampled): (Vec<PalletRef>, u64, u64) = match cfg.fidelity {
+/// Simulates one borrowed layer (no neuron tensor clone) on the
+/// configured design point, parallelizing across pallets.
+pub fn simulate_layer_view(cfg: &PraConfig, layer: LayerView<'_>) -> LayerResult {
+    simulate_layer_view_with(cfg, layer, true)
+}
+
+/// [`simulate_layer_view`] with explicit control over pallet-level
+/// parallelism. Results are bit-identical either way (the reduction is
+/// order-preserving and integer sums are associative); the knob exists so
+/// the determinism test can pin that invariant down.
+#[doc(hidden)]
+pub fn simulate_layer_view_with(
+    cfg: &PraConfig,
+    layer: LayerView<'_>,
+    parallel: bool,
+) -> LayerResult {
+    let spec = layer.spec;
+    let dispatcher = layer_dispatcher(cfg);
+    let steps = brick_steps(spec);
+    let (selected, total, sampled) = select_pallets(cfg, spec);
+    let sched = LayerScheduler::new(cfg, layer.window, layer.neurons);
+
+    // Fan out only when each worker gets a meaningful slice: heavily
+    // sampled runs (and tiny layers) stay serial, which avoids paying
+    // thread spawn/join per layer for work that fits one core — and keeps
+    // thread churn down when layer simulation runs nested inside an
+    // already-parallel batch (the sweep driver's jobs).
+    const MIN_PALLETS_PER_WORKER: usize = 8;
+    let workers = if parallel {
+        rayon::current_num_threads().min(selected.len() / MIN_PALLETS_PER_WORKER).max(1)
+    } else {
+        1
+    };
+    let totals = if workers > 1 {
+        // Contiguous chunks, mapped in input order and summed in chunk
+        // order: the same deterministic reduction the sweep driver pins
+        // down for its job rows.
+        let chunk = selected.len().div_ceil(workers);
+        let parts: Vec<Totals> = selected
+            .chunks(chunk)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|c| simulate_pallets(cfg, spec, &sched, &dispatcher, &steps, c))
+            .collect();
+        parts.into_iter().fold(Totals::default(), Totals::add)
+    } else {
+        simulate_pallets(cfg, spec, &sched, &dispatcher, &steps, &selected)
+    };
+    finish_layer(cfg, spec, &dispatcher, totals, total, sampled)
+}
+
+/// Per-run accumulator, combined with an order-preserving fold.
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    cycles: u64,
+    nm_stalls: u64,
+    sb_stalls: u64,
+    oneffsets: u64,
+}
+
+impl Totals {
+    fn add(self, o: Totals) -> Totals {
+        Totals {
+            cycles: self.cycles + o.cycles,
+            nm_stalls: self.nm_stalls + o.nm_stalls,
+            sb_stalls: self.sb_stalls + o.sb_stalls,
+            oneffsets: self.oneffsets + o.oneffsets,
+        }
+    }
+}
+
+fn layer_dispatcher(cfg: &PraConfig) -> Dispatcher {
+    let nm = NeuronMemory::new(cfg.nm_layout, cfg.chip.nm_row_neurons(cfg.repr.bits()));
+    Dispatcher::new(nm)
+}
+
+/// Deterministic pallet selection for bounded simulation time: the full
+/// enumeration, or a multiplicatively-spaced sample of it.
+fn select_pallets(cfg: &PraConfig, spec: &ConvLayerSpec) -> (Vec<PalletRef>, u64, u64) {
+    let all_pallets = pallets(spec);
+    match cfg.fidelity {
         Fidelity::Full => {
             let n = all_pallets.len() as u64;
             (all_pallets, n, n)
@@ -46,49 +132,78 @@ pub fn simulate_layer(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult {
             let sel: Vec<PalletRef> = (0..take).map(|k| all_pallets[k * g % n]).collect();
             (sel, n as u64, take as u64)
         }
-    };
+    }
+}
 
-    let mut cycles = 0u64;
-    let mut nm_stalls = 0u64;
-    let mut sb_stalls = 0u64;
-    let mut oneffsets = 0u64;
+/// Simulates a slice of pallets against the shared layer scheduler. The
+/// two step-indexed buffers are sized once per call; the loop body itself
+/// performs no heap allocation — brick schedules come from the memo and
+/// NM fetch rows are counted on the stack.
+fn simulate_pallets(
+    cfg: &PraConfig,
+    spec: &ConvLayerSpec,
+    sched: &LayerScheduler,
+    dispatcher: &Dispatcher,
+    steps: &[BrickStep],
+    pallets: &[PalletRef],
+) -> Totals {
     let mut col_cycles_buf: Vec<[u32; 16]> = Vec::with_capacity(steps.len());
     let mut nmc_buf: Vec<u64> = Vec::with_capacity(steps.len());
-
-    for pallet in &selected {
+    let mut t = Totals::default();
+    for pallet in pallets {
         col_cycles_buf.clear();
         nmc_buf.clear();
-        for step in &steps {
-            let bricks = fetch_pallet_step(spec, &layer.neurons, *pallet, *step);
+        for step in steps {
             let mut per_col = [0u32; 16];
-            for (col, brick) in bricks.iter().enumerate().take(pallet.lanes) {
-                let sched = schedule_column(cfg, layer, brick);
-                per_col[col] = sched.cycles;
-                oneffsets += u64::from(sched.terms);
+            for (col, slot) in per_col.iter_mut().enumerate().take(pallet.lanes) {
+                let (cycles, terms) =
+                    sched.brick_cycles_terms(brick_for(spec, *pallet, col, *step));
+                *slot = cycles;
+                t.oneffsets += u64::from(terms);
             }
             col_cycles_buf.push(per_col);
             nmc_buf.push(dispatcher.fetch_cycles(spec, *pallet, *step));
         }
-        let outcome: PalletOutcome = match cfg.sync {
-            SyncPolicy::PerPallet => pallet_sync(&col_cycles_buf, &nmc_buf),
-            SyncPolicy::PerColumn { ssrs } => {
-                column_sync(&col_cycles_buf, pallet.lanes, Some(ssrs))
-            }
-            SyncPolicy::PerColumnIdeal => column_sync(&col_cycles_buf, pallet.lanes, None),
-        };
-        cycles += outcome.cycles;
-        nm_stalls += outcome.nm_stall_cycles;
-        sb_stalls += outcome.sb_stall_cycles;
+        let outcome = sync_pallet(cfg, &col_cycles_buf, &nmc_buf, pallet.lanes);
+        t.cycles += outcome.cycles;
+        t.nm_stalls += outcome.nm_stall_cycles;
+        t.sb_stalls += outcome.sb_stall_cycles;
     }
+    t
+}
 
-    // Scale the sampled pallets to the full layer, then by filter groups.
+fn sync_pallet(
+    cfg: &PraConfig,
+    col_cycles: &[[u32; 16]],
+    nmc: &[u64],
+    lanes: usize,
+) -> PalletOutcome {
+    match cfg.sync {
+        SyncPolicy::PerPallet => pallet_sync(col_cycles, nmc),
+        SyncPolicy::PerColumn { ssrs } => column_sync(col_cycles, lanes, Some(ssrs)),
+        SyncPolicy::PerColumnIdeal => column_sync(col_cycles, lanes, None),
+    }
+}
+
+/// Scales the accumulated totals from the sampled pallets to the full
+/// layer and derives the traffic counters — shared verbatim by the
+/// memoized and raw paths so they stay cycle-for-cycle identical.
+fn finish_layer(
+    cfg: &PraConfig,
+    spec: &ConvLayerSpec,
+    dispatcher: &Dispatcher,
+    t: Totals,
+    total: u64,
+    sampled: u64,
+) -> LayerResult {
+    let fg = cfg.chip.filter_groups(spec.num_filters) as u64;
     let scale = |v: u64| (v as u128 * total as u128 / sampled.max(1) as u128) as u64;
-    let cycles = scale(cycles) * fg;
-    let nm_stalls = scale(nm_stalls) * fg;
-    let sb_stalls = scale(sb_stalls) * fg;
-    let oneffsets = scale(oneffsets);
+    let cycles = scale(t.cycles) * fg;
+    let nm_stalls = scale(t.nm_stalls) * fg;
+    let sb_stalls = scale(t.sb_stalls) * fg;
+    let oneffsets = scale(t.oneffsets);
 
-    let mut counters = shared_traffic(chip, spec, &dispatcher);
+    let mut counters = shared_traffic(&cfg.chip, spec, dispatcher);
     // Each neuron oneffset pairs with every filter's synapse: terms =
     // oneffsets × N (spread across the 16 filter lanes × 16 tiles × groups).
     counters.terms = oneffsets * spec.num_filters as u64;
@@ -104,6 +219,42 @@ pub fn simulate_layer(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult {
         multiplications: spec.multiplications(),
         counters,
     }
+}
+
+/// The pre-memoization simulator: fetches and schedules every brick once
+/// per overlapping window, exactly as the hardware's dispatcher would
+/// stream it. Kept as the oracle for the layer-scoped pipeline — results
+/// must be cycle-for-cycle identical to [`simulate_layer`] — and as the
+/// `micro` bench's raw baseline.
+pub fn simulate_layer_raw(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult {
+    let spec = &layer.spec;
+    let dispatcher = layer_dispatcher(cfg);
+    let steps = brick_steps(spec);
+    let (selected, total, sampled) = select_pallets(cfg, spec);
+
+    let mut t = Totals::default();
+    let mut col_cycles_buf: Vec<[u32; 16]> = Vec::with_capacity(steps.len());
+    let mut nmc_buf: Vec<u64> = Vec::with_capacity(steps.len());
+    for pallet in &selected {
+        col_cycles_buf.clear();
+        nmc_buf.clear();
+        for step in &steps {
+            let bricks = fetch_pallet_step(spec, &layer.neurons, *pallet, *step);
+            let mut per_col = [0u32; 16];
+            for (col, brick) in bricks.iter().enumerate().take(pallet.lanes) {
+                let sched = schedule_column(cfg, layer, brick);
+                per_col[col] = sched.cycles;
+                t.oneffsets += u64::from(sched.terms);
+            }
+            col_cycles_buf.push(per_col);
+            nmc_buf.push(dispatcher.fetch_cycles(spec, *pallet, *step));
+        }
+        let outcome = sync_pallet(cfg, &col_cycles_buf, &nmc_buf, pallet.lanes);
+        t.cycles += outcome.cycles;
+        t.nm_stalls += outcome.nm_stall_cycles;
+        t.sb_stalls += outcome.sb_stall_cycles;
+    }
+    finish_layer(cfg, spec, &dispatcher, t, total, sampled)
 }
 
 fn gcd(mut a: usize, mut b: usize) -> usize {

@@ -1,0 +1,136 @@
+//! Cycle-for-cycle equivalence of the layer-scoped scheduling pipeline.
+//!
+//! The memoized simulator ([`pra_core::simulate_layer`]) must be
+//! indistinguishable from the retained pre-memoization oracle
+//! ([`pra_core::simulate_layer_raw`]) — not just in total cycles but in
+//! every counter — across the design space: both encodings, trimming on
+//! and off, every first-stage width, every synchronization policy, both
+//! representations, ragged geometry and sampled fidelity. A separate test
+//! pins the pallet-parallel invariant: parallel and serial simulation of
+//! the same layer are bit-identical.
+
+use pra_core::{simulate_layer, simulate_layer_raw, Encoding, Fidelity, PraConfig, SyncPolicy};
+use pra_fixed::PrecisionWindow;
+use pra_tensor::{ConvLayerSpec, Tensor3};
+use pra_workloads::{LayerWorkload, Representation};
+
+/// A layer with a ragged pallet row (out_x = 20) and mixed values.
+fn toy_layer() -> LayerWorkload {
+    let spec = ConvLayerSpec::new("toy", (20, 6, 32), (3, 3), 64, 1, 1).unwrap();
+    LayerWorkload {
+        neurons: Tensor3::from_fn(spec.input, |x, y, i| {
+            ((x * 131 + y * 241 + i * 37) % 4093) as u16
+        }),
+        spec,
+        window: PrecisionWindow::with_width(9, 2),
+        stripes_precision: 9,
+    }
+}
+
+/// Ragged channel depth (24 = 1.5 bricks) and stride 2.
+fn ragged_layer() -> LayerWorkload {
+    let spec = ConvLayerSpec::new("ragged", (22, 8, 24), (3, 3), 32, 2, 1).unwrap();
+    LayerWorkload {
+        neurons: Tensor3::from_fn(spec.input, |x, y, i| ((x * 7 + y * 911 + i * 5) % 600) as u16),
+        spec,
+        window: PrecisionWindow::with_width(11, 1),
+        stripes_precision: 11,
+    }
+}
+
+fn assert_identical(cfg: &PraConfig, layer: &LayerWorkload, what: &str) {
+    let memoized = simulate_layer(cfg, layer);
+    let raw = simulate_layer_raw(cfg, layer);
+    assert_eq!(memoized, raw, "memoized != raw for {what}");
+}
+
+#[test]
+fn memoized_equals_raw_across_l_and_trim() {
+    let layer = toy_layer();
+    for l in 0..=4 {
+        for trim in [true, false] {
+            let cfg = PraConfig::two_stage(l, Representation::Fixed16).with_trim(trim);
+            assert_identical(&cfg, &layer, &format!("L={l} trim={trim}"));
+        }
+    }
+}
+
+#[test]
+fn memoized_equals_raw_for_csd_encoding() {
+    let layer = toy_layer();
+    let cfg =
+        PraConfig { encoding: Encoding::Csd, ..PraConfig::two_stage(2, Representation::Fixed16) };
+    assert_identical(&cfg, &layer, "csd");
+}
+
+#[test]
+fn memoized_equals_raw_across_sync_policies() {
+    let layer = toy_layer();
+    for sync in [
+        SyncPolicy::PerPallet,
+        SyncPolicy::PerColumn { ssrs: 1 },
+        SyncPolicy::PerColumn { ssrs: 4 },
+        SyncPolicy::PerColumnIdeal,
+    ] {
+        let cfg = PraConfig { sync, ..PraConfig::two_stage(2, Representation::Fixed16) };
+        assert_identical(&cfg, &layer, &format!("{sync}"));
+    }
+}
+
+#[test]
+fn memoized_equals_raw_on_ragged_geometry_and_sampling() {
+    let layer = ragged_layer();
+    let cfg = PraConfig::two_stage(2, Representation::Fixed16);
+    assert_identical(&cfg, &layer, "ragged full");
+    let sampled = cfg.with_fidelity(Fidelity::Sampled { max_pallets: 3 });
+    assert_identical(&sampled, &layer, "ragged sampled");
+}
+
+#[test]
+fn memoized_equals_raw_for_quant8() {
+    let spec = ConvLayerSpec::new("q8", (18, 5, 16), (3, 3), 32, 1, 1).unwrap();
+    let layer = LayerWorkload {
+        neurons: Tensor3::from_fn(spec.input, |x, y, i| ((x * 31 + y * 17 + i * 13) % 256) as u16),
+        spec,
+        window: PrecisionWindow::new(7, 0),
+        stripes_precision: 8,
+    };
+    for l in [0u8, 2, 3] {
+        let cfg = PraConfig::two_stage(l, Representation::Quant8);
+        assert_identical(&cfg, &layer, &format!("quant8 L={l}"));
+    }
+}
+
+#[test]
+fn pallet_parallel_equals_serial() {
+    // The pallet-parallel reduction is order-preserving, so the parallel
+    // and serial paths must agree bit-for-bit — the same invariant the
+    // sweep driver pins for its job rows.
+    let layer = toy_layer();
+    for sync in [SyncPolicy::PerPallet, SyncPolicy::PerColumn { ssrs: 2 }] {
+        let cfg = PraConfig { sync, ..PraConfig::two_stage(2, Representation::Fixed16) };
+        let parallel = pra_core::sim::simulate_layer_view_with(&cfg, layer.view(), true);
+        let serial = pra_core::sim::simulate_layer_view_with(&cfg, layer.view(), false);
+        assert_eq!(parallel, serial, "{sync}");
+    }
+}
+
+#[test]
+fn msb_first_ablation_still_identical() {
+    // MSB-first takes the general scheduler path inside the memo; the
+    // pipeline must stay exact there too.
+    let layer = toy_layer();
+    let cfg = PraConfig {
+        scan_order: pra_core::ScanOrder::MsbFirst,
+        ..PraConfig::two_stage(1, Representation::Fixed16)
+    };
+    assert_identical(&cfg, &layer, "msb-first");
+}
+
+#[test]
+fn throughput_boosted_pip_still_identical() {
+    let layer = toy_layer();
+    let cfg =
+        PraConfig { oneffsets_per_cycle: 2, ..PraConfig::two_stage(2, Representation::Fixed16) };
+    assert_identical(&cfg, &layer, "x2 per cycle");
+}

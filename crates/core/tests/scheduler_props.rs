@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use pra_core::column::{schedule_brick, schedule_brick_with, ScanOrder, SchedulerConfig};
+use pra_core::column::{
+    schedule_brick, schedule_brick_oracle, schedule_brick_with, ScanOrder, SchedulerConfig,
+};
 use pra_core::tile::{column_sync, pallet_sync};
 
 fn arb_masks() -> impl Strategy<Value = [u32; 16]> {
@@ -27,6 +29,25 @@ proptest! {
         let s = schedule_brick_with(&masks, cfg);
         let pop: u32 = masks.iter().map(|m| m.count_ones()).sum();
         prop_assert_eq!(s.terms, pop);
+    }
+
+    /// The dispatching entry point (branchless fast path for the paper
+    /// configuration, general loop otherwise) equals the retained oracle
+    /// for every configuration: random bricks, L ∈ 0..=4, both scan
+    /// orders, 1..=3 oneffsets per cycle.
+    #[test]
+    fn fast_path_equals_oracle(
+        masks in arb_masks(),
+        l in 0u8..=4,
+        msb in any::<bool>(),
+        per_cycle in 1u8..=3,
+    ) {
+        let cfg = SchedulerConfig {
+            l_bits: l,
+            order: if msb { ScanOrder::MsbFirst } else { ScanOrder::LsbFirst },
+            per_cycle,
+        };
+        prop_assert_eq!(schedule_brick_with(&masks, cfg), schedule_brick_oracle(&masks, cfg));
     }
 
     /// Cycles never exceed the number of distinct powers present — the

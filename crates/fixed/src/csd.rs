@@ -69,6 +69,39 @@ pub fn encode(v: u16) -> Vec<SignedPower> {
     out
 }
 
+/// Power-set bit mask of the CSD recoding of `v`: bit `k` is set iff the
+/// recoding contains `±2^k`. This is the allocation-free form the cycle
+/// simulator schedules from (signs do not affect timing); it equals
+/// folding [`encode`]`(v)` over `1 << pow`.
+///
+/// ```
+/// use pra_fixed::csd::{encode, mask};
+///
+/// let v = 0b0111_0110;
+/// let folded = encode(v).iter().fold(0u32, |m, t| m | (1 << t.pow));
+/// assert_eq!(mask(v), folded);
+/// ```
+pub fn mask(v: u16) -> u32 {
+    let mut out = 0u32;
+    let mut x = v as u32;
+    let mut pow = 0u32;
+    while x != 0 {
+        if x & 1 == 0 {
+            x >>= 1;
+            pow += 1;
+            continue;
+        }
+        out |= 1 << pow;
+        // Same digit rule as `encode`: +1 if x mod 4 == 1, else -1 + carry.
+        if x & 0b11 == 0b01 {
+            x -= 1;
+        } else {
+            x += 1;
+        }
+    }
+    out
+}
+
 /// Reconstructs the value of a signed-power list.
 pub fn decode(terms: &[SignedPower]) -> i32 {
     terms.iter().map(SignedPower::value).sum()
@@ -83,6 +116,14 @@ pub fn term_count(v: u16) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mask_equals_encode_fold_exhaustively() {
+        for v in 0..=u16::MAX {
+            let folded = encode(v).iter().fold(0u32, |m, t| m | (1 << t.pow));
+            assert_eq!(mask(v), folded, "v = {v:#06x}");
+        }
+    }
 
     #[test]
     fn seven_needs_two_terms() {

@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use pra_tensor::brick::{brick_for, BrickStep, PalletRef};
-use pra_tensor::{ConvLayerSpec, BRICK};
+use pra_tensor::{ConvLayerSpec, BRICK, PALLET};
 
 /// Storage order of a layer's neuron array inside NM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -98,8 +98,15 @@ impl NeuronMemory {
         // and bricks are aligned); in RowMajor it is also contiguous and
         // brick-aligned because `i0` is a multiple of BRICK. So each brick
         // touches exactly one row unless it straddles (non-aligned I); we
-        // conservatively count both ends.
-        let mut rows: Vec<usize> = Vec::with_capacity(pallet.lanes * 2);
+        // conservatively count both ends. At most two rows per lane fit on
+        // the stack, keeping this call allocation-free — it runs once per
+        // brick step in the cycle simulator's hot loop.
+        // The 2-rows-per-lane stack buffer relies on the PalletRef
+        // invariant every generator upholds (at most PALLET lanes);
+        // enforce it rather than silently truncating a hand-built pallet.
+        assert!(pallet.lanes <= PALLET, "pallet has {} lanes, max {PALLET}", pallet.lanes);
+        let mut rows = [0usize; 2 * PALLET];
+        let mut n = 0usize;
         for lane in 0..pallet.lanes {
             let b = brick_for(spec, pallet, lane, step);
             if b.x < 0 || b.y < 0 || b.x as usize >= spec.input.x || b.y as usize >= spec.input.y {
@@ -109,14 +116,22 @@ impl NeuronMemory {
             let first = self.row_of(spec, x, y, b.i);
             let last_i = (b.i + BRICK - 1).min(spec.input.i - 1);
             let last = self.row_of(spec, x, y, last_i);
-            rows.push(first);
+            rows[n] = first;
+            n += 1;
             if last != first {
-                rows.push(last);
+                rows[n] = last;
+                n += 1;
             }
         }
+        let rows = &mut rows[..n];
         rows.sort_unstable();
-        rows.dedup();
-        rows.len()
+        let mut distinct = 0usize;
+        for k in 0..rows.len() {
+            if k == 0 || rows[k] != rows[k - 1] {
+                distinct += 1;
+            }
+        }
+        distinct
     }
 }
 

@@ -178,6 +178,33 @@ impl LayerWorkload {
         let w = self.window;
         self.neurons.map(|v| w.trim(v))
     }
+
+    /// A borrowed view of this layer, for callers that already own (or
+    /// share) the neuron tensor and must not clone it into a workload.
+    pub fn view(&self) -> LayerView<'_> {
+        LayerView {
+            spec: &self.spec,
+            window: self.window,
+            stripes_precision: self.stripes_precision,
+            neurons: &self.neurons,
+        }
+    }
+}
+
+/// A borrowed [`LayerWorkload`]: the same simulation inputs without
+/// ownership of the neuron tensor. The inference driver hands the cycle
+/// simulator views of its live activation tensors instead of cloning
+/// every layer's activations into a fresh workload.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerView<'a> {
+    /// Layer geometry.
+    pub spec: &'a ConvLayerSpec,
+    /// The layer's precision window.
+    pub window: PrecisionWindow,
+    /// The Stripes serial precision for this layer.
+    pub stripes_precision: u8,
+    /// The layer's input neurons.
+    pub neurons: &'a Tensor3<u16>,
 }
 
 /// A network's full convolutional workload in one representation.

@@ -26,5 +26,5 @@ pub mod profiles;
 pub mod stats;
 pub mod traces;
 
-pub use generator::{ActivationModel, LayerWorkload, NetworkWorkload, Representation};
+pub use generator::{ActivationModel, LayerView, LayerWorkload, NetworkWorkload, Representation};
 pub use networks::Network;

@@ -5,8 +5,9 @@
 //! pra speedup <network> [--quant8]     DaDN/Stripes/PRA speedups
 //! pra capacity <network>               NM/SB footprint audit
 //! pra networks                         list the evaluated networks
-//! pra sweep [--serial] [--seed N]      all networks x engines x representations,
-//!                                      parallel, consolidated CSV report
+//! pra sweep [--serial] [--full] [--seed N]
+//!                                      all networks x engines x representations,
+//!                                      parallel, consolidated CSV + timing reports
 //! ```
 
 use std::process::ExitCode;
@@ -54,7 +55,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--seed N]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--seed N]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -97,15 +98,17 @@ fn cmd_speedup(net: Network, repr: Representation) {
     }
 }
 
-/// `pra sweep [--serial] [--seed N]`: every network x engine x
-/// representation, fanned out over the thread pool, with one
-/// consolidated CSV dropped under `target/pra-reports/`.
+/// `pra sweep [--serial] [--full] [--seed N]`: every network x engine x
+/// representation, fanned out over the thread pool, with the
+/// consolidated CSV and the machine-readable timing report
+/// (`bench.json`) dropped under `target/pra-reports/`.
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut cfg = SweepConfig::full();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--serial" => cfg.parallel = false,
+            "--full" => cfg.fidelity = Fidelity::Full,
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 cfg.seed = parse_seed(v)?;
@@ -134,9 +137,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         sweep::engine_labels(Representation::Fixed16).len(),
         cfg.seed,
     );
-    let start = std::time::Instant::now();
     let out = sweep::run_sweep(&cfg);
-    let elapsed = start.elapsed();
 
     let mut table = Table::new(sweep::CSV_HEADER);
     for row in sweep::csv_rows(&out.rows) {
@@ -150,15 +151,25 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     geo.print("Cross-network geometric means");
 
+    let mut timing = Table::new(["job", "repr", "wall ms"]);
+    for t in &out.timings {
+        timing.row([t.network.clone(), t.repr.clone(), format!("{:.1}", t.wall_ms)]);
+    }
+    timing.print("Per-job wall-clock");
+
     match sweep::write_report(&out.rows) {
         Some(path) => println!("consolidated report: {}", path.display()),
         None => eprintln!("warning: consolidated report could not be written"),
+    }
+    match sweep::write_bench_json(&out) {
+        Some(path) => println!("timing report: {}", path.display()),
+        None => eprintln!("warning: timing report could not be written"),
     }
     println!(
         "{} jobs on {} worker thread(s) in {:.1}s",
         out.jobs,
         out.threads_used,
-        elapsed.as_secs_f64()
+        out.total_wall_ms / 1e3
     );
     Ok(())
 }
