@@ -1,6 +1,7 @@
 //! Criterion microbenchmarks for the hot kernels: oneffset encoding, CSD
 //! recoding, the column scheduler, the PIP datapath, the reference
-//! convolution, and a full Pragmatic layer simulation.
+//! convolution, a full Pragmatic layer simulation, and synthetic
+//! workload generation (serial vs parallel row jobs).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -12,7 +13,7 @@ use pra_fixed::{csd, OneffsetList};
 use pra_tensor::conv::convolve;
 use pra_tensor::{ConvLayerSpec, Tensor3};
 use pra_workloads::generator::generate_synapses;
-use pra_workloads::{LayerWorkload, Representation};
+use pra_workloads::{ActivationModel, LayerWorkload, Network, NetworkWorkload, Representation};
 
 fn bench_encoding(c: &mut Criterion) {
     let values: Vec<u16> =
@@ -138,9 +139,52 @@ fn bench_layers(c: &mut Criterion) {
     });
 }
 
+fn bench_generator(c: &mut Criterion) {
+    // Generator throughput over a whole network build (AlexNet, ~400k
+    // neurons), with an explicit model so the first-use calibration fit
+    // stays out of the measurement. Serial and parallel row jobs are
+    // bit-identical by construction; the gap is pure thread fan-out.
+    let model = ActivationModel {
+        zero_frac: 0.45,
+        sigma: 0.12,
+        suffix_density: 0.35,
+        outlier_prob: 0.008,
+        dense_prob: 0.10,
+        heavy_share: 0.40,
+    };
+    let repr = Representation::Fixed16;
+    let neurons: usize = Network::AlexNet.conv_layers().iter().map(|s| s.input.len()).sum();
+    c.bench_function("workload_gen_serial_alexnet", |b| {
+        b.iter(|| {
+            black_box(NetworkWorkload::build_with_model_serial(Network::AlexNet, repr, model, 7))
+        })
+    });
+    c.bench_function("workload_gen_parallel_alexnet", |b| {
+        b.iter(|| black_box(NetworkWorkload::build_with_model(Network::AlexNet, repr, model, 7)))
+    });
+    // Throughput in the unit the ROADMAP tracks.
+    for (label, parallel) in [("serial", false), ("parallel", true)] {
+        let reps = 3u64;
+        let start = std::time::Instant::now();
+        for r in 0..reps {
+            let w = if parallel {
+                NetworkWorkload::build_with_model(Network::AlexNet, repr, model, 7 + r)
+            } else {
+                NetworkWorkload::build_with_model_serial(Network::AlexNet, repr, model, 7 + r)
+            };
+            black_box(w);
+        }
+        let per_build = start.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "workload_gen_{label:<8} throughput: {:>7.1} Mneurons/s ({neurons} neurons/build)",
+            neurons as f64 / per_build / 1e6
+        );
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_encoding, bench_scheduler, bench_pip, bench_layers
+    targets = bench_encoding, bench_scheduler, bench_pip, bench_layers, bench_generator
 }
 criterion_main!(benches);

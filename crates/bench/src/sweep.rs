@@ -1,18 +1,25 @@
 //! Rayon-parallel multi-network sweep — the batch runner behind
 //! `pra sweep`.
 //!
-//! One *job* is a `(network, representation)` pair: the job builds the
-//! calibrated workload once, runs the bit-parallel DaDianNao baseline,
-//! and then every other engine against it. Jobs are independent, so the
-//! sweep fans them out across a work-stealing thread pool and collects
-//! the per-engine speedup rows in a deterministic order (input order is
-//! preserved by the parallel map; every job is seeded independently of
-//! scheduling). This is the first step on the ROADMAP path toward
-//! batched, heavy-traffic simulation serving: the driver is the shape a
-//! request batch would take, with the CSV standing in for the response.
+//! One *job* is a `(network, representation)` pair, structured around
+//! build-once shared artifacts (DESIGN.md §8): the job generates the
+//! calibrated workload once (parallel row jobs), builds one
+//! [`SharedEncodedNetwork`] covering every PRA design point (one mask
+//! encoding, one schedule memo per scheduler configuration, one NM/SB
+//! traffic count), and then hands borrowed `LayerView`s plus the shared
+//! artifacts to every engine — nothing is re-encoded or recounted per
+//! design point. Jobs are independent, so the sweep fans them out across
+//! a work-stealing thread pool and collects the per-engine speedup rows
+//! in a deterministic order (input order is preserved by the parallel
+//! map; every job is seeded independently of scheduling). This is the
+//! first step on the ROADMAP path toward batched, heavy-traffic
+//! simulation serving: the driver is the shape a request batch would
+//! take, with the CSV standing in for the response.
 //!
 //! Results land in one consolidated CSV under `target/pra-reports/`
-//! via [`crate::report`].
+//! via [`crate::report`]; per-phase job timings (generation / encoding /
+//! simulation) land in `bench.json` so bottleneck hunts can read the
+//! trajectory instead of re-profiling.
 
 use std::cell::RefCell;
 use std::collections::hash_map::Entry;
@@ -24,10 +31,10 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use pra_core::{Fidelity, PraConfig};
+use pra_core::{Fidelity, PraConfig, SharedEncodedNetwork};
 use pra_engines::{dadn, stripes};
 use pra_sim::{geomean, ChipConfig};
-use pra_workloads::{Network, NetworkWorkload, Representation};
+use pra_workloads::{LayerView, Network, NetworkWorkload, Representation};
 
 use crate::report;
 
@@ -79,19 +86,29 @@ pub struct SweepRow {
     pub speedup: f64,
 }
 
-/// Wall-clock telemetry for one `(network, representation)` job.
+/// Wall-clock telemetry for one `(network, representation)` job, split
+/// by phase so bottleneck hunts can read `bench.json` instead of
+/// re-profiling: workload generation, shared-artifact encoding, and
+/// engine simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobTiming {
     /// Network name, e.g. `"Alexnet"`.
     pub network: String,
     /// Representation label: `"fp16"` or `"quant8"`.
     pub repr: String,
-    /// Wall-clock milliseconds the job took (workload build + every
-    /// engine), as observed on its worker thread. Jobs running
-    /// concurrently contend for cores (and the cycle simulator itself
-    /// parallelizes over pallets), so per-job numbers are comparable
-    /// *within* a run; cross-run trends should use
-    /// [`SweepOutcome::total_wall_ms`].
+    /// Milliseconds generating the calibrated workload (including the
+    /// first-use calibration fit on whichever job triggers it).
+    pub gen_ms: f64,
+    /// Milliseconds building the shared artifacts: mask encodings,
+    /// schedule memos, engine-independent traffic counters.
+    pub encode_ms: f64,
+    /// Milliseconds running every engine against the shared artifacts.
+    pub sim_ms: f64,
+    /// Wall-clock milliseconds for the whole job, as observed on its
+    /// worker thread. Jobs running concurrently contend for cores (and
+    /// the cycle simulator itself parallelizes over pallets), so per-job
+    /// numbers are comparable *within* a run; cross-run trends should
+    /// use [`SweepOutcome::total_wall_ms`].
     pub wall_ms: f64,
 }
 
@@ -166,10 +183,30 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
             }
         });
         let start = Instant::now();
+        let ms = |from: Instant| from.elapsed().as_secs_f64() * 1e3;
         let chip = ChipConfig::dadn();
+
+        // Phase 1 — generate the workload exactly once (parallel row
+        // jobs inside; bit-identical to serial generation).
         let workload = NetworkWorkload::build(net, repr, cfg.seed);
-        let base = dadn::run(&chip, &workload);
+        let gen_ms = ms(start);
+
+        // Phase 2 — build the shared artifacts exactly once: mask
+        // encodings, schedule memos and the engine-independent traffic
+        // counters every engine below borrows.
+        let encode_start = Instant::now();
         let configs = pra_configs(repr, cfg.fidelity);
+        let shared = SharedEncodedNetwork::from_workload(&configs, &workload);
+        let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+        let encode_ms = ms(encode_start);
+
+        // Phase 3 — every engine consumes borrowed views plus the shared
+        // artifacts; nothing is re-encoded per design point. The
+        // baseline engines' dispatchers use the default NM layout; the
+        // checked view hands back counters only if that matches.
+        let sim_start = Instant::now();
+        let traffic = shared.traffic_view(&chip, Default::default(), repr);
+        let base = dadn::run_views(&chip, &views, repr, traffic);
         let mut rows = Vec::with_capacity(2 + configs.len());
         let mut push = |engine: String, result: &pra_sim::RunResult| {
             rows.push(SweepRow {
@@ -182,14 +219,19 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
             });
         };
         push("DaDN".to_string(), &base);
-        push("Stripes".to_string(), &stripes::run(&chip, &workload));
+        push("Stripes".to_string(), &stripes::run_views(&chip, &views, repr, traffic));
         for pra_cfg in configs {
-            push(pra_cfg.label(), &pra_core::run(&pra_cfg, &workload));
+            push(pra_cfg.label(), &pra_core::run_shared(&pra_cfg, &workload, &shared));
         }
+        let sim_ms = ms(sim_start);
+
         let timing = JobTiming {
             network: net.name().to_string(),
             repr: repr_label(repr).to_string(),
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            gen_ms,
+            encode_ms,
+            sim_ms,
+            wall_ms: ms(start),
         };
         (rows, timing)
     };
@@ -241,7 +283,8 @@ pub fn write_report(rows: &[SweepRow]) -> Option<PathBuf> {
     report::write_csv("sweep", &CSV_HEADER, &csv_rows(rows))
 }
 
-/// Renders the machine-readable perf report: one record per job x engine
+/// Renders the machine-readable perf report: per-job phase timings
+/// (generation / encoding / simulation), one record per job x engine
 /// with the job's wall-clock, plus sweep-level totals. This is the file
 /// future PRs diff against to keep the perf trajectory visible.
 pub fn bench_json(out: &SweepOutcome) -> String {
@@ -254,6 +297,21 @@ pub fn bench_json(out: &SweepOutcome) -> String {
     let _ = writeln!(body, "  \"total_wall_ms\": {:.3},", out.total_wall_ms);
     let _ = writeln!(body, "  \"jobs\": {},", out.jobs);
     let _ = writeln!(body, "  \"threads_used\": {},", out.threads_used);
+    let _ = writeln!(body, "  \"job_timings\": [");
+    for (k, t) in out.timings.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "    {{\"job\": {}, \"repr\": {}, \"gen_ms\": {:.3}, \"encode_ms\": {:.3}, \"sim_ms\": {:.3}, \"wall_ms\": {:.3}}}{}",
+            report::json_string(&t.network),
+            report::json_string(&t.repr),
+            t.gen_ms,
+            t.encode_ms,
+            t.sim_ms,
+            t.wall_ms,
+            if k + 1 == out.timings.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(body, "  ],");
     let _ = writeln!(body, "  \"rows\": [");
     for (k, r) in out.rows.iter().enumerate() {
         let wall = wall_by_job.get(&(r.network.as_str(), r.repr.as_str())).copied().unwrap_or(0.0);
@@ -396,6 +454,16 @@ mod tests {
         assert_eq!(out.timings.len(), out.jobs);
         for t in &out.timings {
             assert!(t.wall_ms > 0.0, "{}/{} has zero wall time", t.network, t.repr);
+            assert!(t.gen_ms > 0.0, "{}/{} has zero generation time", t.network, t.repr);
+            assert!(t.sim_ms > 0.0, "{}/{} has zero simulation time", t.network, t.repr);
+            assert!(t.encode_ms >= 0.0);
+            // Phases partition the job (small slack for the clock reads).
+            assert!(
+                t.gen_ms + t.encode_ms + t.sim_ms <= t.wall_ms * 1.01 + 0.1,
+                "{}/{}: phases exceed wall",
+                t.network,
+                t.repr
+            );
         }
         assert!(
             out.total_wall_ms >= out.timings.iter().cloned().fold(0.0f64, |m, t| m.max(t.wall_ms))
@@ -413,9 +481,13 @@ mod tests {
             assert!(body.contains(&format!("\"engine\": \"{}\"", r.engine)), "{}", r.engine);
             assert!(body.contains(&format!("\"cycles\": {}", r.cycles)));
         }
-        // One record per row, each carrying the five keys.
-        assert_eq!(body.matches("\"wall_ms\"").count(), out.rows.len());
-        assert_eq!(body.matches("\"job\"").count(), out.rows.len());
+        // One record per row plus one per job timing, each carrying a
+        // wall clock; phase keys appear once per job.
+        assert_eq!(body.matches("\"wall_ms\"").count(), out.rows.len() + out.jobs);
+        assert_eq!(body.matches("\"job\"").count(), out.rows.len() + out.jobs);
+        assert_eq!(body.matches("\"gen_ms\"").count(), out.jobs);
+        assert_eq!(body.matches("\"encode_ms\"").count(), out.jobs);
+        assert_eq!(body.matches("\"sim_ms\"").count(), out.jobs);
     }
 
     #[test]

@@ -61,6 +61,17 @@ pub enum Fidelity {
     },
 }
 
+/// The configuration slice that determines a layer's encoded mask buffer
+/// (together with the layer's precision window): design points that agree
+/// here see byte-identical [`crate::EncodedLayer`]s and can share one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EncodingKey {
+    /// Whether §V-F software trimming is applied before encoding.
+    pub software_trim: bool,
+    /// The term encoding.
+    pub encoding: Encoding,
+}
+
 /// A complete Pragmatic design point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PraConfig {
@@ -146,6 +157,11 @@ impl PraConfig {
             SyncPolicy::PerColumn { ssrs } => format!("{base}-{ssrs}R{enc}"),
             SyncPolicy::PerColumnIdeal => format!("{base}-idealR{enc}"),
         }
+    }
+
+    /// The mask-encoding settings implied by this configuration.
+    pub fn encoding_key(&self) -> EncodingKey {
+        EncodingKey { software_trim: self.software_trim, encoding: self.encoding }
     }
 
     /// The column-scheduler parameters implied by this configuration.

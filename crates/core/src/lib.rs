@@ -22,6 +22,10 @@
 //! * [`schedule`] — the layer-scoped scheduling pipeline: encode-once
 //!   mask buffers and the brick-schedule memo the simulator's hot path
 //!   runs on.
+//! * [`shared`] — build-once artifacts shared across design points:
+//!   one encoding per [`EncodingKey`], one schedule memo per
+//!   [`SchedulerConfig`], one traffic count per layer (the sweep's
+//!   cross-config reuse).
 //! * [`sim`] — layer- and network-level simulation producing
 //!   [`pra_sim::RunResult`]s comparable with the baseline engines.
 //! * [`functional`] — bit-exact computation of layer outputs through the
@@ -42,10 +46,14 @@ pub mod functional;
 pub mod inference;
 pub mod pip;
 pub mod schedule;
+pub mod shared;
 pub mod sim;
 pub mod tile;
 
 pub use column::{ScanOrder, SchedulerConfig};
-pub use config::{Encoding, Fidelity, PraConfig, SyncPolicy};
+pub use config::{Encoding, EncodingKey, Fidelity, PraConfig, SyncPolicy};
 pub use schedule::{EncodedLayer, LayerScheduler};
-pub use sim::{run, simulate_layer, simulate_layer_raw, simulate_layer_view};
+pub use shared::SharedEncodedNetwork;
+pub use sim::{
+    run, run_shared, simulate_layer, simulate_layer_raw, simulate_layer_shared, simulate_layer_view,
+};

@@ -23,13 +23,14 @@
 //! per brick step (both buffers are sized once per layer).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pra_fixed::csd;
 use pra_tensor::brick::BrickRef;
 use pra_tensor::{Dim3, Tensor3, BRICK};
 
 use crate::column::{schedule_brick_with, ColumnSchedule, SchedulerConfig};
-use crate::config::{Encoding, PraConfig};
+use crate::config::{Encoding, EncodingKey, PraConfig};
 
 /// The per-layer flat mask buffer: every neuron trimmed and encoded
 /// exactly once, stored brick-contiguously (ragged channel tails are
@@ -50,12 +51,24 @@ impl EncodedLayer {
         window: pra_fixed::PrecisionWindow,
         neurons: &Tensor3<u16>,
     ) -> Self {
+        Self::with_key(cfg.encoding_key(), window, neurons)
+    }
+
+    /// [`EncodedLayer::new`] from the bare [`EncodingKey`] — the masks
+    /// depend on nothing else of a design point, which is what lets
+    /// [`crate::SharedEncodedNetwork`] share one buffer across every
+    /// configuration that agrees on the key.
+    pub fn with_key(
+        key: EncodingKey,
+        window: pra_fixed::PrecisionWindow,
+        neurons: &Tensor3<u16>,
+    ) -> Self {
         let dim = neurons.dim();
         let bricks_deep = dim.i.div_ceil(BRICK);
         let mut masks = vec![0u32; dim.x * dim.y * bricks_deep * BRICK];
         let encode = |v: u16| -> u32 {
-            let v = if cfg.software_trim { window.trim(v) } else { v };
-            match cfg.encoding {
+            let v = if key.software_trim { window.trim(v) } else { v };
+            match key.encoding {
                 Encoding::Oneffset => u32::from(v),
                 Encoding::Csd => csd::mask(v),
             }
@@ -109,9 +122,16 @@ fn unpack(packed: u64) -> (u32, u32) {
 
 /// The layer-scoped brick-schedule memo: encode-once masks plus one
 /// lazily-filled atomic `(cycles, terms)` slot per input brick.
+///
+/// A brick's schedule is a pure function of `(masks, SchedulerConfig)`,
+/// so the scheduler — memo included — is shareable across design points
+/// that agree on those two (they may differ in synchronization policy,
+/// fidelity or chip structure); [`crate::SharedEncodedNetwork`] exploits
+/// exactly this. The mask buffer is held behind an [`Arc`] so schedulers
+/// with different `SchedulerConfig`s still share one encoding.
 #[derive(Debug)]
 pub struct LayerScheduler {
-    encoded: EncodedLayer,
+    encoded: Arc<EncodedLayer>,
     memo: Vec<AtomicU64>,
     scheduler: SchedulerConfig,
     per_cycle: u32,
@@ -125,11 +145,20 @@ impl LayerScheduler {
         window: pra_fixed::PrecisionWindow,
         neurons: &Tensor3<u16>,
     ) -> Self {
-        let encoded = EncodedLayer::new(cfg, window, neurons);
+        Self::with_encoded(Arc::new(EncodedLayer::new(cfg, window, neurons)), cfg.scheduler())
+    }
+
+    /// Builds the memo over an already-encoded (possibly shared) mask
+    /// buffer.
+    pub fn with_encoded(encoded: Arc<EncodedLayer>, scheduler: SchedulerConfig) -> Self {
         let bricks = encoded.dim.x * encoded.dim.y * encoded.bricks_deep;
         let memo = (0..bricks).map(|_| AtomicU64::new(UNSET)).collect();
-        let scheduler = cfg.scheduler();
         Self { encoded, memo, scheduler, per_cycle: u32::from(scheduler.per_cycle) }
+    }
+
+    /// The shared handle to the encode-once mask buffer.
+    pub fn encoded_arc(&self) -> &Arc<EncodedLayer> {
+        &self.encoded
     }
 
     /// The `(cycles, terms)` of the column schedule for the brick at `b`.

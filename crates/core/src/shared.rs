@@ -1,0 +1,276 @@
+//! Build-once simulation artifacts shared across design points.
+//!
+//! A sweep job evaluates one workload under several [`PraConfig`]s, and
+//! most of what `simulate_layer` builds per run does not depend on the
+//! whole design point:
+//!
+//! * the encoded mask buffer ([`EncodedLayer`]) depends only on the
+//!   layer's neurons, its precision window and the [`EncodingKey`]
+//!   (trim + encoding) — identical for every evaluated PRA variant;
+//! * the brick-schedule memo ([`LayerScheduler`]) depends only on the
+//!   masks and the [`SchedulerConfig`] — synchronization policy, chip
+//!   structure and fidelity never reach it, so e.g. `PRA-2b` and
+//!   `PRA-2b-1R` share one fully-memoized scheduler;
+//! * the NM/SB traffic counters are identical across *all* engines by
+//!   the paper's scheduling convention (§VI-A, [`shared_traffic`]) as
+//!   long as chip, NM layout and representation agree.
+//!
+//! [`SharedEncodedNetwork`] materializes each distinct artifact exactly
+//! once per layer and hands out shared handles;
+//! [`crate::sim::run_shared`] consumes them in place of the per-run
+//! construction. Results are cycle-for-cycle identical to the unshared
+//! path — pinned by the equivalence grid in `tests/memo_sim.rs`.
+
+use std::sync::Arc;
+
+use pra_engines::shared_traffic;
+use pra_sim::{AccessCounters, ChipConfig, Dispatcher, NeuronMemory, NmLayout};
+use pra_workloads::{LayerView, NetworkWorkload, Representation};
+use rayon::prelude::*;
+
+use crate::column::SchedulerConfig;
+use crate::config::{EncodingKey, PraConfig};
+use crate::schedule::{EncodedLayer, LayerScheduler};
+
+/// One layer's shared artifacts: every distinct `(EncodingKey,
+/// SchedulerConfig)` pair the configuration set needs, each holding an
+/// [`Arc`] onto its (possibly further shared) mask buffer.
+struct SharedLayer {
+    schedulers: Vec<(EncodingKey, SchedulerConfig, Arc<LayerScheduler>)>,
+}
+
+/// Per-layer NM/SB traffic plus the chip view it was counted under —
+/// counters are only handed out to consumers that match the view, so a
+/// chip/layout/representation ablation can never silently borrow
+/// mismatched numbers.
+struct TrafficTable {
+    chip: ChipConfig,
+    nm_layout: NmLayout,
+    repr: Representation,
+    per_layer: Vec<AccessCounters>,
+}
+
+/// Encode-once, schedule-once artifacts for one workload under a set of
+/// design points (see the module docs).
+pub struct SharedEncodedNetwork {
+    layers: Vec<SharedLayer>,
+    /// Shared traffic, present when every built config agrees on chip,
+    /// NM layout and representation (`None` otherwise — consumers then
+    /// fall back to computing their own).
+    traffic: Option<TrafficTable>,
+}
+
+impl SharedEncodedNetwork {
+    /// Builds the shared artifacts for `layers` under `configs`,
+    /// fanning the per-layer encoding work out on the rayon pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn build(configs: &[PraConfig], layers: &[LayerView<'_>]) -> Self {
+        assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
+        // Distinct artifacts, preserving first-appearance order.
+        let mut wanted: Vec<(EncodingKey, SchedulerConfig)> = Vec::new();
+        for cfg in configs {
+            let pair = (cfg.encoding_key(), cfg.scheduler());
+            if !wanted.contains(&pair) {
+                wanted.push(pair);
+            }
+        }
+        let lead = configs[0];
+        let share_traffic = configs
+            .iter()
+            .all(|c| c.chip == lead.chip && c.nm_layout == lead.nm_layout && c.repr == lead.repr);
+
+        let views: Vec<&LayerView<'_>> = layers.iter().collect();
+        let built: Vec<(SharedLayer, AccessCounters)> = views
+            .into_par_iter()
+            .map(|view| {
+                let mut encodings: Vec<(EncodingKey, Arc<EncodedLayer>)> = Vec::new();
+                let mut schedulers = Vec::with_capacity(wanted.len());
+                for &(key, sched_cfg) in &wanted {
+                    let encoded = match encodings.iter().find(|(k, _)| *k == key) {
+                        Some((_, e)) => Arc::clone(e),
+                        None => {
+                            let e =
+                                Arc::new(EncodedLayer::with_key(key, view.window, view.neurons));
+                            encodings.push((key, Arc::clone(&e)));
+                            e
+                        }
+                    };
+                    schedulers.push((
+                        key,
+                        sched_cfg,
+                        Arc::new(LayerScheduler::with_encoded(encoded, sched_cfg)),
+                    ));
+                }
+                let traffic = if share_traffic {
+                    let nm = NeuronMemory::new(
+                        lead.nm_layout,
+                        lead.chip.nm_row_neurons(lead.repr.bits()),
+                    );
+                    shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
+                } else {
+                    AccessCounters::new()
+                };
+                (SharedLayer { schedulers }, traffic)
+            })
+            .collect();
+
+        let mut layers_out = Vec::with_capacity(built.len());
+        let mut traffic_out = Vec::with_capacity(built.len());
+        for (layer, traffic) in built {
+            layers_out.push(layer);
+            traffic_out.push(traffic);
+        }
+        let traffic = share_traffic.then_some(TrafficTable {
+            chip: lead.chip,
+            nm_layout: lead.nm_layout,
+            repr: lead.repr,
+            per_layer: traffic_out,
+        });
+        Self { layers: layers_out, traffic }
+    }
+
+    /// [`SharedEncodedNetwork::build`] over a workload's layers.
+    pub fn from_workload(configs: &[PraConfig], workload: &NetworkWorkload) -> Self {
+        let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+        Self::build(configs, &views)
+    }
+
+    /// Number of layers the artifacts were built for.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The shared scheduler for `layer` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network was not built for a configuration with
+    /// `cfg`'s encoding key and scheduler parameters — sharing silently
+    /// mismatched artifacts would corrupt results.
+    pub fn scheduler(&self, layer: usize, cfg: &PraConfig) -> &Arc<LayerScheduler> {
+        let (key, sched_cfg) = (cfg.encoding_key(), cfg.scheduler());
+        self.layers[layer]
+            .schedulers
+            .iter()
+            .find(|(k, s, _)| *k == key && *s == sched_cfg)
+            .map(|(_, _, sched)| sched)
+            .unwrap_or_else(|| {
+                panic!("SharedEncodedNetwork was not built for {} (layer {layer})", cfg.label())
+            })
+    }
+
+    /// The shared NM/SB traffic counters for `layer` under `cfg`, or
+    /// `None` when `cfg`'s chip, NM layout or representation differs
+    /// from the view the counters were counted under (the caller then
+    /// computes its own) — unlike schedules, traffic is *not* keyed by
+    /// the scheduler parameters, so the match is checked here instead.
+    pub fn traffic_for(&self, layer: usize, cfg: &PraConfig) -> Option<&AccessCounters> {
+        self.traffic
+            .as_ref()
+            .filter(|t| t.chip == cfg.chip && t.nm_layout == cfg.nm_layout && t.repr == cfg.repr)
+            .map(|t| &t.per_layer[layer])
+    }
+
+    /// All per-layer traffic counters — the slice other engines'
+    /// `run_views` entry points accept — provided the caller's chip
+    /// view matches the one the counters were counted under. `layout`
+    /// is the NM layout the caller's dispatcher would use
+    /// (`NmLayout::default()` for the baseline engines).
+    pub fn traffic_view(
+        &self,
+        chip: &ChipConfig,
+        layout: NmLayout,
+        repr: Representation,
+    ) -> Option<&[AccessCounters]> {
+        self.traffic
+            .as_ref()
+            .filter(|t| t.chip == *chip && t.nm_layout == layout && t.repr == repr)
+            .map(|t| t.per_layer.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Encoding;
+    use pra_fixed::PrecisionWindow;
+    use pra_tensor::{ConvLayerSpec, Tensor3};
+    use pra_workloads::{LayerWorkload, Representation};
+
+    fn toy_layer() -> LayerWorkload {
+        let spec = ConvLayerSpec::new("toy", (12, 6, 32), (3, 3), 32, 1, 1).unwrap();
+        LayerWorkload {
+            neurons: Tensor3::from_fn(spec.input, |x, y, i| ((x * 31 + y * 7 + i) % 777) as u16),
+            spec,
+            window: PrecisionWindow::with_width(9, 2),
+            stripes_precision: 9,
+        }
+    }
+
+    #[test]
+    fn equal_scheduler_configs_share_one_scheduler() {
+        let layer = toy_layer();
+        let configs = [
+            PraConfig::two_stage(2, Representation::Fixed16),
+            PraConfig::per_column(1, Representation::Fixed16),
+            PraConfig::single_stage(Representation::Fixed16),
+        ];
+        let shared = SharedEncodedNetwork::build(&configs, &[layer.view()]);
+        // PRA-2b and PRA-2b-1R agree on (key, scheduler): same Arc.
+        let a = shared.scheduler(0, &configs[0]);
+        let b = shared.scheduler(0, &configs[1]);
+        assert!(Arc::ptr_eq(a, b), "equal scheduler configs must share the memo");
+        // PRA-4b differs in L but shares the mask buffer.
+        let c = shared.scheduler(0, &configs[2]);
+        assert!(!Arc::ptr_eq(a, c));
+        assert!(Arc::ptr_eq(a.encoded_arc(), c.encoded_arc()), "same key must share masks");
+    }
+
+    #[test]
+    fn distinct_encodings_get_distinct_masks() {
+        let layer = toy_layer();
+        let csd = PraConfig {
+            encoding: Encoding::Csd,
+            ..PraConfig::two_stage(2, Representation::Fixed16)
+        };
+        let one = PraConfig::two_stage(2, Representation::Fixed16);
+        let shared = SharedEncodedNetwork::build(&[one, csd], &[layer.view()]);
+        let a = shared.scheduler(0, &one);
+        let b = shared.scheduler(0, &csd);
+        assert!(!Arc::ptr_eq(a.encoded_arc(), b.encoded_arc()));
+    }
+
+    #[test]
+    fn traffic_shared_only_under_matching_chip_view() {
+        let layer = toy_layer();
+        let one = PraConfig::two_stage(2, Representation::Fixed16);
+        let shared = SharedEncodedNetwork::build(&[one], &[layer.view()]);
+        assert!(shared.traffic_for(0, &one).is_some());
+        assert!(shared.traffic_view(&one.chip, one.nm_layout, one.repr).is_some());
+        // A consumer whose chip view differs gets nothing — even though
+        // its scheduler parameters match, it must count its own traffic.
+        let row_major = PraConfig { nm_layout: NmLayout::RowMajor, ..one };
+        let _ = shared.scheduler(0, &row_major); // schedules DO match
+        assert!(shared.traffic_for(0, &row_major).is_none(), "layout ablation must not reuse");
+        assert!(shared.traffic_view(&one.chip, NmLayout::RowMajor, one.repr).is_none());
+        let quant = PraConfig::two_stage(2, Representation::Quant8);
+        assert!(shared.traffic_for(0, &quant).is_none());
+        let mixed = SharedEncodedNetwork::build(&[one, quant], &[layer.view()]);
+        assert!(
+            mixed.traffic_for(0, &one).is_none(),
+            "mixed representations must not share traffic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not built for")]
+    fn missing_configuration_panics() {
+        let layer = toy_layer();
+        let one = PraConfig::two_stage(2, Representation::Fixed16);
+        let shared = SharedEncodedNetwork::build(&[one], &[layer.view()]);
+        let _ = shared.scheduler(0, &PraConfig::single_stage(Representation::Fixed16));
+    }
+}

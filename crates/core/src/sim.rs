@@ -17,7 +17,7 @@
 //! against.
 
 use pra_engines::shared_traffic;
-use pra_sim::{ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
+use pra_sim::{AccessCounters, ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
 use pra_tensor::brick::{brick_for, brick_steps, fetch_pallet_step, pallets, BrickStep, PalletRef};
 use pra_tensor::{ConvLayerSpec, BRICK, PALLET};
 use pra_workloads::{LayerView, LayerWorkload, NetworkWorkload};
@@ -26,6 +26,7 @@ use rayon::prelude::*;
 use crate::column::{csd_mask, schedule_brick_with, ColumnSchedule};
 use crate::config::{Encoding, Fidelity, PraConfig, SyncPolicy};
 use crate::schedule::LayerScheduler;
+use crate::shared::SharedEncodedNetwork;
 use crate::tile::{column_sync, pallet_sync, PalletOutcome};
 
 /// Simulates one layer on the configured Pragmatic design point.
@@ -49,11 +50,37 @@ pub fn simulate_layer_view_with(
     layer: LayerView<'_>,
     parallel: bool,
 ) -> LayerResult {
+    let sched = LayerScheduler::new(cfg, layer.window, layer.neurons);
+    simulate_layer_sched(cfg, layer, &sched, None, parallel)
+}
+
+/// Simulates one borrowed layer against an externally-built (typically
+/// shared) [`LayerScheduler`], optionally reusing precomputed NM/SB
+/// traffic counters. Cycle-for-cycle identical to [`simulate_layer_view`]
+/// when the scheduler was built for `cfg`'s encoding key, scheduler
+/// parameters and the layer's window — [`SharedEncodedNetwork`] enforces
+/// that pairing.
+pub fn simulate_layer_shared(
+    cfg: &PraConfig,
+    layer: LayerView<'_>,
+    sched: &LayerScheduler,
+    traffic: Option<&AccessCounters>,
+) -> LayerResult {
+    simulate_layer_sched(cfg, layer, sched, traffic, true)
+}
+
+/// Shared core of the memoized simulation paths.
+fn simulate_layer_sched(
+    cfg: &PraConfig,
+    layer: LayerView<'_>,
+    sched: &LayerScheduler,
+    traffic: Option<&AccessCounters>,
+    parallel: bool,
+) -> LayerResult {
     let spec = layer.spec;
     let dispatcher = layer_dispatcher(cfg);
     let steps = brick_steps(spec);
     let (selected, total, sampled) = select_pallets(cfg, spec);
-    let sched = LayerScheduler::new(cfg, layer.window, layer.neurons);
 
     // Fan out only when each worker gets a meaningful slice: heavily
     // sampled runs (and tiny layers) stay serial, which avoids paying
@@ -75,13 +102,17 @@ pub fn simulate_layer_view_with(
             .chunks(chunk)
             .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|c| simulate_pallets(cfg, spec, &sched, &dispatcher, &steps, c))
+            .map(|c| simulate_pallets(cfg, spec, sched, &dispatcher, &steps, c))
             .collect();
         parts.into_iter().fold(Totals::default(), Totals::add)
     } else {
-        simulate_pallets(cfg, spec, &sched, &dispatcher, &steps, &selected)
+        simulate_pallets(cfg, spec, sched, &dispatcher, &steps, &selected)
     };
-    finish_layer(cfg, spec, &dispatcher, totals, total, sampled)
+    let base = match traffic {
+        Some(t) => *t,
+        None => shared_traffic(&cfg.chip, spec, &dispatcher),
+    };
+    finish_layer(cfg, spec, base, totals, total, sampled)
 }
 
 /// Per-run accumulator, combined with an order-preserving fold.
@@ -186,12 +217,13 @@ fn sync_pallet(
 }
 
 /// Scales the accumulated totals from the sampled pallets to the full
-/// layer and derives the traffic counters — shared verbatim by the
-/// memoized and raw paths so they stay cycle-for-cycle identical.
+/// layer and derives the traffic counters from the engine-independent
+/// base — shared verbatim by the memoized and raw paths so they stay
+/// cycle-for-cycle identical.
 fn finish_layer(
     cfg: &PraConfig,
     spec: &ConvLayerSpec,
-    dispatcher: &Dispatcher,
+    base: AccessCounters,
     t: Totals,
     total: u64,
     sampled: u64,
@@ -203,7 +235,7 @@ fn finish_layer(
     let sb_stalls = scale(t.sb_stalls) * fg;
     let oneffsets = scale(t.oneffsets);
 
-    let mut counters = shared_traffic(&cfg.chip, spec, dispatcher);
+    let mut counters = base;
     // Each neuron oneffset pairs with every filter's synapse: terms =
     // oneffsets × N (spread across the 16 filter lanes × 16 tiles × groups).
     counters.terms = oneffsets * spec.num_filters as u64;
@@ -254,7 +286,7 @@ pub fn simulate_layer_raw(cfg: &PraConfig, layer: &LayerWorkload) -> LayerResult
         t.nm_stalls += outcome.nm_stall_cycles;
         t.sb_stalls += outcome.sb_stall_cycles;
     }
-    finish_layer(cfg, spec, &dispatcher, t, total, sampled)
+    finish_layer(cfg, spec, shared_traffic(&cfg.chip, spec, &dispatcher), t, total, sampled)
 }
 
 fn gcd(mut a: usize, mut b: usize) -> usize {
@@ -283,6 +315,38 @@ pub fn run(cfg: &PraConfig, workload: &NetworkWorkload) -> RunResult {
     let mut result = RunResult::new(cfg.label());
     for layer in &workload.layers {
         result.layers.push(simulate_layer(cfg, layer));
+    }
+    result
+}
+
+/// [`run`] against the build-once artifacts of a [`SharedEncodedNetwork`]:
+/// every layer borrows its shared scheduler (and, when available, the
+/// engine-independent traffic counters) instead of re-encoding and
+/// re-scheduling per design point. Cycle-for-cycle identical to [`run`].
+///
+/// # Panics
+///
+/// Panics if `shared` was built for a different workload shape or does
+/// not cover `cfg` (see [`SharedEncodedNetwork::scheduler`]).
+pub fn run_shared(
+    cfg: &PraConfig,
+    workload: &NetworkWorkload,
+    shared: &SharedEncodedNetwork,
+) -> RunResult {
+    assert_eq!(cfg.repr, workload.repr, "configuration representation must match the workload");
+    assert_eq!(
+        shared.layer_count(),
+        workload.layers.len(),
+        "shared artifacts must cover every layer of the workload"
+    );
+    let mut result = RunResult::new(cfg.label());
+    for (idx, layer) in workload.layers.iter().enumerate() {
+        result.layers.push(simulate_layer_shared(
+            cfg,
+            layer.view(),
+            shared.scheduler(idx, cfg),
+            shared.traffic_for(idx, cfg),
+        ));
     }
     result
 }

@@ -8,11 +8,20 @@
 //! representations, ragged geometry and sampled fidelity. A separate test
 //! pins the pallet-parallel invariant: parallel and serial simulation of
 //! the same layer are bit-identical.
+//!
+//! The same obligation holds one level up for the cross-config shared
+//! artifacts: [`pra_core::run_shared`] against one
+//! [`SharedEncodedNetwork`] must equal per-config [`pra_core::run`]
+//! result-for-result across the grid of encodings, trim settings, sync
+//! policies and representations the sweep mixes into one job.
 
-use pra_core::{simulate_layer, simulate_layer_raw, Encoding, Fidelity, PraConfig, SyncPolicy};
+use pra_core::{
+    run, run_shared, simulate_layer, simulate_layer_raw, Encoding, Fidelity, PraConfig,
+    SharedEncodedNetwork, SyncPolicy,
+};
 use pra_fixed::PrecisionWindow;
 use pra_tensor::{ConvLayerSpec, Tensor3};
-use pra_workloads::{LayerWorkload, Representation};
+use pra_workloads::{ActivationModel, LayerWorkload, Network, NetworkWorkload, Representation};
 
 /// A layer with a ragged pallet row (out_x = 20) and mixed values.
 fn toy_layer() -> LayerWorkload {
@@ -133,4 +142,100 @@ fn throughput_boosted_pip_still_identical() {
     let cfg =
         PraConfig { oneffsets_per_cycle: 2, ..PraConfig::two_stage(2, Representation::Fixed16) };
     assert_identical(&cfg, &layer, "x2 per cycle");
+}
+
+/// A small two-layer workload with calibrated-looking values for the
+/// cross-config grid (explicit model: no calibration fit in tests).
+fn tiny_workload(repr: Representation) -> NetworkWorkload {
+    let model = ActivationModel {
+        zero_frac: 0.45,
+        sigma: 0.12,
+        suffix_density: 0.35,
+        outlier_prob: 0.008,
+        dense_prob: 0.10,
+        heavy_share: 0.40,
+    };
+    let mut w = NetworkWorkload::build_with_model(Network::AlexNet, repr, model, 0x5AED);
+    // Keep the two most irregular layers (ragged pallets, padding) and
+    // shrink the rest away for test speed.
+    w.layers.truncate(2);
+    for layer in &mut w.layers {
+        layer.spec.num_filters = layer.spec.num_filters.min(64);
+    }
+    w
+}
+
+fn assert_shared_equals_per_config(configs: &[PraConfig], w: &NetworkWorkload, what: &str) {
+    let shared = SharedEncodedNetwork::from_workload(configs, w);
+    for cfg in configs {
+        let via_shared = run_shared(cfg, w, &shared);
+        let per_config = run(cfg, w);
+        assert_eq!(
+            via_shared.layers,
+            per_config.layers,
+            "shared != per-config for {} ({what})",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn shared_equals_per_config_for_the_sweep_configs() {
+    // The exact configuration mix every sweep job shares artifacts
+    // across: PRA-2b and PRA-2b-1R share a schedule memo, PRA-4b only
+    // the mask encoding.
+    for repr in [Representation::Fixed16, Representation::Quant8] {
+        let w = tiny_workload(repr);
+        let configs = [
+            PraConfig::two_stage(2, repr),
+            PraConfig::single_stage(repr),
+            PraConfig::per_column(1, repr),
+        ];
+        assert_shared_equals_per_config(&configs, &w, &format!("{repr}"));
+    }
+}
+
+#[test]
+fn shared_equals_per_config_across_encodings_and_trim() {
+    // Mixed encoding keys in one shared network: every (encoding, trim)
+    // combination must get its own masks and still match the unshared
+    // path result-for-result.
+    let w = tiny_workload(Representation::Fixed16);
+    let mut configs = Vec::new();
+    for encoding in [Encoding::Oneffset, Encoding::Csd] {
+        for trim in [true, false] {
+            configs.push(PraConfig {
+                encoding,
+                ..PraConfig::two_stage(2, Representation::Fixed16).with_trim(trim)
+            });
+        }
+    }
+    assert_shared_equals_per_config(&configs, &w, "encoding x trim grid");
+}
+
+#[test]
+fn shared_equals_per_config_across_sync_and_fidelity() {
+    // Sync policy and fidelity live outside the shared artifacts; a
+    // memo warmed by one config must serve the others unchanged.
+    let w = tiny_workload(Representation::Fixed16);
+    let base = PraConfig::two_stage(2, Representation::Fixed16);
+    let configs = [
+        base,
+        PraConfig { sync: SyncPolicy::PerColumn { ssrs: 4 }, ..base },
+        PraConfig { sync: SyncPolicy::PerColumnIdeal, ..base },
+        base.with_fidelity(Fidelity::Sampled { max_pallets: 5 }),
+    ];
+    assert_shared_equals_per_config(&configs, &w, "sync x fidelity");
+}
+
+#[test]
+fn shared_equals_per_config_for_scan_order_and_throughput_ablations() {
+    let w = tiny_workload(Representation::Fixed16);
+    let base = PraConfig::two_stage(1, Representation::Fixed16);
+    let configs = [
+        base,
+        PraConfig { scan_order: pra_core::ScanOrder::MsbFirst, ..base },
+        PraConfig { oneffsets_per_cycle: 2, ..base },
+    ];
+    assert_shared_equals_per_config(&configs, &w, "scan order x per-cycle");
 }

@@ -7,15 +7,19 @@
 //! `Ox · Oy · Fx · Fy · ceil(I/16) · ceil(N/256)` cycles, independent of
 //! the neuron values — DaDN processes every bit of every neuron.
 
-use pra_sim::{ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
-use pra_workloads::{LayerWorkload, NetworkWorkload, Representation};
+use pra_sim::{AccessCounters, ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
+use pra_workloads::{LayerView, LayerWorkload, NetworkWorkload, Representation};
 
 use crate::shared_traffic;
 
 /// DaDN cycles for a layer: one brick step per cycle per window, times
 /// filter groups.
 pub fn layer_cycles(cfg: &ChipConfig, layer: &LayerWorkload) -> u64 {
-    let spec = &layer.spec;
+    layer_cycles_spec(cfg, &layer.spec)
+}
+
+/// [`layer_cycles`] from the bare geometry (DaDN is value-blind).
+pub fn layer_cycles_spec(cfg: &ChipConfig, spec: &pra_tensor::ConvLayerSpec) -> u64 {
     (spec.windows() * spec.brick_steps()) as u64 * cfg.filter_groups(spec.num_filters) as u64
 }
 
@@ -25,13 +29,31 @@ pub fn simulate_layer(
     layer: &LayerWorkload,
     repr: Representation,
 ) -> LayerResult {
-    let spec = &layer.spec;
-    let dispatcher = Dispatcher::new(NeuronMemory::default());
-    let mut counters = shared_traffic(cfg, spec, &dispatcher);
+    simulate_layer_view(cfg, layer.view(), repr, None)
+}
+
+/// Simulates one borrowed layer on DaDN, optionally reusing precomputed
+/// engine-independent NM/SB traffic counters. The dispatcher models the
+/// representation's actual row capacity (256 16-bit or 512 8-bit neurons
+/// per 512-byte row), the same convention the other engines use.
+pub fn simulate_layer_view(
+    cfg: &ChipConfig,
+    layer: LayerView<'_>,
+    repr: Representation,
+    traffic: Option<&AccessCounters>,
+) -> LayerResult {
+    let spec = layer.spec;
+    let mut counters = match traffic {
+        Some(t) => *t,
+        None => {
+            let nm = NeuronMemory::new(Default::default(), cfg.nm_row_neurons(repr.bits()));
+            shared_traffic(cfg, spec, &Dispatcher::new(nm))
+        }
+    };
     counters.terms = spec.multiplications() * crate::bit_parallel_terms_per_mult(repr);
     LayerResult {
         layer: spec.name().to_string(),
-        cycles: layer_cycles(cfg, layer),
+        cycles: layer_cycles_spec(cfg, spec),
         multiplications: spec.multiplications(),
         counters,
     }
@@ -39,9 +61,21 @@ pub fn simulate_layer(
 
 /// Simulates a network's convolutional layers on DaDN.
 pub fn run(cfg: &ChipConfig, workload: &NetworkWorkload) -> RunResult {
+    let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+    run_views(cfg, &views, workload.repr, None)
+}
+
+/// [`run`] over borrowed layer views, optionally reusing per-layer
+/// engine-independent traffic counters (index-aligned with `views`).
+pub fn run_views(
+    cfg: &ChipConfig,
+    views: &[LayerView<'_>],
+    repr: Representation,
+    traffic: Option<&[AccessCounters]>,
+) -> RunResult {
     let mut result = RunResult::new("DaDN");
-    for layer in &workload.layers {
-        result.layers.push(simulate_layer(cfg, layer, workload.repr));
+    for (idx, view) in views.iter().enumerate() {
+        result.layers.push(simulate_layer_view(cfg, *view, repr, traffic.map(|t| &t[idx])));
     }
     result
 }

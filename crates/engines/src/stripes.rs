@@ -10,9 +10,9 @@
 //! lanes) and, in principle, by NM fetch latency (§V-A4's `max(NMC, PC)`
 //! rule, which this model applies per brick step).
 
-use pra_sim::{ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
+use pra_sim::{AccessCounters, ChipConfig, Dispatcher, LayerResult, NeuronMemory, RunResult};
 use pra_tensor::brick::{brick_steps, pallets};
-use pra_workloads::{LayerWorkload, NetworkWorkload, Representation};
+use pra_workloads::{LayerView, LayerWorkload, NetworkWorkload, Representation};
 
 use crate::shared_traffic;
 
@@ -23,7 +23,21 @@ pub fn simulate_layer(
     layer: &LayerWorkload,
     repr: Representation,
 ) -> LayerResult {
-    let spec = &layer.spec;
+    simulate_layer_view(cfg, layer.view(), repr, None)
+}
+
+/// Simulates one borrowed layer on Stripes. Stripes consumes the same
+/// precision-trimmed streams as Pragmatic but its cost is value-blind —
+/// `stripes_precision` cycles per brick step — so the view carries all
+/// it needs. `traffic` reuses precomputed engine-independent NM/SB
+/// counters (the §VI-A convention) instead of recounting them.
+pub fn simulate_layer_view(
+    cfg: &ChipConfig,
+    layer: LayerView<'_>,
+    repr: Representation,
+    traffic: Option<&AccessCounters>,
+) -> LayerResult {
+    let spec = layer.spec;
     let p = u64::from(layer.stripes_precision.max(1));
     let dispatcher =
         Dispatcher::new(NeuronMemory::new(Default::default(), cfg.nm_row_neurons(repr.bits())));
@@ -42,7 +56,10 @@ pub fn simulate_layer(
     cycles *= fg;
     stalls *= fg;
 
-    let mut counters = shared_traffic(cfg, spec, &dispatcher);
+    let mut counters = match traffic {
+        Some(t) => *t,
+        None => shared_traffic(cfg, spec, &dispatcher),
+    };
     // Every multiplication is processed over p serial cycles -> p terms.
     counters.terms = spec.multiplications() * p;
     counters.stall_cycles = stalls;
@@ -56,9 +73,21 @@ pub fn simulate_layer(
 
 /// Simulates a network's convolutional layers on Stripes.
 pub fn run(cfg: &ChipConfig, workload: &NetworkWorkload) -> RunResult {
+    let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+    run_views(cfg, &views, workload.repr, None)
+}
+
+/// [`run`] over borrowed layer views, optionally reusing per-layer
+/// engine-independent traffic counters (index-aligned with `views`).
+pub fn run_views(
+    cfg: &ChipConfig,
+    views: &[LayerView<'_>],
+    repr: Representation,
+    traffic: Option<&[AccessCounters]>,
+) -> RunResult {
     let mut result = RunResult::new("Stripes");
-    for layer in &workload.layers {
-        result.layers.push(simulate_layer(cfg, layer, workload.repr));
+    for (idx, view) in views.iter().enumerate() {
+        result.layers.push(simulate_layer_view(cfg, *view, repr, traffic.map(|t| &t[idx])));
     }
     result
 }

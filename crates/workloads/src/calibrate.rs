@@ -22,10 +22,9 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use crate::generator::{layer_window, ActivationModel, Representation};
+use crate::generator::{
+    layer_window, mix_seed, ActivationModel, DrawParts, Representation, Sampler,
+};
 use crate::networks::Network;
 use crate::profiles;
 
@@ -112,16 +111,24 @@ pub fn fit_model_with_tail(
     };
 
     let plan = sample_plan(network);
+    // Freeze the sigma-independent randomness once; every bisection
+    // iteration then re-assembles the same draws under its candidate
+    // sigma ([`ActivationModel::store_parts`] — pure arithmetic). This
+    // is the classic common-random-numbers objective, factored so its
+    // cost is one sampling pass plus cheap per-iteration popcounts
+    // instead of a full re-sample per iteration.
+    let base = ActivationModel {
+        zero_frac: 0.0,
+        sigma: 1.0,
+        suffix_density,
+        outlier_prob,
+        dense_prob,
+        heavy_share,
+    };
+    let draws = freeze_draws(&base, repr, &plan);
     let objective = |sigma: f64| -> f64 {
-        let model = ActivationModel {
-            zero_frac: 0.0,
-            sigma,
-            suffix_density,
-            outlier_prob,
-            dense_prob,
-            heavy_share,
-        };
-        measure_nz_fraction(&model, repr, &plan)
+        let model = ActivationModel { sigma, ..base };
+        nz_fraction(&model, repr, &draws)
     };
 
     // Bisection on sigma; the NZ essential-bit fraction grows with sigma
@@ -166,21 +173,36 @@ fn sample_plan(network: Network) -> Vec<(u8, usize)> {
         .collect()
 }
 
-/// Measures the essential-bit fraction of non-zero neurons produced by
-/// `model` (whose `zero_frac` should be 0 so every draw is non-zero).
-fn measure_nz_fraction(model: &ActivationModel, repr: Representation, plan: &[(u8, usize)]) -> f64 {
-    let mut bits: u64 = 0;
-    let mut count: u64 = 0;
+/// Draws the sigma-independent calibration set: one non-zero draw per
+/// planned sample, each remembering its layer's precision window.
+fn freeze_draws(
+    base: &ActivationModel,
+    repr: Representation,
+    plan: &[(u8, usize)],
+) -> Vec<(pra_fixed::PrecisionWindow, DrawParts)> {
+    let mut draws = Vec::with_capacity(plan.iter().map(|&(_, n)| n).sum());
     for (idx, &(p, n)) in plan.iter().enumerate() {
         let window = layer_window(repr, p);
-        let mut rng = StdRng::seed_from_u64(CALIBRATION_SEED ^ (idx as u64) << 32);
+        let mut sampler = Sampler::seeded(mix_seed(CALIBRATION_SEED, idx as u64));
         for _ in 0..n {
-            let v = model.sample(window, repr, &mut rng);
-            bits += v.count_ones() as u64;
-            count += 1;
+            draws.push((window, base.draw_nonzero_parts(window, repr, &mut sampler)));
         }
     }
-    bits as f64 / (count as f64 * repr.bits() as f64)
+    draws
+}
+
+/// The essential-bit fraction of the frozen non-zero draws assembled
+/// under `model`'s sigma.
+fn nz_fraction(
+    model: &ActivationModel,
+    repr: Representation,
+    draws: &[(pra_fixed::PrecisionWindow, DrawParts)],
+) -> f64 {
+    let bits: u64 = draws
+        .iter()
+        .map(|&(window, parts)| model.store_parts(parts, window, repr).count_ones() as u64)
+        .sum();
+    bits as f64 / (draws.len() as f64 * repr.bits() as f64)
 }
 
 #[cfg(test)]
@@ -201,9 +223,9 @@ mod tests {
         let mut stats = BitContentStats::new();
         for (idx, &(p, n)) in plan.iter().enumerate() {
             let window = layer_window(repr, p);
-            let mut rng = StdRng::seed_from_u64(0xFEED ^ (idx as u64) << 24);
+            let mut sampler = Sampler::seeded(mix_seed(0xFEED, idx as u64));
             for _ in 0..n {
-                stats.record(model.sample(window, repr, &mut rng));
+                stats.record(model.sample(window, repr, &mut sampler));
             }
         }
         let all_m = stats.fraction_all(repr.bits());

@@ -14,9 +14,18 @@
 //! * low-order *suffix* bits below the window and rare *prefix* outlier
 //!   bits above it model the fraction tail and outlier values that the
 //!   software-provided precision of §V-F trims away.
+//!
+//! Generation is organized as independent *row jobs*: every `(layer, y)`
+//! row of a network draws from its own [`Sampler`] stream, seeded through
+//! the SplitMix64-style [`mix_seed`] mixer. Because each row's stream
+//! depends only on `(workload seed, layer index, row index)` — never on
+//! which thread runs the job or in what order — fanning the jobs out on
+//! the rayon pool produces bit-identical tensors to the serial path
+//! (DESIGN.md §8).
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use pra_fixed::PrecisionWindow;
@@ -28,6 +37,70 @@ use crate::profiles;
 /// Bit position where fixed-point precision windows are anchored: every
 /// layer keeps `lsb = 2`, leaving two suffix-noise bits below the window.
 pub const WINDOW_LSB: u8 = 2;
+
+/// Derives an independent child seed from `seed` for stream number
+/// `stream` — the SplitMix64 finalizer over the golden-ratio sequence.
+///
+/// Every generation job (one per layer, then one per row within a layer)
+/// seeds its own [`Sampler`] with a mixed seed, so jobs can run in any
+/// order, on any thread, and still produce the exact bytes the serial
+/// path produces. The finalizer's avalanche guarantees that adjacent
+/// stream numbers land on statistically independent xoshiro states
+/// (a plain `seed ^ stream` would hand neighbouring rows correlated
+/// low bits).
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded activation-stream sampler: the RNG plus the cached second
+/// output of the Box–Muller transform.
+///
+/// Box–Muller produces two independent normals per `(ln, sqrt, sin_cos)`
+/// evaluation; the naive generator discarded the second one and paid the
+/// transcendental cost on every non-zero draw. Caching the spare halves
+/// the dominant cost of workload generation without changing the
+/// distribution — each cached value is an independent standard normal.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    rng: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl Sampler {
+    /// Creates a sampler for one generation stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// 64 uniformly random bits.
+    #[inline]
+    fn bits(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// The absolute value of a standard normal draw (Box–Muller with the
+    /// spare second output cached across calls).
+    fn half_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z.abs();
+        }
+        let u1: f64 = self.uniform().max(1e-12);
+        let u2: f64 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+        self.spare_normal = Some(r * s);
+        (r * c).abs()
+    }
+}
 
 /// The two neuron representations evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -90,69 +163,160 @@ pub struct ActivationModel {
     pub heavy_share: f64,
 }
 
+/// The sigma-independent randomness of one non-zero draw: the dense
+/// component's magnitude (or the half-Gaussian variate when the draw
+/// took the Gaussian component) plus the tail bits. Splitting the draw
+/// this way lets the calibration bisection freeze one set of draws and
+/// re-assemble them under every candidate sigma
+/// ([`ActivationModel::store_parts`]) instead of re-sampling the full
+/// stream per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct DrawParts {
+    /// Dense-component magnitude; `None` when the draw took the
+    /// half-Gaussian component.
+    pub dense_mag: Option<u32>,
+    /// Standard half-Gaussian variate (0 when the draw is dense).
+    pub gaussian: f64,
+    /// Suffix-noise and prefix-outlier bits (0 under `Quant8`).
+    pub tail: u16,
+}
+
 impl ActivationModel {
     /// Draws one stored neuron value for a layer whose precision window is
     /// `window`, in representation `repr`.
-    pub fn sample(&self, window: PrecisionWindow, repr: Representation, rng: &mut StdRng) -> u16 {
-        if rng.random::<f64>() < self.zero_frac {
+    ///
+    /// One uniform draw decides both the rectification and the mixture
+    /// component: conditioned on landing in `[zero_frac, 1)`, the rescaled
+    /// draw is again uniform, so the component decision costs no extra
+    /// randomness. The tail bits of a fixed-point neuron are decided by
+    /// 16-bit slices of a single 64-bit draw (probabilities quantized to
+    /// `1/65536` — self-consistent, because calibration measures through
+    /// this exact path).
+    pub fn sample(&self, window: PrecisionWindow, repr: Representation, s: &mut Sampler) -> u16 {
+        let u = s.uniform();
+        if u < self.zero_frac {
             return 0;
         }
-        match repr {
+        let u_nz = (u - self.zero_frac) / (1.0 - self.zero_frac);
+        let parts = self.draw_parts(u_nz, window, repr, s);
+        self.store_parts(parts, window, repr)
+    }
+
+    /// Draws the sigma-independent randomness of a non-zero neuron —
+    /// the calibration entry point (its objective model has
+    /// `zero_frac = 0`, so every draw is non-zero by construction).
+    pub fn draw_nonzero_parts(
+        &self,
+        window: PrecisionWindow,
+        repr: Representation,
+        s: &mut Sampler,
+    ) -> DrawParts {
+        let u_nz = s.uniform();
+        self.draw_parts(u_nz, window, repr, s)
+    }
+
+    /// The sigma-independent half of [`ActivationModel::sample`]:
+    /// component choice, dense magnitude or standard half-Gaussian
+    /// variate, and tail bits. `u_nz` is uniform in `[0, 1)` given that
+    /// the neuron is non-zero.
+    fn draw_parts(
+        &self,
+        u_nz: f64,
+        window: PrecisionWindow,
+        repr: Representation,
+        s: &mut Sampler,
+    ) -> DrawParts {
+        let dense = u_nz < self.dense_prob;
+        let (p, max) = match repr {
             Representation::Fixed16 => {
                 let p = window.width() as u32;
-                let max = (1u32 << p) - 1;
-                let mag = if rng.random::<f64>() < self.dense_prob {
-                    self.dense_draw(p, max, rng)
-                } else {
-                    (half_gaussian(rng) * self.sigma * max as f64).round() as u32
-                };
-                let core = mag.clamp(1, max) as u16;
-                let mut stored = core << window.lsb();
-                for b in 0..window.lsb() {
-                    if rng.random::<f64>() < self.suffix_density {
-                        stored |= 1 << b;
-                    }
-                }
-                if window.msb() < 15 && rng.random::<f64>() < self.outlier_prob {
-                    let hi = rng.random_range(window.msb() + 1..=15);
-                    stored |= 1 << hi;
-                }
-                stored
+                (p, (1u32 << p) - 1)
             }
-            Representation::Quant8 => {
-                let mag = if rng.random::<f64>() < self.dense_prob {
-                    self.dense_draw(8, 255, rng)
-                } else {
-                    (half_gaussian(rng) * self.sigma * 255.0).round() as u32
-                };
-                mag.clamp(1, 255) as u16
+            Representation::Quant8 => (8, 255),
+        };
+        let dense_mag = dense.then(|| self.dense_draw(p, max, u_nz / self.dense_prob, s));
+        let gaussian = if dense { 0.0 } else { s.half_gaussian() };
+        let tail = match repr {
+            Representation::Fixed16 => self.tail_bits(window, s),
+            Representation::Quant8 => 0,
+        };
+        DrawParts { dense_mag, gaussian, tail }
+    }
+
+    /// The sigma-dependent half of [`ActivationModel::sample`]: scales
+    /// the half-Gaussian variate into the window under this model's
+    /// `sigma` and assembles the stored value. Pure arithmetic — the
+    /// calibration fit calls this against frozen [`DrawParts`] to
+    /// evaluate many sigma candidates without re-drawing.
+    pub fn store_parts(
+        &self,
+        parts: DrawParts,
+        window: PrecisionWindow,
+        repr: Representation,
+    ) -> u16 {
+        let max = match repr {
+            Representation::Fixed16 => (1u32 << window.width() as u32) - 1,
+            Representation::Quant8 => 255,
+        };
+        let mag = match parts.dense_mag {
+            Some(m) => m,
+            None => (parts.gaussian * self.sigma * max as f64).round() as u32,
+        };
+        let core = mag.clamp(1, max) as u16;
+        match repr {
+            Representation::Fixed16 => (core << window.lsb()) | parts.tail,
+            Representation::Quant8 => core,
+        }
+    }
+
+    /// Suffix-noise bits below the window, plus the rare prefix outlier
+    /// bit above it.
+    fn tail_bits(&self, window: PrecisionWindow, s: &mut Sampler) -> u16 {
+        if self.suffix_density == 0.0 && self.outlier_prob == 0.0 {
+            return 0;
+        }
+        let mut chunks = s.bits();
+        let mut avail = 4u32;
+        let mut out = 0u16;
+        let suffix_t = (self.suffix_density * 65536.0) as u64;
+        for b in 0..window.lsb() {
+            if avail == 0 {
+                chunks = s.bits();
+                avail = 4;
+            }
+            if chunks & 0xFFFF < suffix_t {
+                out |= 1 << b;
+            }
+            chunks >>= 16;
+            avail -= 1;
+        }
+        if window.msb() < 15 {
+            if avail == 0 {
+                chunks = s.bits();
+            }
+            if chunks & 0xFFFF < (self.outlier_prob * 65536.0) as u64 {
+                let hi = s.rng.random_range(window.msb() + 1..=15);
+                out |= 1 << hi;
             }
         }
+        out
     }
 
     /// One draw of the dense mixture component: heavy (uniform over the
     /// window) with probability `heavy_share`, otherwise medium — 3 to 6
-    /// essential bits scattered uniformly across the window.
-    fn dense_draw(&self, p: u32, max: u32, rng: &mut StdRng) -> u32 {
-        if rng.random::<f64>() < self.heavy_share {
-            return rng.random_range(1..=max);
+    /// essential bits scattered uniformly across the window. `heavy_u` is
+    /// the caller's rescaled component draw, uniform given *dense*.
+    fn dense_draw(&self, p: u32, max: u32, heavy_u: f64, s: &mut Sampler) -> u32 {
+        if heavy_u < self.heavy_share {
+            return s.rng.random_range(1..=max);
         }
-        let k = rng.random_range(3..=6u32).min(p);
+        let k = s.rng.random_range(3..=6u32).min(p);
         let mut v = 0u32;
         while v.count_ones() < k {
-            v |= 1 << rng.random_range(0..p);
+            v |= 1 << s.rng.random_range(0..p);
         }
         v
     }
-}
-
-/// A standard half-Gaussian sample via Box–Muller (the `rand_distr` crate
-/// is not among the vendored dependencies).
-fn half_gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random::<f64>();
-    let z: f64 = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-    z.abs()
 }
 
 /// One convolutional layer plus its generated input-neuron stream.
@@ -220,9 +384,19 @@ pub struct NetworkWorkload {
     pub layers: Vec<LayerWorkload>,
 }
 
+/// One independent generation job: a single `(layer, y)` row of neurons
+/// with its own mixed seed (see the module docs for the determinism
+/// argument).
+struct RowJob<'a> {
+    window: PrecisionWindow,
+    seed: u64,
+    row: &'a mut [u16],
+}
+
 impl NetworkWorkload {
     /// Generates the workload for `network` under `repr` using the
-    /// calibrated activation model and a deterministic `seed`.
+    /// calibrated activation model and a deterministic `seed`,
+    /// parallelizing row generation across the rayon pool.
     ///
     /// This is the main entry point used by every experiment; calibration
     /// results are cached process-wide, so repeated calls are cheap apart
@@ -232,33 +406,81 @@ impl NetworkWorkload {
         Self::build_with_model(network, repr, model, seed)
     }
 
-    /// Generates the workload from an explicit activation model.
+    /// [`NetworkWorkload::build`] on the serial path — bit-identical
+    /// output, used to pin the serial-equals-parallel invariant.
+    pub fn build_serial(network: Network, repr: Representation, seed: u64) -> Self {
+        let model = crate::calibrate::calibrated_model(network, repr);
+        Self::build_impl(network, repr, model, seed, false)
+    }
+
+    /// Generates the workload from an explicit activation model
+    /// (parallel).
     pub fn build_with_model(
         network: Network,
         repr: Representation,
         model: ActivationModel,
         seed: u64,
     ) -> Self {
+        Self::build_impl(network, repr, model, seed, true)
+    }
+
+    /// [`NetworkWorkload::build_with_model`] on the serial path.
+    pub fn build_with_model_serial(
+        network: Network,
+        repr: Representation,
+        model: ActivationModel,
+        seed: u64,
+    ) -> Self {
+        Self::build_impl(network, repr, model, seed, false)
+    }
+
+    /// Shared generation core: allocate every layer tensor, flatten the
+    /// network into per-row jobs, then run the jobs — on the rayon pool
+    /// or in order. Each job's sampler stream depends only on the
+    /// workload seed, the layer index and the row index, so both paths
+    /// (and any thread count) produce bit-identical tensors.
+    fn build_impl(
+        network: Network,
+        repr: Representation,
+        model: ActivationModel,
+        seed: u64,
+        parallel: bool,
+    ) -> Self {
         let specs = network.conv_layers();
         let precs = profiles::precisions(network);
-        let layers = specs
+        let mut layers: Vec<LayerWorkload> = specs
             .into_iter()
             .zip(precs.iter().copied())
-            .enumerate()
-            .map(|(idx, (spec, p))| {
-                let window = layer_window(repr, p);
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let neurons =
-                    Tensor3::from_fn(spec.input, |_, _, _| model.sample(window, repr, &mut rng));
-                LayerWorkload {
-                    spec,
-                    window,
-                    stripes_precision: stripes_precision(repr, p),
-                    neurons,
-                }
+            .map(|(spec, p)| LayerWorkload {
+                window: layer_window(repr, p),
+                stripes_precision: stripes_precision(repr, p),
+                neurons: Tensor3::zeros(spec.input),
+                spec,
             })
             .collect();
+        let jobs: Vec<RowJob<'_>> = layers
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(idx, layer)| {
+                let layer_seed = mix_seed(seed, idx as u64);
+                let window = layer.window;
+                let row_len = (layer.spec.input.x * layer.spec.input.i).max(1);
+                layer.neurons.as_mut_slice().chunks_mut(row_len).enumerate().map(move |(y, row)| {
+                    RowJob { window, seed: mix_seed(layer_seed, y as u64), row }
+                })
+            })
+            .collect();
+        let fill = |job: RowJob<'_>| {
+            let mut sampler = Sampler::seeded(job.seed);
+            for v in job.row.iter_mut() {
+                *v = model.sample(job.window, repr, &mut sampler);
+            }
+        };
+        if parallel && rayon::current_num_threads() > 1 {
+            jobs.into_par_iter().for_each(fill);
+        } else {
+            jobs.into_iter().for_each(fill);
+        }
         Self { network, repr, model, layers }
     }
 
@@ -321,9 +543,9 @@ mod tests {
     fn sample_respects_zero_fraction_roughly() {
         let m = toy_model();
         let w = PrecisionWindow::with_width(8, WINDOW_LSB);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = Sampler::seeded(1);
         let zeros =
-            (0..20_000).filter(|_| m.sample(w, Representation::Fixed16, &mut rng) == 0).count();
+            (0..20_000).filter(|_| m.sample(w, Representation::Fixed16, &mut s) == 0).count();
         let frac = zeros as f64 / 20_000.0;
         assert!((frac - 0.5).abs() < 0.02, "zero fraction {frac}");
     }
@@ -337,9 +559,9 @@ mod tests {
             ..toy_model()
         };
         let w = PrecisionWindow::with_width(9, WINDOW_LSB);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = Sampler::seeded(2);
         for _ in 0..5_000 {
-            let v = m.sample(w, Representation::Fixed16, &mut rng);
+            let v = m.sample(w, Representation::Fixed16, &mut s);
             if v != 0 {
                 assert_eq!(w.trim(v), v, "value {v:#018b} escapes window");
                 assert!(v >= 1 << WINDOW_LSB);
@@ -351,9 +573,9 @@ mod tests {
     fn quant8_samples_fit_in_8_bits() {
         let m = toy_model();
         let w = layer_window(Representation::Quant8, 9);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Sampler::seeded(3);
         for _ in 0..5_000 {
-            let v = m.sample(w, Representation::Quant8, &mut rng);
+            let v = m.sample(w, Representation::Quant8, &mut s);
             assert!(v <= 255);
         }
     }
@@ -370,9 +592,9 @@ mod tests {
                 dense_prob: 0.0,
                 heavy_share: 0.0,
             };
-            let mut rng = StdRng::seed_from_u64(4);
+            let mut s = Sampler::seeded(4);
             (0..20_000)
-                .map(|_| m.sample(w, Representation::Fixed16, &mut rng).count_ones() as f64)
+                .map(|_| m.sample(w, Representation::Fixed16, &mut s).count_ones() as f64)
                 .sum::<f64>()
                 / 20_000.0
         };

@@ -26,5 +26,8 @@ pub mod profiles;
 pub mod stats;
 pub mod traces;
 
-pub use generator::{ActivationModel, LayerView, LayerWorkload, NetworkWorkload, Representation};
+pub use generator::{
+    mix_seed, ActivationModel, DrawParts, LayerView, LayerWorkload, NetworkWorkload,
+    Representation, Sampler,
+};
 pub use networks::Network;

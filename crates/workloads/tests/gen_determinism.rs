@@ -1,0 +1,112 @@
+//! Parallel-generation determinism: `NetworkWorkload::build` must
+//! produce bit-identical tensors with row-job parallelism on or off, and
+//! independent of the worker-thread count — the invariant that makes the
+//! parallel generator a pure optimization (DESIGN.md §8).
+//!
+//! This lives in its own integration-test binary because it reconfigures
+//! the global rayon pool; unit tests sharing a process must not race
+//! against that.
+
+use pra_workloads::{mix_seed, ActivationModel, Network, NetworkWorkload, Representation};
+
+fn toy_model() -> ActivationModel {
+    ActivationModel {
+        zero_frac: 0.45,
+        sigma: 0.12,
+        suffix_density: 0.35,
+        outlier_prob: 0.008,
+        dense_prob: 0.10,
+        heavy_share: 0.40,
+    }
+}
+
+fn assert_same_tensors(a: &NetworkWorkload, b: &NetworkWorkload, what: &str) {
+    assert_eq!(a.layers.len(), b.layers.len(), "{what}: layer count");
+    for (idx, (la, lb)) in a.layers.iter().zip(&b.layers).enumerate() {
+        assert_eq!(la.neurons, lb.neurons, "{what}: layer {idx} tensors differ");
+    }
+}
+
+#[test]
+fn parallel_equals_serial_and_is_thread_count_independent() {
+    let model = toy_model();
+    let build = |parallel: bool| {
+        if parallel {
+            NetworkWorkload::build_with_model(Network::AlexNet, Representation::Fixed16, model, 42)
+        } else {
+            NetworkWorkload::build_with_model_serial(
+                Network::AlexNet,
+                Representation::Fixed16,
+                model,
+                42,
+            )
+        }
+    };
+    let serial = build(false);
+    for threads in [1usize, 2, 3, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("pool reconfiguration");
+        let parallel = build(true);
+        assert_same_tensors(&serial, &parallel, &format!("{threads} threads"));
+    }
+    // Restore the ambient default for any test added to this binary
+    // later.
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(0).build_global();
+}
+
+#[test]
+fn quant8_parallel_equals_serial() {
+    let model = toy_model();
+    let a = NetworkWorkload::build_with_model(Network::NiN, Representation::Quant8, model, 7);
+    let b =
+        NetworkWorkload::build_with_model_serial(Network::NiN, Representation::Quant8, model, 7);
+    assert_same_tensors(&a, &b, "quant8");
+}
+
+#[test]
+fn calibrated_build_serial_variant_matches() {
+    // The calibrated entry points share the same generation core.
+    let a = NetworkWorkload::build(Network::AlexNet, Representation::Fixed16, 0xD0E);
+    let b = NetworkWorkload::build_serial(Network::AlexNet, Representation::Fixed16, 0xD0E);
+    assert_same_tensors(&a, &b, "calibrated");
+}
+
+#[test]
+fn seed_mixer_avalanches() {
+    // Adjacent streams and adjacent seeds must land far apart — a
+    // regression guard for the SplitMix64 mixer the row jobs rely on.
+    let base = mix_seed(42, 0);
+    for stream in 1..64u64 {
+        let mixed = mix_seed(42, stream);
+        assert_ne!(mixed, base);
+        assert!(
+            (mixed ^ base).count_ones() >= 8,
+            "stream {stream}: weak avalanche ({:#x} vs {:#x})",
+            mixed,
+            base
+        );
+    }
+    assert_ne!(mix_seed(42, 1), mix_seed(43, 1));
+}
+
+#[test]
+fn different_rows_get_different_streams() {
+    // No two rows of a layer (nor the same row of different layers) may
+    // repeat a stream: sample a few tensors and check rows differ.
+    let w = NetworkWorkload::build_with_model(
+        Network::AlexNet,
+        Representation::Fixed16,
+        toy_model(),
+        11,
+    );
+    let layer = &w.layers[1]; // 27x27x96: wide rows, many of them
+    let dim = layer.neurons.dim();
+    let row_len = dim.x * dim.i;
+    let data = layer.neurons.as_slice();
+    let first = &data[..row_len];
+    for y in 1..dim.y {
+        assert_ne!(&data[y * row_len..(y + 1) * row_len], first, "row {y} repeats row 0");
+    }
+}

@@ -5,9 +5,12 @@
 //! pra speedup <network> [--quant8]     DaDN/Stripes/PRA speedups
 //! pra capacity <network>               NM/SB footprint audit
 //! pra networks                         list the evaluated networks
-//! pra sweep [--serial] [--full] [--seed N]
+//! pra sweep [--serial] [--full] [--sampled N] [--seed N]
 //!                                      all networks x engines x representations,
-//!                                      parallel, consolidated CSV + timing reports
+//!                                      parallel, full fidelity by default
+//!                                      (--full spells it explicitly, overriding
+//!                                      an inherited PRA_BENCH_PALLETS),
+//!                                      consolidated CSV + timing reports
 //! ```
 
 use std::process::ExitCode;
@@ -55,7 +58,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--seed N]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -82,7 +85,7 @@ fn cmd_speedup(net: Network, repr: Representation) {
     let chip = ChipConfig::dadn();
     let w = NetworkWorkload::build(net, repr, 0x90AD);
     let base = dadn::run(&chip, &w);
-    let fid = Fidelity::Sampled { max_pallets: 64 };
+    let fid = pra_bench::fidelity();
     println!("{net} ({repr}): speedup over the bit-parallel baseline");
     println!("  Stripes    {:>5.2}x", stripes::run(&chip, &w).speedup_over(&base));
     for cfg in [
@@ -98,10 +101,12 @@ fn cmd_speedup(net: Network, repr: Representation) {
     }
 }
 
-/// `pra sweep [--serial] [--full] [--seed N]`: every network x engine x
-/// representation, fanned out over the thread pool, with the
-/// consolidated CSV and the machine-readable timing report
-/// (`bench.json`) dropped under `target/pra-reports/`.
+/// `pra sweep [--serial] [--full] [--sampled N] [--seed N]`: every
+/// network x engine x representation, fanned out over the thread pool,
+/// full fidelity by default (`--sampled N` or the `PRA_BENCH_PALLETS`
+/// escape hatch trade accuracy for time), with the consolidated CSV and
+/// the machine-readable timing report (`bench.json`) dropped under
+/// `target/pra-reports/`.
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut cfg = SweepConfig::full();
     let mut it = args.iter();
@@ -109,6 +114,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--serial" => cfg.parallel = false,
             "--full" => cfg.fidelity = Fidelity::Full,
+            "--sampled" => {
+                let v = it.next().ok_or("--sampled needs a pallet count")?;
+                let n: usize = v.parse().map_err(|e| format!("invalid --sampled '{v}': {e}"))?;
+                cfg.fidelity = Fidelity::Sampled { max_pallets: n.max(1) };
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 cfg.seed = parse_seed(v)?;
@@ -118,14 +128,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
 
     if cfg.parallel {
-        // The jobs are independent simulations; overlap them even on a
-        // single-core machine so batch latency tracks the slowest job
-        // rather than the sum. An explicit RAYON_NUM_THREADS wins; the
-        // pool must be configured before any other rayon call, since on
-        // upstream rayon the first use freezes the global pool size.
+        // The jobs are independent, CPU-bound simulations: one worker
+        // per core. Oversubscribing a single-core machine only adds
+        // context-switch and contention cost (measured ~12% of the
+        // sweep), and results are thread-count-independent anyway. An
+        // explicit RAYON_NUM_THREADS wins; the pool must be configured
+        // before any other rayon call, since on upstream rayon the
+        // first use freezes the global pool size.
         let workers = match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse().ok()) {
             Some(n) if n >= 1 => n,
-            _ => std::thread::available_parallelism().map_or(1, |n| n.get()).max(2),
+            _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
         let _ = rayon::ThreadPoolBuilder::new().num_threads(workers).build_global();
     }

@@ -9,10 +9,7 @@ use pragmatic::fixed::PrecisionWindow;
 use pragmatic::tensor::conv::convolve;
 use pragmatic::tensor::{ConvLayerSpec, Tensor3};
 use pragmatic::workloads::generator::generate_synapses;
-use pragmatic::workloads::{ActivationModel, Representation};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pragmatic::workloads::{ActivationModel, Representation, Sampler};
 
 fn calibrated_small_layer(seed: u64) -> (ConvLayerSpec, Tensor3<u16>, PrecisionWindow) {
     // A small layer whose values come from the real calibrated AlexNet
@@ -23,9 +20,9 @@ fn calibrated_small_layer(seed: u64) -> (ConvLayerSpec, Tensor3<u16>, PrecisionW
     );
     let window = PrecisionWindow::with_width(9, 2);
     let spec = ConvLayerSpec::new("cal", (10, 8, 24), (3, 3), 6, 1, 1).unwrap();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sampler = Sampler::seeded(seed);
     let neurons = Tensor3::from_fn(spec.input, |_, _, _| {
-        model.sample(window, Representation::Fixed16, &mut rng)
+        model.sample(window, Representation::Fixed16, &mut sampler)
     });
     (spec, neurons, window)
 }
@@ -79,10 +76,10 @@ fn quant8_style_values_are_exact_too() {
         dense_prob: 0.05,
         heavy_share: 0.3,
     };
-    let mut rng = StdRng::seed_from_u64(404);
+    let mut sampler = Sampler::seeded(404);
     let window = PrecisionWindow::new(7, 0);
     let neurons = Tensor3::from_fn(spec.input, |_, _, _| {
-        model.sample(window, Representation::Quant8, &mut rng)
+        model.sample(window, Representation::Quant8, &mut sampler)
     });
     let synapses = generate_synapses(&spec, 0xF00D);
     let reference = convolve(&spec, &neurons, &synapses);

@@ -15,10 +15,9 @@ fn layer() -> LayerWorkload {
         pragmatic::workloads::calibrate::calibrated_model(Network::VggS, Representation::Fixed16);
     let window = PrecisionWindow::with_width(9, 2);
     let spec = ConvLayerSpec::new("sub", (34, 12, 48), (3, 3), 128, 1, 0).unwrap();
-    use rand::{rngs::StdRng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0x5B5);
+    let mut sampler = pragmatic::workloads::Sampler::seeded(0x5B5);
     let neurons = Tensor3::from_fn(spec.input, |_, _, _| {
-        model.sample(window, Representation::Fixed16, &mut rng)
+        model.sample(window, Representation::Fixed16, &mut sampler)
     });
     LayerWorkload { spec, window, stripes_precision: 9, neurons }
 }
