@@ -34,6 +34,7 @@ use rayon::prelude::*;
 use pra_core::{Fidelity, PraConfig, SharedEncodedNetwork};
 use pra_engines::{dadn, stripes};
 use pra_sim::{geomean, ChipConfig};
+use pra_workloads::cache::{self, Cache, CacheOutcome};
 use pra_workloads::{LayerView, Network, NetworkWorkload, Representation};
 
 use crate::report;
@@ -53,6 +54,13 @@ pub struct SweepConfig {
     /// Run jobs on the parallel pool (`false` forces the serial path;
     /// results are identical, only scheduling differs).
     pub parallel: bool,
+    /// Consult the content-addressed workload/artifact cache
+    /// (DESIGN.md §9). `false` (`pra sweep --no-cache`) regenerates
+    /// everything; results are byte-identical either way.
+    pub use_cache: bool,
+    /// Cache directory override for this sweep; `None` uses the default
+    /// resolution (`PRA_CACHE_DIR`, else `<target>/pra-cache`).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl SweepConfig {
@@ -64,6 +72,8 @@ impl SweepConfig {
             seed: crate::SEED,
             fidelity: crate::fidelity(),
             parallel: true,
+            use_cache: true,
+            cache_dir: None,
         }
     }
 }
@@ -110,6 +120,10 @@ pub struct JobTiming {
     /// numbers are comparable *within* a run; cross-run trends should
     /// use [`SweepOutcome::total_wall_ms`].
     pub wall_ms: f64,
+    /// Workload-cache outcome for this job: `"hit"` (loaded from the
+    /// content-addressed store, generation skipped), `"miss"`
+    /// (generated and published) or `"off"` (cache disabled).
+    pub cache: String,
 }
 
 /// A completed sweep: the rows plus scheduling and timing telemetry.
@@ -175,6 +189,11 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
     let epoch = SWEEP_EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
     let threads_used = AtomicUsize::new(0);
 
+    // One cache handle for every job: the sweep either runs fully
+    // cached (workload streams + traffic tables) or fully regenerated.
+    let job_cache: Option<Cache> = (cfg.use_cache && cache::enabled())
+        .then(|| cfg.cache_dir.clone().map(Cache::new).unwrap_or_else(Cache::at_default));
+
     let sweep_start = Instant::now();
     let run_job = |(net, repr): (Network, Representation)| -> (Vec<SweepRow>, JobTiming) {
         COUNTED_EPOCHS.with(|c| {
@@ -186,17 +205,27 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         let ms = |from: Instant| from.elapsed().as_secs_f64() * 1e3;
         let chip = ChipConfig::dadn();
 
-        // Phase 1 — generate the workload exactly once (parallel row
-        // jobs inside; bit-identical to serial generation).
-        let workload = NetworkWorkload::build(net, repr, cfg.seed);
+        // Phase 1 — source the workload exactly once: from the
+        // content-addressed cache when a valid entry exists (bit-
+        // identical by the round-trip guarantee), regenerated and
+        // published otherwise (parallel row jobs inside; bit-identical
+        // to serial generation).
+        let (workload, cache_outcome) = match &job_cache {
+            Some(c) => cache::build_cached_in(c, net, repr, cfg.seed),
+            None => (NetworkWorkload::build_uncached(net, repr, cfg.seed), CacheOutcome::Disabled),
+        };
         let gen_ms = ms(start);
 
         // Phase 2 — build the shared artifacts exactly once: mask
         // encodings, schedule memos and the engine-independent traffic
-        // counters every engine below borrows.
+        // counters every engine below borrows (reloaded from the cache
+        // on warm runs — traffic depends only on geometry).
         let encode_start = Instant::now();
         let configs = pra_configs(repr, cfg.fidelity);
-        let shared = SharedEncodedNetwork::from_workload(&configs, &workload);
+        let shared = match &job_cache {
+            Some(c) => SharedEncodedNetwork::from_workload_cached_in(&configs, &workload, c).0,
+            None => SharedEncodedNetwork::from_workload(&configs, &workload),
+        };
         let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
         let encode_ms = ms(encode_start);
 
@@ -232,6 +261,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
             encode_ms,
             sim_ms,
             wall_ms: ms(start),
+            cache: cache_outcome.label().to_string(),
         };
         (rows, timing)
     };
@@ -301,13 +331,14 @@ pub fn bench_json(out: &SweepOutcome) -> String {
     for (k, t) in out.timings.iter().enumerate() {
         let _ = writeln!(
             body,
-            "    {{\"job\": {}, \"repr\": {}, \"gen_ms\": {:.3}, \"encode_ms\": {:.3}, \"sim_ms\": {:.3}, \"wall_ms\": {:.3}}}{}",
+            "    {{\"job\": {}, \"repr\": {}, \"gen_ms\": {:.3}, \"encode_ms\": {:.3}, \"sim_ms\": {:.3}, \"wall_ms\": {:.3}, \"cache\": {}}}{}",
             report::json_string(&t.network),
             report::json_string(&t.repr),
             t.gen_ms,
             t.encode_ms,
             t.sim_ms,
             t.wall_ms,
+            report::json_string(&t.cache),
             if k + 1 == out.timings.len() { "" } else { "," }
         );
     }
@@ -335,6 +366,104 @@ pub fn bench_json(out: &SweepOutcome) -> String {
 /// report). Returns the path on success.
 pub fn write_bench_json(out: &SweepOutcome) -> Option<PathBuf> {
     report::write_json("bench", &bench_json(out))
+}
+
+/// Per-phase totals parsed back out of a `bench.json` document —
+/// the summary `bench_delta` diffs across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTotals {
+    /// Jobs contributing to the totals.
+    pub jobs: usize,
+    /// Workload cache hits among those jobs.
+    pub cache_hits: usize,
+    /// Summed workload-generation milliseconds.
+    pub gen_ms: f64,
+    /// Summed shared-artifact encoding milliseconds.
+    pub encode_ms: f64,
+    /// Summed engine-simulation milliseconds.
+    pub sim_ms: f64,
+    /// Summed per-job wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// The sweep's end-to-end wall clock.
+    pub total_wall_ms: f64,
+}
+
+/// Extracts the first JSON number following `key` in `line`.
+fn json_number_after(line: &str, key: &str) -> Option<f64> {
+    let rest = line[line.find(key)? + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the per-phase totals out of a `bench.json` body. Tolerant of
+/// older documents (PR 3's format without the `cache` field); `None`
+/// when no job timings are recognizable at all.
+pub fn phase_totals(body: &str) -> Option<PhaseTotals> {
+    let mut t = PhaseTotals {
+        jobs: 0,
+        cache_hits: 0,
+        gen_ms: 0.0,
+        encode_ms: 0.0,
+        sim_ms: 0.0,
+        wall_ms: 0.0,
+        total_wall_ms: 0.0,
+    };
+    for line in body.lines() {
+        if let Some(v) = json_number_after(line, "\"total_wall_ms\":") {
+            t.total_wall_ms = v;
+        }
+        // Only job-timing records carry a gen_ms key; the per-row
+        // records below them share wall_ms but nothing else.
+        if let Some(g) = json_number_after(line, "\"gen_ms\":") {
+            t.jobs += 1;
+            t.gen_ms += g;
+            t.encode_ms += json_number_after(line, "\"encode_ms\":").unwrap_or(0.0);
+            t.sim_ms += json_number_after(line, "\"sim_ms\":").unwrap_or(0.0);
+            t.wall_ms += json_number_after(line, "\"wall_ms\":").unwrap_or(0.0);
+            if line.contains("\"cache\": \"hit\"") {
+                t.cache_hits += 1;
+            }
+        }
+    }
+    (t.jobs > 0).then_some(t)
+}
+
+/// Renders the per-phase delta table between two `bench.json` bodies
+/// (CI prints this against the previous main run, and between the
+/// cold and warm halves of the identity gate).
+///
+/// # Errors
+///
+/// Returns a message when either body has no recognizable job timings.
+pub fn bench_delta(prev: &str, cur: &str) -> Result<String, String> {
+    let p = phase_totals(prev).ok_or("previous bench.json: no job timings found")?;
+    let c = phase_totals(cur).ok_or("current bench.json: no job timings found")?;
+    let mut table = crate::Table::new(["phase", "prev ms", "cur ms", "delta ms", "ratio"]);
+    let mut add = |name: &str, a: f64, b: f64| {
+        let ratio = if a > 0.0 { format!("{:.2}x", b / a) } else { "-".to_string() };
+        table.row([
+            name.to_string(),
+            format!("{a:.1}"),
+            format!("{b:.1}"),
+            format!("{:+.1}", b - a),
+            ratio,
+        ]);
+    };
+    add("generation", p.gen_ms, c.gen_ms);
+    add("encode", p.encode_ms, c.encode_ms);
+    add("simulation", p.sim_ms, c.sim_ms);
+    add("job wall (sum)", p.wall_ms, c.wall_ms);
+    add("sweep total", p.total_wall_ms, c.total_wall_ms);
+    Ok(format!(
+        "jobs: prev {} ({} cache hits), cur {} ({} cache hits)\n{}",
+        p.jobs,
+        p.cache_hits,
+        c.jobs,
+        c.cache_hits,
+        table.render()
+    ))
 }
 
 /// Cross-network geometric-mean speedup per `(representation, engine)`,
@@ -370,7 +499,9 @@ mod tests {
     use super::*;
 
     /// A small deterministic sweep that still exercises every engine:
-    /// two networks, one representation, sampled fidelity.
+    /// two networks, one representation, sampled fidelity. The cache is
+    /// off so these tests never couple to on-disk state; the dedicated
+    /// cache tests below cover the cached path with scratch dirs.
     fn small_config(parallel: bool) -> SweepConfig {
         SweepConfig {
             networks: vec![Network::AlexNet, Network::NiN],
@@ -378,7 +509,17 @@ mod tests {
             seed: 0x00DE_C0DE,
             fidelity: Fidelity::Sampled { max_pallets: 4 },
             parallel,
+            use_cache: false,
+            cache_dir: None,
         }
+    }
+
+    /// A scratch cache directory unique to this test run.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64 + d.as_secs());
+        std::env::temp_dir().join(format!("pra-sweep-{tag}-{}-{nanos}", std::process::id()))
     }
 
     fn sort_key(r: &SweepRow) -> (String, String, String) {
@@ -482,12 +623,69 @@ mod tests {
             assert!(body.contains(&format!("\"cycles\": {}", r.cycles)));
         }
         // One record per row plus one per job timing, each carrying a
-        // wall clock; phase keys appear once per job.
+        // wall clock; phase keys and the cache outcome appear once per
+        // job.
         assert_eq!(body.matches("\"wall_ms\"").count(), out.rows.len() + out.jobs);
         assert_eq!(body.matches("\"job\"").count(), out.rows.len() + out.jobs);
         assert_eq!(body.matches("\"gen_ms\"").count(), out.jobs);
         assert_eq!(body.matches("\"encode_ms\"").count(), out.jobs);
         assert_eq!(body.matches("\"sim_ms\"").count(), out.jobs);
+        assert_eq!(body.matches("\"cache\"").count(), out.jobs);
+    }
+
+    #[test]
+    fn warm_sweep_hits_the_cache_with_identical_rows() {
+        let dir = scratch_dir("warm");
+        let mut cfg = small_config(true);
+        cfg.use_cache = true;
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_sweep(&cfg);
+        assert!(
+            cold.timings.iter().all(|t| t.cache == "miss"),
+            "fresh dir must miss: {:?}",
+            cold.timings.iter().map(|t| t.cache.as_str()).collect::<Vec<_>>()
+        );
+        let warm = run_sweep(&cfg);
+        assert!(
+            warm.timings.iter().all(|t| t.cache == "hit"),
+            "second sweep must hit: {:?}",
+            warm.timings.iter().map(|t| t.cache.as_str()).collect::<Vec<_>>()
+        );
+        assert_eq!(cold.rows, warm.rows, "cached workloads must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cached_and_uncached_sweeps_agree() {
+        let dir = scratch_dir("agree");
+        let mut cached_cfg = small_config(true);
+        cached_cfg.use_cache = true;
+        cached_cfg.cache_dir = Some(dir.clone());
+        let cached = run_sweep(&cached_cfg);
+        let uncached = run_sweep(&small_config(true));
+        assert_eq!(cached.rows, uncached.rows, "cache must not change any result");
+        for t in &uncached.timings {
+            assert_eq!(t.cache, "off");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn phase_totals_and_delta_read_bench_json() {
+        let out = run_sweep(&small_config(false));
+        let body = bench_json(&out);
+        let t = phase_totals(&body).expect("bench.json must parse");
+        assert_eq!(t.jobs, out.jobs);
+        assert_eq!(t.cache_hits, 0);
+        let sum_gen: f64 = out.timings.iter().map(|j| j.gen_ms).sum();
+        assert!((t.gen_ms - sum_gen).abs() < 0.01, "{} vs {}", t.gen_ms, sum_gen);
+        assert!((t.total_wall_ms - out.total_wall_ms).abs() < 0.01);
+
+        let delta = bench_delta(&body, &body).expect("self-delta");
+        assert!(delta.contains("generation"));
+        assert!(delta.contains("sweep total"));
+        assert!(delta.contains("1.00x"), "self-delta ratios must be 1.00x:\n{delta}");
+        assert!(bench_delta("{}", &body).is_err());
     }
 
     #[test]

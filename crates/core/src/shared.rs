@@ -20,17 +20,36 @@
 //! [`crate::sim::run_shared`] consumes them in place of the per-run
 //! construction. Results are cycle-for-cycle identical to the unshared
 //! path — pinned by the equivalence grid in `tests/memo_sim.rs`.
+//!
+//! The NM/SB traffic table additionally persists across *processes*:
+//! it depends only on layer geometry and the chip view — never on
+//! neuron values or the seed — so
+//! [`SharedEncodedNetwork::from_workload_cached`] stores it in the
+//! content-addressed cache (`pra_workloads::cache`, DESIGN.md §9)
+//! alongside the cached workload streams and reloads it on warm runs
+//! instead of recounting every layer's dispatch.
 
 use std::sync::Arc;
 
 use pra_engines::shared_traffic;
 use pra_sim::{AccessCounters, ChipConfig, Dispatcher, NeuronMemory, NmLayout};
+use pra_workloads::cache::{Cache, CacheKey, KeyHasher};
 use pra_workloads::{LayerView, NetworkWorkload, Representation};
 use rayon::prelude::*;
 
 use crate::column::SchedulerConfig;
 use crate::config::{EncodingKey, PraConfig};
 use crate::schedule::{EncodedLayer, LayerScheduler};
+
+/// Version of the persisted traffic-table artifact. Bump whenever the
+/// traffic-counting convention changes (`shared_traffic`, the
+/// dispatcher's fetch model, [`AccessCounters`] fields or their
+/// serialization order): the version is hashed into the cache key, so
+/// old entries become unreachable instead of serving stale counts.
+pub const TRAFFIC_VERSION: u32 = 1;
+
+/// Cache entry kind for persisted per-layer traffic tables.
+pub const TRAFFIC_KIND: &str = "tr";
 
 /// One layer's shared artifacts: every distinct `(EncodingKey,
 /// SchedulerConfig)` pair the configuration set needs, each holding an
@@ -68,6 +87,17 @@ impl SharedEncodedNetwork {
     ///
     /// Panics if `configs` is empty.
     pub fn build(configs: &[PraConfig], layers: &[LayerView<'_>]) -> Self {
+        Self::build_inner(configs, layers, None)
+    }
+
+    /// [`SharedEncodedNetwork::build`] with an optional preloaded
+    /// per-layer traffic table (one entry per layer, in layer order) —
+    /// the warm-cache path skips the dispatch recount entirely.
+    fn build_inner(
+        configs: &[PraConfig],
+        layers: &[LayerView<'_>],
+        preloaded_traffic: Option<Vec<AccessCounters>>,
+    ) -> Self {
         assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
         // Distinct artifacts, preserving first-appearance order.
         let mut wanted: Vec<(EncodingKey, SchedulerConfig)> = Vec::new();
@@ -78,14 +108,13 @@ impl SharedEncodedNetwork {
             }
         }
         let lead = configs[0];
-        let share_traffic = configs
-            .iter()
-            .all(|c| c.chip == lead.chip && c.nm_layout == lead.nm_layout && c.repr == lead.repr);
+        let share_traffic = agree_on_traffic_view(configs);
+        let preloaded = preloaded_traffic.filter(|t| share_traffic && t.len() == layers.len());
 
-        let views: Vec<&LayerView<'_>> = layers.iter().collect();
+        let views: Vec<(usize, &LayerView<'_>)> = layers.iter().enumerate().collect();
         let built: Vec<(SharedLayer, AccessCounters)> = views
             .into_par_iter()
-            .map(|view| {
+            .map(|(idx, view)| {
                 let mut encodings: Vec<(EncodingKey, Arc<EncodedLayer>)> = Vec::new();
                 let mut schedulers = Vec::with_capacity(wanted.len());
                 for &(key, sched_cfg) in &wanted {
@@ -104,14 +133,16 @@ impl SharedEncodedNetwork {
                         Arc::new(LayerScheduler::with_encoded(encoded, sched_cfg)),
                     ));
                 }
-                let traffic = if share_traffic {
-                    let nm = NeuronMemory::new(
-                        lead.nm_layout,
-                        lead.chip.nm_row_neurons(lead.repr.bits()),
-                    );
-                    shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
-                } else {
-                    AccessCounters::new()
+                let traffic = match &preloaded {
+                    Some(table) => table[idx],
+                    None if share_traffic => {
+                        let nm = NeuronMemory::new(
+                            lead.nm_layout,
+                            lead.chip.nm_row_neurons(lead.repr.bits()),
+                        );
+                        shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
+                    }
+                    None => AccessCounters::new(),
                 };
                 (SharedLayer { schedulers }, traffic)
             })
@@ -136,6 +167,58 @@ impl SharedEncodedNetwork {
     pub fn from_workload(configs: &[PraConfig], workload: &NetworkWorkload) -> Self {
         let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
         Self::build(configs, &views)
+    }
+
+    /// [`SharedEncodedNetwork::from_workload`] with the traffic table
+    /// persisted through the default content-addressed cache: when
+    /// `use_cache` is set (and the cache is enabled process-wide), the
+    /// per-layer NM/SB counters are loaded from disk on a warm run and
+    /// published after a cold count.
+    pub fn from_workload_cached(
+        configs: &[PraConfig],
+        workload: &NetworkWorkload,
+        use_cache: bool,
+    ) -> Self {
+        if !use_cache || !pra_workloads::cache::enabled() {
+            return Self::from_workload(configs, workload);
+        }
+        Self::from_workload_cached_in(configs, workload, &Cache::at_default()).0
+    }
+
+    /// [`SharedEncodedNetwork::from_workload_cached`] against an
+    /// explicit cache directory; also reports whether the traffic table
+    /// was a cache hit (`None` when the configuration set does not
+    /// share one traffic view, so nothing was cacheable).
+    pub fn from_workload_cached_in(
+        configs: &[PraConfig],
+        workload: &NetworkWorkload,
+        cache: &Cache,
+    ) -> (Self, Option<bool>) {
+        assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
+        let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+        let lead = configs[0];
+        if !agree_on_traffic_view(configs) {
+            return (Self::build(configs, &views), None);
+        }
+        let key =
+            traffic_key(workload.network.name(), &views, &lead.chip, lead.nm_layout, lead.repr);
+        let preloaded = cache
+            .load(TRAFFIC_KIND, TRAFFIC_VERSION, &key)
+            .and_then(|payload| decode_traffic(&payload, views.len()));
+        let hit = preloaded.is_some();
+        let built = Self::build_inner(configs, &views, preloaded);
+        if !hit {
+            if let Some(table) = built.traffic.as_ref() {
+                // Best-effort, like every cache store.
+                let _ = cache.store(
+                    TRAFFIC_KIND,
+                    TRAFFIC_VERSION,
+                    &key,
+                    &encode_traffic(&table.per_layer),
+                );
+            }
+        }
+        (built, Some(hit))
     }
 
     /// Number of layers the artifacts were built for.
@@ -190,6 +273,128 @@ impl SharedEncodedNetwork {
             .filter(|t| t.chip == *chip && t.nm_layout == layout && t.repr == repr)
             .map(|t| t.per_layer.as_slice())
     }
+}
+
+/// `true` when every configuration sees the same traffic view (chip,
+/// NM layout, representation) — the single definition behind both the
+/// build-time sharing decision and the cached-table eligibility, so
+/// the two can never diverge if the view ever grows a field.
+fn agree_on_traffic_view(configs: &[PraConfig]) -> bool {
+    let lead = configs[0];
+    configs
+        .iter()
+        .all(|c| c.chip == lead.chip && c.nm_layout == lead.nm_layout && c.repr == lead.repr)
+}
+
+/// Compile-time fingerprint of the traffic-counting pipeline's sources
+/// (this module, `shared_traffic` in pra-engines, the dispatcher/NM
+/// model and counters in pra-sim), mixed into every traffic key: a
+/// counting change that forgets the [`TRAFFIC_VERSION`] bump makes old
+/// entries unreachable locally, matching the workload cache's
+/// fail-closed behavior (CI's actions/cache key hashes the same
+/// sources).
+fn traffic_source_fingerprint() -> u64 {
+    static FP: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *FP.get_or_init(|| {
+        let sources: [&str; 4] = [
+            include_str!("shared.rs"),
+            include_str!("../../engines/src/lib.rs"),
+            include_str!("../../sim/src/dispatcher.rs"),
+            include_str!("../../sim/src/neuron_memory.rs"),
+        ];
+        let mut h = 0u64;
+        for s in sources {
+            h = pra_workloads::cache::checksum64(s.as_bytes()) ^ h.rotate_left(9);
+        }
+        h
+    })
+}
+
+/// Content-address of a network's shared traffic table: per-layer
+/// geometry plus the full chip view. Traffic never depends on neuron
+/// values or the workload seed, so one entry serves every seed and
+/// every fidelity.
+fn traffic_key(
+    network_name: &str,
+    layers: &[LayerView<'_>],
+    chip: &ChipConfig,
+    layout: NmLayout,
+    repr: Representation,
+) -> CacheKey {
+    let mut h = KeyHasher::new("pra-traffic-v1");
+    h.u32(TRAFFIC_VERSION);
+    h.u64(traffic_source_fingerprint());
+    h.str(network_name);
+    h.u64(layers.len() as u64);
+    for view in layers {
+        h.conv_spec(view.spec);
+    }
+    for d in [
+        chip.tiles,
+        chip.filters_per_tile,
+        chip.brick,
+        chip.windows_per_pallet,
+        chip.nm_bytes,
+        chip.nm_row_bytes,
+        chip.sb_bytes_per_tile,
+    ] {
+        h.u64(d as u64);
+    }
+    h.f64(chip.frequency_ghz);
+    h.u32(match layout {
+        NmLayout::PalletMajor => 0,
+        NmLayout::RowMajor => 1,
+    });
+    h.u32(repr.bits());
+    h.finish()
+}
+
+/// Serializes a per-layer traffic table: layer count, then the seven
+/// [`AccessCounters`] fields per layer, all `u64` little-endian.
+fn encode_traffic(table: &[AccessCounters]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + table.len() * 56);
+    out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+    for c in table {
+        for v in [
+            c.nm_brick_reads,
+            c.nm_row_activations,
+            c.nm_brick_writes,
+            c.sb_set_reads,
+            c.terms,
+            c.idle_lane_cycles,
+            c.stall_cycles,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_traffic`]; `None` unless the payload holds
+/// exactly `expected_layers` entries (a geometry change without a key
+/// change would be a bug, but stale bytes must still fail closed).
+fn decode_traffic(payload: &[u8], expected_layers: usize) -> Option<Vec<AccessCounters>> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let n = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    if n != expected_layers || payload.len() != 4 + n * 56 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut vals = payload[4..].chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()));
+    for _ in 0..n {
+        out.push(AccessCounters {
+            nm_brick_reads: vals.next()?,
+            nm_row_activations: vals.next()?,
+            nm_brick_writes: vals.next()?,
+            sb_set_reads: vals.next()?,
+            terms: vals.next()?,
+            idle_lane_cycles: vals.next()?,
+            stall_cycles: vals.next()?,
+        });
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -263,6 +468,77 @@ mod tests {
             mixed.traffic_for(0, &one).is_none(),
             "mixed representations must not share traffic"
         );
+    }
+
+    fn toy_workload() -> pra_workloads::NetworkWorkload {
+        pra_workloads::NetworkWorkload {
+            network: pra_workloads::Network::AlexNet,
+            repr: Representation::Fixed16,
+            model: pra_workloads::ActivationModel {
+                zero_frac: 0.5,
+                sigma: 0.1,
+                suffix_density: 0.3,
+                outlier_prob: 0.0,
+                dense_prob: 0.05,
+                heavy_share: 0.5,
+            },
+            layers: vec![toy_layer(), toy_layer()],
+        }
+    }
+
+    #[test]
+    fn traffic_round_trips_and_serves_warm_builds() {
+        let table = vec![
+            AccessCounters { nm_brick_reads: 3, terms: 9, ..Default::default() },
+            AccessCounters { sb_set_reads: 7, stall_cycles: 1, ..Default::default() },
+        ];
+        let decoded = decode_traffic(&encode_traffic(&table), 2).expect("round trip");
+        assert_eq!(decoded, table);
+        assert!(decode_traffic(&encode_traffic(&table), 3).is_none(), "layer count checked");
+        assert!(decode_traffic(&encode_traffic(&table)[..10], 2).is_none(), "truncation rejected");
+
+        let dir =
+            std::env::temp_dir().join(format!("pra-shared-traffic-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(&dir);
+        let workload = toy_workload();
+        let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
+        let (cold, cold_hit) =
+            SharedEncodedNetwork::from_workload_cached_in(&configs, &workload, &cache);
+        assert_eq!(cold_hit, Some(false), "first build must count traffic");
+        let (warm, warm_hit) =
+            SharedEncodedNetwork::from_workload_cached_in(&configs, &workload, &cache);
+        assert_eq!(warm_hit, Some(true), "second build must load the table");
+        let plain = SharedEncodedNetwork::from_workload(&configs, &workload);
+        let chip = configs[0].chip;
+        let (layout, repr) = (configs[0].nm_layout, configs[0].repr);
+        assert_eq!(
+            warm.traffic_view(&chip, layout, repr).expect("warm traffic"),
+            plain.traffic_view(&chip, layout, repr).expect("plain traffic"),
+            "cached traffic must be byte-identical to a fresh count"
+        );
+        assert_eq!(
+            cold.traffic_view(&chip, layout, repr).unwrap(),
+            warm.traffic_view(&chip, layout, repr).unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_chip_views_skip_the_traffic_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("pra-shared-traffic-mixed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(&dir);
+        let workload = toy_workload();
+        let one = PraConfig::two_stage(2, Representation::Fixed16);
+        let row_major = PraConfig { nm_layout: NmLayout::RowMajor, ..one };
+        let (built, hit) =
+            SharedEncodedNetwork::from_workload_cached_in(&[one, row_major], &workload, &cache);
+        assert_eq!(hit, None, "disagreeing chip views have no shared table to cache");
+        assert!(built.traffic_for(0, &one).is_none());
+        assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -63,12 +63,13 @@ pub const DENSE_PROB_Q8: f64 = 0.03;
 /// Heavy share for the 8-bit quantized generator (see [`DENSE_PROB_Q8`]).
 pub const HEAVY_SHARE_Q8: f64 = 0.25;
 
-/// Deterministic seed used by all calibration measurements.
-const CALIBRATION_SEED: u64 = 0xCA11_B8A7_E5EE_D001;
+/// Deterministic seed used by all calibration measurements (hashed into
+/// workload cache keys: changing it changes the fit, hence the stream).
+pub(crate) const CALIBRATION_SEED: u64 = 0xCA11_B8A7_E5EE_D001;
 
 /// Total samples drawn per objective evaluation, spread across layers in
-/// proportion to their neuron counts.
-const CALIBRATION_SAMPLES: usize = 120_000;
+/// proportion to their neuron counts (hashed into workload cache keys).
+pub(crate) const CALIBRATION_SAMPLES: usize = 120_000;
 
 /// Returns the calibrated activation model for `network` under `repr`,
 /// fitting it on first use and caching the result process-wide.

@@ -16,9 +16,13 @@
 //!   content reproduces Table I (see DESIGN.md §2 for why this substitution
 //!   preserves the paper's behaviour).
 //! * [`stats`] — measures Table I from a generated workload.
+//! * [`cache`] — the content-addressed on-disk store that makes repeat
+//!   builds of the same `(network, repr, seed)` stream generation-free
+//!   (DESIGN.md §9).
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod generator;
 pub mod networks;
@@ -26,6 +30,7 @@ pub mod profiles;
 pub mod stats;
 pub mod traces;
 
+pub use cache::CacheOutcome;
 pub use generator::{
     mix_seed, ActivationModel, DrawParts, LayerView, LayerWorkload, NetworkWorkload,
     Representation, Sampler,

@@ -100,14 +100,14 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<(Representation, Vec<TraceLay
         let (x, y, i) =
             (read_u32(&mut r)? as usize, read_u32(&mut r)? as usize, read_u32(&mut r)? as usize);
         let dim = Dim3::new(x, y, i);
-        let mut data = vec![0u16; dim.len()];
-        let mut buf = [0u8; 2];
-        for v in &mut data {
-            r.read_exact(&mut buf)?;
-            *v = u16::from_le_bytes(buf);
-            if repr == Representation::Quant8 && *v > 255 {
-                return Err(bad("8-bit trace contains values above 255"));
-            }
+        // Bulk read: one read_exact per layer instead of one per neuron
+        // (a warm cache load parses tens of MB through this path).
+        let mut bytes = vec![0u8; dim.len() * 2];
+        r.read_exact(&mut bytes)?;
+        let data: Vec<u16> =
+            bytes.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+        if repr == Representation::Quant8 && data.iter().any(|&v| v > 255) {
+            return Err(bad("8-bit trace contains values above 255"));
         }
         out.push(TraceLayer { name, neurons: Tensor3::from_vec(dim, data) });
     }

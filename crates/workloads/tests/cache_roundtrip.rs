@@ -1,0 +1,250 @@
+//! Integration tests for the content-addressed workload cache
+//! (DESIGN.md §9): bit-exact round trips, corruption/truncation
+//! fallback, version-bump invalidation, concurrent writers racing on
+//! one key, and the guarded-deletion safety of `clear`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pra_workloads::cache::{
+    self, build_cached_in, load_workload, store_workload, workload_key, workload_key_for_version,
+    Cache, CacheOutcome, GENERATOR_VERSION,
+};
+use pra_workloads::{Network, NetworkWorkload, Representation};
+use rayon::prelude::*;
+
+/// A scratch cache directory unique to this test run; each test uses
+/// its own tag so parallel tests never share state.
+fn scratch(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    std::env::temp_dir().join(format!("pra-cache-it-{tag}-{}-{nanos}", std::process::id()))
+}
+
+fn with_scratch(tag: &str, f: impl FnOnce(&Cache)) {
+    let dir = scratch(tag);
+    let cache = Cache::new(&dir);
+    f(&cache);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The single entry file a test stored (asserts there is exactly one).
+fn only_entry(cache: &Cache) -> PathBuf {
+    let mut files: Vec<PathBuf> =
+        fs::read_dir(cache.dir()).expect("cache dir exists").map(|e| e.unwrap().path()).collect();
+    assert_eq!(files.len(), 1, "expected exactly one entry: {files:?}");
+    files.pop().unwrap()
+}
+
+const NET: Network = Network::AlexNet;
+const REPR: Representation = Representation::Fixed16;
+const SEED: u64 = 0x00DD_BA11;
+
+#[test]
+fn cache_round_trip_is_bit_identical() {
+    with_scratch("roundtrip", |cache| {
+        let (generated, first) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(first, CacheOutcome::Miss);
+        let (loaded, second) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(generated.network, loaded.network);
+        assert_eq!(generated.repr, loaded.repr);
+        assert_eq!(generated.model, loaded.model, "activation model must round-trip exactly");
+        assert_eq!(generated.layers.len(), loaded.layers.len());
+        for (g, l) in generated.layers.iter().zip(&loaded.layers) {
+            assert_eq!(g.spec.name(), l.spec.name());
+            assert_eq!(g.window, l.window);
+            assert_eq!(g.stripes_precision, l.stripes_precision);
+            assert_eq!(
+                g.neurons,
+                l.neurons,
+                "layer {} tensor must be bit-identical",
+                g.spec.name()
+            );
+        }
+        // The cached stream equals pinned serial generation too.
+        let serial = NetworkWorkload::build_serial(NET, REPR, SEED);
+        assert_eq!(serial.layers[0].neurons, loaded.layers[0].neurons);
+    });
+}
+
+#[test]
+fn corrupt_and_truncated_entries_fall_back_to_regeneration() {
+    with_scratch("corrupt", |cache| {
+        let (generated, _) = build_cached_in(cache, NET, REPR, SEED);
+        let path = only_entry(cache);
+
+        // Flip one payload byte: checksum verification must reject it.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let key = workload_key(NET, REPR, SEED);
+        assert!(load_workload(cache, &key, NET, REPR).is_none(), "corruption must miss");
+        assert!(!path.exists(), "corrupt entry must be removed");
+
+        // Regeneration repopulates and produces the same stream.
+        let (again, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(again.layers[0].neurons, generated.layers[0].neurons);
+
+        // Truncation (simulating a torn write that bypassed the atomic
+        // rename) must also miss.
+        let path = only_entry(cache);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(outcome, CacheOutcome::Miss, "truncated entry must regenerate");
+    });
+}
+
+#[test]
+fn generator_version_bump_invalidates_entries() {
+    // The version is hashed into the key: a bump makes old entries
+    // unreachable without any deletion pass.
+    let current = workload_key(NET, REPR, SEED);
+    let bumped = workload_key_for_version(NET, REPR, SEED, GENERATOR_VERSION + 1);
+    assert_ne!(current, bumped);
+
+    with_scratch("verbump", |cache| {
+        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // Rewrite the stored entry's embedded version field (bytes
+        // 8..12) and re-checksum nothing: the loader must reject the
+        // version drift even though the file name still matches.
+        let path = only_entry(cache);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(GENERATOR_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let key = workload_key(NET, REPR, SEED);
+        assert!(
+            load_workload(cache, &key, NET, REPR).is_none(),
+            "embedded version drift must be rejected"
+        );
+    });
+}
+
+#[test]
+fn wrong_network_or_repr_lookup_misses() {
+    with_scratch("wrongnet", |cache| {
+        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // Different inputs derive different keys, so these are misses,
+        // not mismatched payloads.
+        let (_, o2) = build_cached_in(cache, Network::VggM, REPR, SEED);
+        assert_eq!(o2, CacheOutcome::Miss);
+        let (_, o3) = build_cached_in(cache, NET, Representation::Quant8, SEED);
+        assert_eq!(o3, CacheOutcome::Miss);
+        let (_, o4) = build_cached_in(cache, NET, REPR, SEED ^ 1);
+        assert_eq!(o4, CacheOutcome::Miss);
+        // And the originals still hit.
+        assert_eq!(build_cached_in(cache, NET, REPR, SEED).1, CacheOutcome::Hit);
+    });
+}
+
+#[test]
+fn concurrent_writers_on_one_key_stay_consistent() {
+    with_scratch("race", |cache| {
+        let reference = NetworkWorkload::build_serial(NET, REPR, SEED);
+        let key = workload_key(NET, REPR, SEED);
+        // Hammer one key from the whole rayon pool: every iteration
+        // stores the (identical) payload and immediately loads; a load
+        // must only ever observe a complete, checksum-valid entry.
+        let results: Vec<bool> = (0..32u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                if i % 3 == 0 {
+                    store_workload(cache, &key, &reference).expect("store");
+                }
+                match load_workload(cache, &key, NET, REPR) {
+                    Some(w) => {
+                        assert_eq!(
+                            w.layers[0].neurons, reference.layers[0].neurons,
+                            "a racing reader saw torn data"
+                        );
+                        true
+                    }
+                    None => false,
+                }
+            })
+            .collect();
+        assert!(results.iter().any(|&hit| hit), "at least one racing load must succeed");
+        // After the dust settles the entry is valid.
+        assert!(load_workload(cache, &key, NET, REPR).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.temps, 0, "no temp files may leak from racing renames");
+    });
+}
+
+#[test]
+fn clear_only_touches_cache_entries_and_never_follows_symlinks() {
+    with_scratch("guard", |cache| {
+        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let entry = only_entry(cache);
+
+        // A user file, a subdirectory, and (on unix) a symlink that is
+        // *named like an entry* but points at the user file.
+        let user_file = cache.dir().join("important-notes.txt");
+        fs::write(&user_file, "do not delete").unwrap();
+        let subdir = cache.dir().join("subdir");
+        fs::create_dir(&subdir).unwrap();
+        fs::write(subdir.join("keep.txt"), "nested").unwrap();
+        #[cfg(unix)]
+        let link = {
+            let link = cache.dir().join(format!("wl-{}.prac", "e".repeat(64)));
+            std::os::unix::fs::symlink(&user_file, &link).unwrap();
+            link
+        };
+
+        let report = cache.clear().expect("clear");
+        assert_eq!(report.removed, 1, "only the real entry goes");
+        assert!(!entry.exists());
+        assert!(user_file.exists(), "user file survives");
+        assert_eq!(fs::read_to_string(&user_file).unwrap(), "do not delete");
+        assert!(subdir.join("keep.txt").exists(), "subdirectories survive");
+        #[cfg(unix)]
+        {
+            // The symlink matched the naming scheme but is not a
+            // regular file: it is skipped, and its target untouched.
+            assert!(fs::symlink_metadata(&link).is_ok(), "symlink itself survives");
+        }
+        assert!(report.skipped >= 2, "foreign files counted as skipped");
+    });
+}
+
+#[test]
+fn gc_stale_removes_only_other_generations() {
+    with_scratch("gc", |cache| {
+        build_cached_in(cache, NET, REPR, SEED);
+        let fresh = only_entry(cache);
+        // Forge a stale-generation sibling: same kind, different key
+        // and embedded version.
+        let stale_key = workload_key_for_version(NET, REPR, SEED, GENERATOR_VERSION + 7);
+        cache
+            .store(cache::WORKLOAD_KIND, GENERATOR_VERSION + 7, &stale_key, b"old bytes")
+            .expect("store stale");
+        let user_file = cache.dir().join("report.csv");
+        fs::write(&user_file, "a,b").unwrap();
+
+        let report = cache.gc_stale(&[(cache::WORKLOAD_KIND, GENERATOR_VERSION)]).expect("gc");
+        assert_eq!(report.removed, 1, "exactly the stale generation goes");
+        assert_eq!(report.kept, 1, "the current-generation entry is counted as kept");
+        assert_eq!(report.skipped, 1, "only the foreign file is skipped");
+        assert!(fresh.exists(), "current-generation entry survives GC");
+        assert!(user_file.exists(), "foreign file survives GC");
+        assert_eq!(build_cached_in(cache, NET, REPR, SEED).1, CacheOutcome::Hit);
+    });
+}
+
+#[test]
+fn disabled_cache_writes_nothing() {
+    // `NetworkWorkload::build_uncached` must not touch the store.
+    with_scratch("disabled", |cache| {
+        let _ = NetworkWorkload::build_uncached(Network::VggM, REPR, 99);
+        assert!(!cache.dir().exists() || cache.stats().entries == 0);
+    });
+}

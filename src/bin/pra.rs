@@ -5,12 +5,17 @@
 //! pra speedup <network> [--quant8]     DaDN/Stripes/PRA speedups
 //! pra capacity <network>               NM/SB footprint audit
 //! pra networks                         list the evaluated networks
-//! pra sweep [--serial] [--full] [--sampled N] [--seed N]
+//! pra sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache]
 //!                                      all networks x engines x representations,
 //!                                      parallel, full fidelity by default
 //!                                      (--full spells it explicitly, overriding
 //!                                      an inherited PRA_BENCH_PALLETS),
-//!                                      consolidated CSV + timing reports
+//!                                      consolidated CSV + timing reports;
+//!                                      workloads come from the content-addressed
+//!                                      cache unless --no-cache
+//! pra cache stats                      inspect the workload/artifact cache
+//! pra cache clear [--stale]            guarded cache deletion / stale-entry GC
+//! pra bench-delta <prev> <cur>         per-phase delta between two bench.json
 //! ```
 
 use std::process::ExitCode;
@@ -20,6 +25,7 @@ use pra_bench::Table;
 use pragmatic::core::{Fidelity, PraConfig};
 use pragmatic::engines::{dadn, potential, stripes};
 use pragmatic::sim::{capacity, ChipConfig};
+use pragmatic::workloads::cache::{self, Cache};
 use pragmatic::workloads::{Network, NetworkWorkload, Representation};
 
 fn main() -> ExitCode {
@@ -47,6 +53,8 @@ fn main() -> ExitCode {
         }),
         Some("capacity") => parse_network(&args, 1).map(cmd_capacity),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
+        Some("bench-delta") => cmd_bench_delta(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -58,7 +66,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -123,6 +131,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 cfg.seed = parse_seed(v)?;
             }
+            "--no-cache" => {
+                cfg.use_cache = false;
+                // Also disable the process-wide default so no artifact
+                // (workload or traffic) is read or published this run.
+                cache::set_enabled(false);
+            }
             other => return Err(format!("unknown sweep flag '{other}'\n{USAGE}")),
         }
     }
@@ -163,9 +177,15 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     geo.print("Cross-network geometric means");
 
-    let mut timing = Table::new(["job", "repr", "wall ms"]);
+    let mut timing = Table::new(["job", "repr", "gen ms", "wall ms", "cache"]);
     for t in &out.timings {
-        timing.row([t.network.clone(), t.repr.clone(), format!("{:.1}", t.wall_ms)]);
+        timing.row([
+            t.network.clone(),
+            t.repr.clone(),
+            format!("{:.1}", t.gen_ms),
+            format!("{:.1}", t.wall_ms),
+            t.cache.clone(),
+        ]);
     }
     timing.print("Per-job wall-clock");
 
@@ -177,12 +197,101 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         Some(path) => println!("timing report: {}", path.display()),
         None => eprintln!("warning: timing report could not be written"),
     }
+    let hits = out.timings.iter().filter(|t| t.cache == "hit").count();
     println!(
-        "{} jobs on {} worker thread(s) in {:.1}s",
+        "{} jobs on {} worker thread(s) in {:.1}s ({} workload cache hit(s))",
         out.jobs,
         out.threads_used,
-        out.total_wall_ms / 1e3
+        out.total_wall_ms / 1e3,
+        hits,
     );
+    Ok(())
+}
+
+/// `pra cache stats|clear [--stale]`: inspect or prune the
+/// content-addressed workload/artifact cache. Deletion is guarded — only
+/// regular files matching the cache naming scheme are ever removed, and
+/// symlinks are never followed, so a misconfigured `PRA_CACHE_DIR`
+/// cannot lose user data.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let cache = Cache::at_default();
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let s = cache.stats();
+            println!("cache directory: {}", s.dir.display());
+            println!(
+                "current versions: workloads v{} (kind wl), traffic v{} (kind tr)",
+                cache::GENERATOR_VERSION,
+                pragmatic::core::TRAFFIC_VERSION,
+            );
+            if s.entries == 0 && s.temps == 0 {
+                println!("empty (a cold `pra sweep` will populate it)");
+                return Ok(());
+            }
+            let mut t = Table::new(["kind", "entries", "MB", "versions"]);
+            for k in &s.kinds {
+                let versions = k
+                    .versions
+                    .iter()
+                    .map(|(v, n)| format!("v{v}: {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                t.row([
+                    k.kind.clone(),
+                    k.entries.to_string(),
+                    format!("{:.1}", k.bytes as f64 / 1e6),
+                    versions,
+                ]);
+            }
+            t.print("Cache contents");
+            println!(
+                "{} entries, {:.1} MB total; {} temp file(s); {} foreign file(s) (never touched)",
+                s.entries,
+                s.bytes as f64 / 1e6,
+                s.temps,
+                s.foreign,
+            );
+            Ok(())
+        }
+        Some("clear") => {
+            let stale_only = args.iter().any(|a| a == "--stale");
+            let report = if stale_only {
+                cache
+                    .gc_stale(&[
+                        (cache::WORKLOAD_KIND, cache::GENERATOR_VERSION),
+                        (pragmatic::core::TRAFFIC_KIND, pragmatic::core::TRAFFIC_VERSION),
+                    ])
+                    .map_err(|e| e.to_string())?
+            } else {
+                cache.clear().map_err(|e| e.to_string())?
+            };
+            println!(
+                "{}: removed {} entr{} ({:.1} MB), kept {}, skipped {} non-cache file(s)",
+                cache.dir().display(),
+                report.removed,
+                if report.removed == 1 { "y" } else { "ies" },
+                report.freed_bytes as f64 / 1e6,
+                report.kept,
+                report.skipped,
+            );
+            Ok(())
+        }
+        _ => Err(format!("cache needs a subcommand: stats | clear [--stale]\n{USAGE}")),
+    }
+}
+
+/// `pra bench-delta <prev.json> <cur.json>`: per-phase timing delta
+/// between two `bench.json` reports (CI runs this against the previous
+/// main run, and between the cold/warm halves of the identity gate).
+fn cmd_bench_delta(args: &[String]) -> Result<(), String> {
+    let [prev_path, cur_path] = args else {
+        return Err(format!("bench-delta needs two bench.json paths\n{USAGE}"));
+    };
+    let read =
+        |p: &String| std::fs::read_to_string(p).map_err(|e| format!("could not read {p}: {e}"));
+    let delta = pra_bench::sweep::bench_delta(&read(prev_path)?, &read(cur_path)?)?;
+    println!("=== Per-phase delta: {prev_path} -> {cur_path} ===");
+    println!("{delta}");
     Ok(())
 }
 
