@@ -69,6 +69,14 @@ pub fn write_json(name: &str, body: &str) -> Option<PathBuf> {
     write_report_file(&format!("{name}.json"), "json", body)
 }
 
+/// Writes an arbitrary small text artifact (digest files and the like)
+/// to `target/pra-reports/<filename>` — the caller supplies the full
+/// file name including its extension. Best-effort like [`write_csv`];
+/// returns the path on success.
+pub fn write_text(filename: &str, label: &str, body: &str) -> Option<PathBuf> {
+    write_report_file(filename, label, body)
+}
+
 /// Escapes a string for inclusion in a JSON document (quotes included).
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

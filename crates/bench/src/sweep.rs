@@ -151,8 +151,10 @@ pub fn repr_label(repr: Representation) -> &'static str {
     }
 }
 
-/// The PRA configurations the sweep evaluates, in row order.
-fn pra_configs(repr: Representation, fidelity: Fidelity) -> Vec<PraConfig> {
+/// The PRA configurations the sweep evaluates, in row order. Public
+/// because the serving path (`pra-serve`) resolves request engine
+/// labels against exactly this set.
+pub fn pra_configs(repr: Representation, fidelity: Fidelity) -> Vec<PraConfig> {
     vec![
         PraConfig::two_stage(2, repr).with_fidelity(fidelity),
         PraConfig::single_stage(repr).with_fidelity(fidelity),
@@ -313,6 +315,14 @@ pub fn write_report(rows: &[SweepRow]) -> Option<PathBuf> {
     report::write_csv("sweep", &CSV_HEADER, &csv_rows(rows))
 }
 
+/// Version stamped into every `bench.json` this crate writes. Bump on
+/// any structural change to the document (new/renamed top-level keys,
+/// changed record shapes) so downstream parsers — `bench_delta`
+/// included — can tell a layout drift from a perf drift. History:
+/// v1 = PR 2–3 layout (unstamped), v2 = stamped + optional `"serve"`
+/// section.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
 /// Renders the machine-readable perf report: per-job phase timings
 /// (generation / encoding / simulation), one record per job x engine
 /// with the job's wall-clock, plus sweep-level totals. This is the file
@@ -324,6 +334,7 @@ pub fn bench_json(out: &SweepOutcome) -> String {
     }
     let mut body = String::new();
     let _ = writeln!(body, "{{");
+    let _ = writeln!(body, "  \"schema_version\": {BENCH_SCHEMA_VERSION},");
     let _ = writeln!(body, "  \"total_wall_ms\": {:.3},", out.total_wall_ms);
     let _ = writeln!(body, "  \"jobs\": {},", out.jobs);
     let _ = writeln!(body, "  \"threads_used\": {},", out.threads_used);
@@ -397,6 +408,41 @@ fn json_number_after(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// The `schema_version` a `bench.json` body declares; `None` for
+/// pre-versioned documents (PR 2–4 layouts).
+pub fn schema_version(body: &str) -> Option<u32> {
+    body.lines().find_map(|l| json_number_after(l, "\"schema_version\":")).map(|v| v as u32)
+}
+
+/// Warning lines (possibly empty) about the schema versions of two
+/// `bench.json` bodies being compared: pre-versioned or mismatched
+/// documents still diff — phase keys have been stable since PR 2 — but
+/// the reader deserves to know the layouts differ.
+pub fn schema_warnings(prev: &str, cur: &str) -> Vec<String> {
+    let (p, c) = (schema_version(prev), schema_version(cur));
+    let mut warnings = Vec::new();
+    let describe = |v: Option<u32>| match v {
+        Some(v) => format!("v{v}"),
+        None => "pre-versioned".to_string(),
+    };
+    if p.is_none() || c.is_none() {
+        warnings.push(format!(
+            "warning: comparing {} against {} bench.json (schema_version was introduced in v{}); \
+             phase totals are best-effort",
+            describe(p),
+            describe(c),
+            BENCH_SCHEMA_VERSION,
+        ));
+    } else if p != c {
+        warnings.push(format!(
+            "warning: bench.json schema mismatch ({} vs {}); phase totals are best-effort",
+            describe(p),
+            describe(c),
+        ));
+    }
+    warnings
+}
+
 /// Parses the per-phase totals out of a `bench.json` body. Tolerant of
 /// older documents (PR 3's format without the `cache` field); `None`
 /// when no job timings are recognizable at all.
@@ -440,6 +486,10 @@ pub fn phase_totals(body: &str) -> Option<PhaseTotals> {
 pub fn bench_delta(prev: &str, cur: &str) -> Result<String, String> {
     let p = phase_totals(prev).ok_or("previous bench.json: no job timings found")?;
     let c = phase_totals(cur).ok_or("current bench.json: no job timings found")?;
+    let mut warnings = schema_warnings(prev, cur).join("\n");
+    if !warnings.is_empty() {
+        warnings.push('\n');
+    }
     let mut table = crate::Table::new(["phase", "prev ms", "cur ms", "delta ms", "ratio"]);
     let mut add = |name: &str, a: f64, b: f64| {
         let ratio = if a > 0.0 { format!("{:.2}x", b / a) } else { "-".to_string() };
@@ -457,13 +507,55 @@ pub fn bench_delta(prev: &str, cur: &str) -> Result<String, String> {
     add("job wall (sum)", p.wall_ms, c.wall_ms);
     add("sweep total", p.total_wall_ms, c.total_wall_ms);
     Ok(format!(
-        "jobs: prev {} ({} cache hits), cur {} ({} cache hits)\n{}",
+        "{}jobs: prev {} ({} cache hits), cur {} ({} cache hits)\n{}",
+        warnings,
         p.jobs,
         p.cache_hits,
         c.jobs,
         c.cache_hits,
         table.render()
     ))
+}
+
+/// The phase-regression soft gate behind `pra bench-delta --gate`:
+/// phases whose current total exceeds `max_ratio` × the previous total
+/// (e.g. 1.25 = fail on >25% regressions). Guardrails against CI noise:
+/// phases under a 50 ms floor are never gated (timer jitter dominates
+/// them), and the generation phase is skipped when the two runs saw
+/// different workload-cache hit counts (a cold run regressing against a
+/// warm one is a cache event, not a perf event — the cold/warm identity
+/// gate owns that axis).
+///
+/// Returns the violation messages, empty when the gate passes.
+///
+/// # Errors
+///
+/// Returns a message when either body has no recognizable job timings.
+pub fn bench_gate(prev: &str, cur: &str, max_ratio: f64) -> Result<Vec<String>, String> {
+    let p = phase_totals(prev).ok_or("previous bench.json: no job timings found")?;
+    let c = phase_totals(cur).ok_or("current bench.json: no job timings found")?;
+    const NOISE_FLOOR_MS: f64 = 50.0;
+    let comparable_cache = p.cache_hits == c.cache_hits && p.jobs == c.jobs;
+    let mut violations = Vec::new();
+    let phases: [(&str, f64, f64, bool); 5] = [
+        ("generation", p.gen_ms, c.gen_ms, comparable_cache),
+        ("encode", p.encode_ms, c.encode_ms, true),
+        ("simulation", p.sim_ms, c.sim_ms, true),
+        ("job wall (sum)", p.wall_ms, c.wall_ms, comparable_cache),
+        ("sweep total", p.total_wall_ms, c.total_wall_ms, comparable_cache),
+    ];
+    for (name, prev_ms, cur_ms, gated) in phases {
+        if !gated || prev_ms < NOISE_FLOOR_MS {
+            continue;
+        }
+        if cur_ms > prev_ms * max_ratio {
+            violations.push(format!(
+                "phase '{name}' regressed {:.2}x ({prev_ms:.1} ms -> {cur_ms:.1} ms, gate {max_ratio:.2}x)",
+                cur_ms / prev_ms,
+            ));
+        }
+    }
+    Ok(violations)
 }
 
 /// Cross-network geometric-mean speedup per `(representation, engine)`,
@@ -686,6 +778,75 @@ mod tests {
         assert!(delta.contains("sweep total"));
         assert!(delta.contains("1.00x"), "self-delta ratios must be 1.00x:\n{delta}");
         assert!(bench_delta("{}", &body).is_err());
+    }
+
+    #[test]
+    fn bench_json_is_version_stamped() {
+        let out = run_sweep(&small_config(false));
+        let body = bench_json(&out);
+        assert_eq!(schema_version(&body), Some(BENCH_SCHEMA_VERSION));
+        assert!(schema_version("{\"jobs\": 2}").is_none(), "pre-versioned docs have no version");
+    }
+
+    #[test]
+    fn schema_warnings_flag_preversioned_and_mismatched_docs() {
+        let out = run_sweep(&small_config(false));
+        let body = bench_json(&out);
+        assert!(schema_warnings(&body, &body).is_empty(), "same version, no warning");
+        let old = "{\n  \"total_wall_ms\": 1.0,\n  \"job_timings\": []\n}";
+        let w = schema_warnings(old, &body);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("pre-versioned"), "{w:?}");
+        let future = body.replace(
+            &format!("\"schema_version\": {BENCH_SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+        );
+        let w = schema_warnings(&body, &future);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("mismatch"), "{w:?}");
+        // bench_delta surfaces the warning but still renders the table.
+        let old_with_jobs = old.replace(
+            "\"job_timings\": []",
+            "\"job_timings\": [\n    {\"gen_ms\": 100.0, \"sim_ms\": 100.0, \"wall_ms\": 200.0}\n  ]",
+        );
+        let delta = bench_delta(&old_with_jobs, &body).expect("tolerant of pre-versioned");
+        assert!(delta.contains("warning:"), "{delta}");
+        assert!(delta.contains("sweep total"));
+    }
+
+    #[test]
+    fn gate_passes_self_and_fails_large_regressions() {
+        let mk = |gen: f64, sim: f64, hits: usize| {
+            let cache = if hits > 0 { "hit" } else { "miss" };
+            format!(
+                "{{\n  \"schema_version\": 2,\n  \"total_wall_ms\": {t},\n  \"job_timings\": [\n    \
+                 {{\"gen_ms\": {gen:.1}, \"encode_ms\": 60.0, \"sim_ms\": {sim:.1}, \
+                 \"wall_ms\": {t}, \"cache\": \"{cache}\"}}\n  ]\n}}\n",
+                t = gen + sim + 60.0,
+            )
+        };
+        let base = mk(100.0, 400.0, 0);
+        assert!(bench_gate(&base, &base, 1.25).unwrap().is_empty(), "self-gate passes");
+        // A 2x simulation regression trips the gate.
+        let slow = mk(100.0, 800.0, 0);
+        let v = bench_gate(&base, &slow, 1.25).unwrap();
+        assert!(v.iter().any(|m| m.contains("simulation") && m.contains("2.00x")), "{v:?}");
+        // The same regression is fine under a 3x gate.
+        assert!(bench_gate(&base, &slow, 3.0).unwrap().is_empty());
+        // Generation is not gated when the cache-hit counts differ …
+        let cold_gen = mk(500.0, 400.0, 0);
+        let warm = mk(100.0, 400.0, 1);
+        let v = bench_gate(&warm, &cold_gen, 1.25).unwrap();
+        assert!(!v.iter().any(|m| m.contains("generation")), "{v:?}");
+        // … but still gated when they agree.
+        let v = bench_gate(&base, &cold_gen, 1.25).unwrap();
+        assert!(v.iter().any(|m| m.contains("generation")), "{v:?}");
+        // Sub-floor phases never trip: encode stays at 60 ms here, and a
+        // tiny base makes every phase sub-floor.
+        let tiny = mk(1.0, 2.0, 0);
+        let tiny_slow = mk(4.0, 8.0, 0);
+        assert!(bench_gate(&tiny, &tiny_slow, 1.25).unwrap().is_empty(), "noise floor holds");
+        assert!(bench_gate("{}", &base, 1.25).is_err());
     }
 
     #[test]

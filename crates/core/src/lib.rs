@@ -53,7 +53,7 @@ pub mod tile;
 pub use column::{ScanOrder, SchedulerConfig};
 pub use config::{Encoding, EncodingKey, Fidelity, PraConfig, SyncPolicy};
 pub use schedule::{EncodedLayer, LayerScheduler};
-pub use shared::{SharedEncodedNetwork, TRAFFIC_KIND, TRAFFIC_VERSION};
+pub use shared::{ArtifactPool, SharedEncodedNetwork, TRAFFIC_KIND, TRAFFIC_VERSION};
 pub use sim::{
     run, run_shared, simulate_layer, simulate_layer_raw, simulate_layer_shared, simulate_layer_view,
 };

@@ -275,6 +275,124 @@ impl SharedEncodedNetwork {
     }
 }
 
+/// A bounded, most-recently-used in-memory pool of build-once
+/// artifacts, keyed by workload identity (network, representation,
+/// seed) plus the exact design-point set — the *batch-to-batch* reuse
+/// layer of the serving path (DESIGN.md §10). The on-disk cache (§9)
+/// makes warm *processes* generation-free; this pool makes consecutive
+/// batches over the same workload encode-free too: the workload tensor
+/// and every mask/schedule/traffic artifact are handed out as shared
+/// [`Arc`]s, so a hit costs two pointer clones instead of a rebuild.
+///
+/// The pool is deliberately small (serving traffic concentrates on few
+/// hot workloads; all six networks × both representations are 12
+/// entries, so the serving path provisions 16) and drops
+/// least-recently-used entries beyond capacity. Reuse never changes
+/// results: the keyed workload is
+/// bit-identical by the generator's determinism guarantee, and the
+/// artifacts are immutable once built.
+pub struct ArtifactPool {
+    capacity: usize,
+    entries: std::sync::Mutex<Vec<PoolEntry>>,
+}
+
+struct PoolEntry {
+    network: pra_workloads::Network,
+    repr: Representation,
+    seed: u64,
+    configs: Vec<PraConfig>,
+    workload: Arc<NetworkWorkload>,
+    shared: Arc<SharedEncodedNetwork>,
+}
+
+impl ArtifactPool {
+    /// A pool holding at most `capacity` workload+artifact pairs.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), entries: std::sync::Mutex::new(Vec::new()) }
+    }
+
+    /// Pooled entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("artifact pool poisoned").len()
+    }
+
+    /// `true` when nothing is pooled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A hit-only probe: the pooled workload and artifacts for the key,
+    /// or `None` without building anything. Lets cheap consumers (e.g.
+    /// a baselines-only batch that would never pay for an encode) still
+    /// profit from artifacts a richer batch already built.
+    pub fn lookup(
+        &self,
+        configs: &[PraConfig],
+        network: pra_workloads::Network,
+        repr: Representation,
+        seed: u64,
+    ) -> Option<(Arc<NetworkWorkload>, Arc<SharedEncodedNetwork>)> {
+        let mut entries = self.entries.lock().expect("artifact pool poisoned");
+        let idx = entries.iter().position(|e| {
+            e.network == network && e.repr == repr && e.seed == seed && e.configs == configs
+        })?;
+        let entry = entries.remove(idx);
+        let out = (Arc::clone(&entry.workload), Arc::clone(&entry.shared));
+        entries.insert(0, entry);
+        Some(out)
+    }
+
+    /// Returns the workload and shared artifacts for `(network, repr,
+    /// seed)` under exactly `configs`: from the pool when present
+    /// (marking the entry most-recently-used), otherwise built — the
+    /// workload through `cache` when given (the §9 on-disk path), the
+    /// artifacts via [`SharedEncodedNetwork::from_workload_cached_in`]
+    /// likewise — and pooled. The returned flag is `true` on a pool hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty (the shared build needs at least
+    /// one design point).
+    pub fn get_or_build(
+        &self,
+        configs: &[PraConfig],
+        network: pra_workloads::Network,
+        repr: Representation,
+        seed: u64,
+        cache: Option<&Cache>,
+    ) -> (Arc<NetworkWorkload>, Arc<SharedEncodedNetwork>, bool) {
+        assert!(!configs.is_empty(), "ArtifactPool needs at least one configuration");
+        if let Some((workload, shared)) = self.lookup(configs, network, repr, seed) {
+            return (workload, shared, true);
+        }
+        // Build outside the lock: a slow build must not serialize other
+        // workers' pool hits (two racing builders of one key waste one
+        // build, which is benign — last insert wins).
+        let workload = Arc::new(match cache {
+            Some(c) => pra_workloads::cache::build_cached_in(c, network, repr, seed).0,
+            None => NetworkWorkload::build_uncached(network, repr, seed),
+        });
+        let shared = Arc::new(match cache {
+            Some(c) => SharedEncodedNetwork::from_workload_cached_in(configs, &workload, c).0,
+            None => SharedEncodedNetwork::from_workload(configs, &workload),
+        });
+        let mut entries = self.entries.lock().expect("artifact pool poisoned");
+        entries.insert(
+            0,
+            PoolEntry {
+                network,
+                repr,
+                seed,
+                configs: configs.to_vec(),
+                workload: Arc::clone(&workload),
+                shared: Arc::clone(&shared),
+            },
+        );
+        entries.truncate(self.capacity);
+        (workload, shared, false)
+    }
+}
+
 /// `true` when every configuration sees the same traffic view (chip,
 /// NM layout, representation) — the single definition behind both the
 /// build-time sharing decision and the cached-table eligibility, so
@@ -539,6 +657,65 @@ mod tests {
         assert!(built.traffic_for(0, &one).is_none());
         assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_pool_reuses_handles_across_batches() {
+        let pool = ArtifactPool::new(2);
+        let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
+        let net = pra_workloads::Network::AlexNet;
+        let (w1, s1, hit1) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
+        assert!(!hit1, "first batch builds");
+        let (w2, s2, hit2) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
+        assert!(hit2, "second batch reuses");
+        assert!(Arc::ptr_eq(&w1, &w2), "the workload handle is shared, not rebuilt");
+        assert!(Arc::ptr_eq(&s1, &s2), "the artifact handle is shared, not rebuilt");
+        // A different seed is a different workload: no reuse.
+        let (_, s3, hit3) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xB, None);
+        assert!(!hit3);
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        // A different design-point set never borrows mismatched artifacts.
+        let other = [PraConfig::single_stage(Representation::Fixed16)];
+        assert!(pool.lookup(&other, net, Representation::Fixed16, 0xA).is_none());
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xA).is_some());
+    }
+
+    #[test]
+    fn artifact_pool_evicts_least_recently_used() {
+        let pool = ArtifactPool::new(2);
+        let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
+        let net = pra_workloads::Network::AlexNet;
+        for seed in [1u64, 2, 3] {
+            let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, seed, None);
+            assert!(!hit);
+        }
+        assert_eq!(pool.len(), 2, "capacity binds");
+        // Seed 1 was least recently used and fell out; 2 and 3 remain.
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 1).is_none());
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 2).is_some());
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 3).is_some());
+        // The lookup refreshed seed 2: inserting a fourth entry now
+        // evicts 3, not 2.
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 2).is_some());
+        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 4, None);
+        assert!(!hit);
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 2).is_some());
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 3).is_none());
+    }
+
+    #[test]
+    fn pooled_artifacts_produce_identical_results() {
+        let pool = ArtifactPool::new(4);
+        let configs = [PraConfig::two_stage(2, Representation::Fixed16)
+            .with_fidelity(crate::Fidelity::Sampled { max_pallets: 2 })];
+        let net = pra_workloads::Network::AlexNet;
+        let (w, s, _) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xC, None);
+        let pooled = crate::run_shared(&configs[0], &w, &s);
+        let direct = crate::run(
+            &configs[0],
+            &NetworkWorkload::build_uncached(net, Representation::Fixed16, 0xC),
+        );
+        assert_eq!(pooled, direct, "pool reuse must be invisible in the results");
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! `pra bench-serve`: a closed-loop load generator for the serving
+//! path, with latency percentiles and a response-digest fingerprint.
+//!
+//! The generator keeps a fixed window of requests in flight over one
+//! connection (closed loop: each completion immediately releases the
+//! next request), so the offered load adapts to the service instead of
+//! overrunning it — the right harness for latency measurement. The
+//! request mix is a pure function of the request index and the bench
+//! seed: runs with different server worker counts or batch sizes issue
+//! byte-identical requests, and because responses are
+//! scheduling-independent, the combined response digest must come out
+//! identical too. CI's `serve-smoke` job pins that digest against
+//! `tests/golden/serve_responses.sha256`.
+//!
+//! Results land in `bench.json` as a `"serve"` section *merged into*
+//! the existing sweep document (phase timings intact), plus
+//! `serve_responses.sha256` next to it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use pra_workloads::cache::sha256;
+use pra_workloads::{Network, Representation};
+
+use crate::protocol::{engine_labels, hex, Request, Response};
+
+/// What `pra bench-serve` runs.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address, e.g. `127.0.0.1:9100`.
+    pub addr: String,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// In-flight window (`--batch`): how many requests are outstanding
+    /// at once — sized to the server's batch so coalescing has material.
+    pub window: usize,
+    /// Workload seed every request carries.
+    pub seed: u64,
+    /// How long to keep retrying the initial connect (covers the racy
+    /// `pra serve & pra bench-serve` startup in CI).
+    pub connect_timeout: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:9100".to_string(),
+            requests: 64,
+            window: 8,
+            seed: pra_bench::SEED,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The deterministic request mix: blocks of eight consecutive ids share
+/// one workload (network × representation) so a window of eight gives
+/// the server coalescable company, while engines cycle within the
+/// block. Depends only on `(i, seed)` — never on timing or server
+/// configuration.
+pub fn request_mix(i: usize, seed: u64) -> Request {
+    let block = i / 8;
+    let repr =
+        if block.is_multiple_of(2) { Representation::Fixed16 } else { Representation::Quant8 };
+    let labels = engine_labels(repr);
+    Request {
+        id: i as u64,
+        network: Network::ALL[block % Network::ALL.len()],
+        repr,
+        engine: labels[i % labels.len()].clone(),
+        seed,
+    }
+}
+
+/// Aggregated bench outcome.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Requests issued.
+    pub requests: usize,
+    /// `ok` responses.
+    pub ok: usize,
+    /// `shed` responses.
+    pub shed: usize,
+    /// `error` responses.
+    pub errors: usize,
+    /// Client-observed latency percentiles (ms).
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// Mean client-observed latency (ms).
+    pub mean_ms: f64,
+    /// Mean server-reported phase split (ms).
+    pub mean_enqueue_ms: f64,
+    /// Mean linger/fill wait (ms).
+    pub mean_batch_wait_ms: f64,
+    /// Mean simulation time (ms).
+    pub mean_sim_ms: f64,
+    /// Mean batch size the requests rode in.
+    pub mean_batch: f64,
+    /// Whole-run wall clock (ms).
+    pub elapsed_ms: f64,
+    /// Completed requests per second.
+    pub rps: f64,
+    /// In-flight window used.
+    pub window: usize,
+    /// Hex SHA-256 over every response digest in id order — the value
+    /// the CI golden pins.
+    pub digest: String,
+}
+
+/// Exact percentile by rank over a sorted sample: the smallest value
+/// with at least `q`·n samples at or below it.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => return Err(format!("could not connect to {addr} within {timeout:?}: {e}")),
+        }
+    }
+}
+
+/// Runs the closed-loop bench and returns the metrics plus every
+/// response (id-indexed by the caller if needed).
+///
+/// # Errors
+///
+/// Connection failures and protocol violations (unparsable response,
+/// missing responses after a 120 s stall).
+pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), String> {
+    let n = cfg.requests.max(1);
+    let window = cfg.window.clamp(1, n);
+    let stream = connect_with_retry(&cfg.addr, cfg.connect_timeout)?;
+    stream.set_nodelay(true).ok();
+    let read_half = stream.try_clone().map_err(|e| format!("clone stream: {e}"))?;
+
+    // Reader thread: parse each response line, stamp arrival.
+    let (tx, rx) = std::sync::mpsc::channel::<Result<(Response, Instant), String>>();
+    let reader = std::thread::spawn(move || {
+        let lines = BufReader::new(read_half).lines();
+        for line in lines {
+            let msg = match line {
+                Ok(l) if l.trim().is_empty() => continue,
+                Ok(l) => Response::parse(&l).map(|r| (r, Instant::now())),
+                Err(e) => Err(format!("read: {e}")),
+            };
+            if tx.send(msg).is_err() {
+                break;
+            }
+        }
+    });
+
+    fn send_req(
+        i: usize,
+        seed: u64,
+        out: &mut TcpStream,
+        send_at: &mut [Option<Instant>],
+    ) -> Result<(), String> {
+        let req = request_mix(i, seed);
+        send_at[i] = Some(Instant::now());
+        out.write_all((req.to_json_line() + "\n").as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("send request {i}: {e}"))
+    }
+
+    let mut out = stream;
+    let started = Instant::now();
+    let mut send_at: Vec<Option<Instant>> = vec![None; n];
+    let mut next = 0;
+    while next < window.min(n) {
+        send_req(next, cfg.seed, &mut out, &mut send_at)?;
+        next += 1;
+    }
+
+    let mut responses: Vec<Option<Response>> = vec![None; n];
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut done = 0;
+    while done < n {
+        let (resp, at) = rx
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|e| format!("no response within 120s ({e}); {done}/{n} done"))??;
+        let id = resp.id() as usize;
+        if id >= n || responses[id].is_some() {
+            return Err(format!("unexpected response id {id}"));
+        }
+        if let Some(sent) = send_at[id] {
+            latencies.push(at.duration_since(sent).as_secs_f64() * 1e3);
+        }
+        responses[id] = Some(resp);
+        done += 1;
+        if next < n {
+            send_req(next, cfg.seed, &mut out, &mut send_at)?;
+            next += 1;
+        }
+    }
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    // Orderly teardown. `out` and `read_half` are dup'd fds of one
+    // socket, so merely dropping `out` would NOT send a FIN (the reader
+    // still holds the socket open) and both sides would wait on each
+    // other forever; an explicit write-side shutdown tells the server
+    // we are done, it closes its end, and the reader sees EOF.
+    let _ = out.shutdown(std::net::Shutdown::Write);
+    let _ = reader.join();
+
+    let responses: Vec<Response> = responses.into_iter().map(|r| r.expect("counted")).collect();
+    Ok((summarize(&responses, latencies, elapsed_ms, window), responses))
+}
+
+/// Folds responses + client latencies into [`ServeMetrics`].
+fn summarize(
+    responses: &[Response],
+    mut latencies: Vec<f64>,
+    elapsed_ms: f64,
+    window: usize,
+) -> ServeMetrics {
+    let n = responses.len();
+    let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
+    let (mut enq, mut bat, mut sim, mut batch_sz) = (0.0, 0.0, 0.0, 0.0);
+    // The combined digest hashes one line per response in id order:
+    // the response digest for ok, the status otherwise (a shed or error
+    // therefore always breaks the golden, loudly).
+    let mut fingerprint = String::new();
+    for r in responses {
+        match r {
+            Response::Ok { digest, latency, batch_size, .. } => {
+                ok += 1;
+                enq += latency.enqueue_ms;
+                bat += latency.batch_ms;
+                sim += latency.sim_ms;
+                batch_sz += *batch_size as f64;
+                fingerprint.push_str(digest);
+            }
+            Response::Shed { reason, .. } => {
+                shed += 1;
+                fingerprint.push_str(&format!("shed:{}", reason.label()));
+            }
+            Response::Error { message, .. } => {
+                errors += 1;
+                fingerprint.push_str(&format!("error:{message}"));
+            }
+        }
+        fingerprint.push('\n');
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = |sum: f64, k: usize| if k > 0 { sum / k as f64 } else { 0.0 };
+    ServeMetrics {
+        requests: n,
+        ok,
+        shed,
+        errors,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        mean_ms: mean(latencies.iter().sum(), latencies.len()),
+        mean_enqueue_ms: mean(enq, ok),
+        mean_batch_wait_ms: mean(bat, ok),
+        mean_sim_ms: mean(sim, ok),
+        mean_batch: mean(batch_sz, ok),
+        elapsed_ms,
+        rps: if elapsed_ms > 0.0 { n as f64 / (elapsed_ms / 1e3) } else { 0.0 },
+        window,
+        digest: hex(&sha256(fingerprint.as_bytes())),
+    }
+}
+
+/// Renders the `"serve"` section as one flat JSON line (no newline),
+/// ready for [`merge_bench_json`]. Key names deliberately avoid the
+/// sweep parser's phase keys (`gen_ms`, `wall_ms`, `total_wall_ms`) so
+/// `phase_totals` never mistakes this line for a job timing.
+pub fn serve_section(m: &ServeMetrics) -> String {
+    format!(
+        "  \"serve\": {{\"requests\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \
+         \"window\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"mean_ms\": {:.3}, \"mean_enqueue_ms\": {:.3}, \"mean_batch_wait_ms\": {:.3}, \
+         \"mean_sim_ms\": {:.3}, \"mean_batch\": {:.2}, \"elapsed_ms\": {:.3}, \"rps\": {:.2}, \
+         \"responses_sha256\": {}}},",
+        m.requests,
+        m.ok,
+        m.shed,
+        m.errors,
+        m.window,
+        m.p50_ms,
+        m.p95_ms,
+        m.p99_ms,
+        m.mean_ms,
+        m.mean_enqueue_ms,
+        m.mean_batch_wait_ms,
+        m.mean_sim_ms,
+        m.mean_batch,
+        m.elapsed_ms,
+        m.rps,
+        pra_bench::report::json_string(&m.digest),
+    )
+}
+
+/// Merges a serve section into a `bench.json` document: the existing
+/// sweep content (phase timings, rows) is preserved, a previous serve
+/// line is replaced. With no existing document a minimal versioned one
+/// is created. Both paths produce the section as a single line directly
+/// after the opening brace, which is also what makes replacement exact.
+pub fn merge_bench_json(existing: Option<&str>, section_line: &str) -> String {
+    match existing {
+        Some(body) if body.trim_start().starts_with('{') => {
+            let mut out = String::with_capacity(body.len() + section_line.len() + 1);
+            let mut inserted = false;
+            for line in body.lines() {
+                if line.trim_start().starts_with("\"serve\":") {
+                    continue; // replaced below
+                }
+                out.push_str(line);
+                out.push('\n');
+                if !inserted && line.trim_end() == "{" {
+                    out.push_str(section_line);
+                    out.push('\n');
+                    inserted = true;
+                }
+            }
+            if inserted {
+                out
+            } else {
+                minimal_doc(section_line) // unrecognized layout: start over
+            }
+        }
+        _ => minimal_doc(section_line),
+    }
+}
+
+fn minimal_doc(section_line: &str) -> String {
+    format!(
+        "{{\n{section_line}\n  \"schema_version\": {}\n}}\n",
+        pra_bench::sweep::BENCH_SCHEMA_VERSION
+    )
+}
+
+/// Writes `bench.json` (merged) and `serve_responses.sha256` under
+/// `target/pra-reports/`; returns the bench.json path on success
+/// (best-effort, like every report).
+pub fn write_serve_report(m: &ServeMetrics) -> Option<std::path::PathBuf> {
+    let dir = pra_bench::report::report_dir();
+    let existing = std::fs::read_to_string(dir.join("bench.json")).ok();
+    let merged = merge_bench_json(existing.as_deref(), &serve_section(m));
+    let _ = pra_bench::report::write_text(
+        "serve_responses.sha256",
+        "digest",
+        &(m.digest.clone() + "\n"),
+    );
+    pra_bench::report::write_json("bench", &merged)
+}
+
+/// The human summary table `pra bench-serve` prints.
+pub fn metrics_table(m: &ServeMetrics) -> pra_bench::Table {
+    let mut t = pra_bench::Table::new(["metric", "value"]);
+    t.row([
+        "requests",
+        &format!("{} ({} ok, {} shed, {} errors)", m.requests, m.ok, m.shed, m.errors),
+    ]);
+    t.row(["in-flight window", &m.window.to_string()]);
+    t.row(["p50 / p95 / p99", &format!("{:.1} / {:.1} / {:.1} ms", m.p50_ms, m.p95_ms, m.p99_ms)]);
+    t.row(["mean latency", &format!("{:.1} ms", m.mean_ms)]);
+    t.row([
+        "mean phase split",
+        &format!(
+            "enqueue {:.1} + batch-wait {:.1} + sim {:.1} ms",
+            m.mean_enqueue_ms, m.mean_batch_wait_ms, m.mean_sim_ms
+        ),
+    ]);
+    t.row(["mean batch size", &format!("{:.2}", m.mean_batch)]);
+    t.row(["throughput", &format!("{:.1} req/s", m.rps)]);
+    t.row(["responses sha256", &m.digest]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::LatencySplit;
+
+    #[test]
+    fn request_mix_is_deterministic_and_blocked() {
+        for i in 0..64 {
+            assert_eq!(request_mix(i, 7), request_mix(i, 7));
+        }
+        // Ids 0..8 share a workload; engines cycle within the block.
+        let keys: Vec<_> =
+            (0..8).map(|i| (request_mix(i, 7).network, request_mix(i, 7).repr)).collect();
+        assert!(keys.windows(2).all(|w| w[0] == w[1]), "one block, one workload");
+        assert_ne!(request_mix(0, 7).engine, request_mix(1, 7).engine);
+        // The next block moves on.
+        assert_ne!(
+            (request_mix(0, 7).network, request_mix(0, 7).repr),
+            (request_mix(8, 7).network, request_mix(8, 7).repr)
+        );
+        // Seed flows through verbatim.
+        assert_eq!(request_mix(3, 0xABC).seed, 0xABC);
+    }
+
+    #[test]
+    fn percentiles_by_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    fn ok(id: u64, digest: &str) -> Response {
+        Response::Ok {
+            id,
+            network: "Alexnet".into(),
+            repr: "fp16".into(),
+            engine: "DaDN".into(),
+            seed: 1,
+            cycles: 10,
+            terms: 5,
+            speedup: 1.0,
+            digest: digest.into(),
+            batch_size: 2,
+            latency: LatencySplit { enqueue_ms: 1.0, batch_ms: 2.0, sim_ms: 3.0, total_ms: 6.0 },
+        }
+    }
+
+    #[test]
+    fn summary_digest_is_order_stable_and_shed_sensitive() {
+        let a = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![1.0, 2.0], 10.0, 2);
+        let b = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![2.0, 1.0], 99.0, 4);
+        assert_eq!(a.digest, b.digest, "digest depends on responses only");
+        let with_shed = summarize(
+            &[
+                ok(0, "aaa"),
+                Response::Shed { id: 1, reason: crate::protocol::ShedReason::QueueFull },
+            ],
+            vec![1.0],
+            10.0,
+            2,
+        );
+        assert_ne!(a.digest, with_shed.digest);
+        assert_eq!(with_shed.shed, 1);
+    }
+
+    #[test]
+    fn merge_preserves_sweep_content_and_replaces_serve() {
+        let sweep_doc =
+            "{\n  \"schema_version\": 2,\n  \"total_wall_ms\": 12.0,\n  \"jobs\": 1\n}\n";
+        let m = summarize(&[ok(0, "aaa")], vec![1.0], 10.0, 1);
+        let merged = merge_bench_json(Some(sweep_doc), &serve_section(&m));
+        assert!(merged.contains("\"total_wall_ms\": 12.0"), "sweep content intact");
+        assert!(merged.contains("\"serve\": {"));
+        assert!(merged.contains("\"p99_ms\""));
+        // Re-merging replaces rather than duplicates.
+        let remerged = merge_bench_json(Some(&merged), &serve_section(&m));
+        assert_eq!(remerged.matches("\"serve\":").count(), 1);
+        // And the sweep parser still reads the document.
+        assert!(pra_bench::sweep::phase_totals(&merged).is_none(), "no job timings in this doc");
+        // From nothing, a minimal versioned doc appears.
+        let fresh = merge_bench_json(None, &serve_section(&m));
+        assert!(fresh.contains("\"schema_version\""));
+        assert_eq!(fresh.matches("\"serve\":").count(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # pra-serve — batched simulation serving
+//!
+//! The first *serving* subsystem of the reproduction (DESIGN.md §10):
+//! a batched request path in front of the cycle simulators, matching
+//! the throughput-engine framing of the Pragmatic paper — the
+//! accelerator amortizes its encode/schedule work over batched
+//! activation streams, and this crate amortizes the simulator's
+//! equivalents (`SharedEncodedNetwork`, schedule memos, the
+//! content-addressed workload cache) over batched requests.
+//!
+//! The pipeline is **queue → coalesce → shared-artifact batch →
+//! respond**:
+//!
+//! * [`queue`] — bounded admission with typed shedding
+//!   ([`ShedReason`]), and batch formation that coalesces requests
+//!   agreeing on [`BatchKey`] (network geometry + representation +
+//!   seed + mask-encoding slice) under a configurable batch-size cap
+//!   and linger window;
+//! * [`service`] — the worker pool: one workload build and one
+//!   [`pra_core::SharedEncodedNetwork`] per batch, each distinct
+//!   engine simulated exactly once, per-request latency split
+//!   (enqueue / batch-wait / sim / total);
+//! * [`server`] — a JSON-lines TCP front end (`pra serve`) with no
+//!   network dependencies;
+//! * [`bench`] — the closed-loop load generator (`pra bench-serve`)
+//!   reporting p50/p95/p99 and throughput into `bench.json`, plus the
+//!   response-digest fingerprint CI pins.
+//!
+//! Responses are scheduling-independent: worker count, batch size and
+//! batch composition never change a single response byte (only the
+//! latency fields, which are excluded from the digest).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use bench::{run_bench, BenchConfig, ServeMetrics};
+pub use protocol::{Engine, Request, Response, ShedReason};
+pub use queue::{BatchKey, RequestQueue, ServeConfig};
+pub use server::Server;
+pub use service::SimService;

@@ -1,0 +1,491 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! The serving front end speaks JSON-lines over a plain TCP stream (or
+//! any other line-oriented byte pipe): one request per line in, one
+//! response per line out, matched by the client-chosen `id`. Responses
+//! may arrive out of request order — batching reorders freely. The
+//! objects are deliberately flat so both ends can use the same tiny
+//! field scanner instead of a JSON dependency (the workspace builds
+//! offline; see `shims/README.md`).
+//!
+//! A request names a workload (`network`, `repr`, `seed`) and an engine
+//! label from the standard evaluation set (`DaDN`, `Stripes`, and the
+//! PRA design points of the sweep). The response carries the simulated
+//! totals, a content digest over the simulation-determined fields (the
+//! CI golden pins it), the batch size the request was coalesced into,
+//! and the per-request latency split.
+
+use pra_core::{EncodingKey, Fidelity, PraConfig};
+use pra_workloads::cache::sha256;
+use pra_workloads::{Network, Representation};
+
+/// Version tag mixed into every response digest: bump when the digest's
+/// canonical input or the simulation semantics behind it change, so a
+/// stale golden fails loudly instead of comparing apples to oranges.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Why the service refused a request instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was at capacity — the caller should back off
+    /// and retry (classic load shedding, not an error in the request).
+    QueueFull,
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl ShedReason {
+    /// Stable wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// One simulation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// Network to simulate.
+    pub network: Network,
+    /// Neuron representation.
+    pub repr: Representation,
+    /// Engine label from [`engine_labels`], e.g. `"PRA-2b"`.
+    pub engine: String,
+    /// Workload generation seed.
+    pub seed: u64,
+}
+
+/// The engine a request resolves to.
+#[derive(Debug, Clone)]
+pub enum Engine {
+    /// The bit-parallel DaDianNao baseline.
+    DaDn,
+    /// The serialized-precision Stripes baseline.
+    Stripes,
+    /// A Pragmatic design point from the standard sweep set.
+    Pra(PraConfig),
+}
+
+impl Engine {
+    /// Resolves a wire label against the standard engine set for
+    /// `repr`, at the given fidelity. `None` for unknown labels.
+    pub fn from_label(label: &str, repr: Representation, fidelity: Fidelity) -> Option<Engine> {
+        match label {
+            "DaDN" => Some(Engine::DaDn),
+            "Stripes" => Some(Engine::Stripes),
+            _ => pra_bench::sweep::pra_configs(repr, fidelity)
+                .into_iter()
+                .find(|c| c.label() == label)
+                .map(Engine::Pra),
+        }
+    }
+
+    /// The mask-encoding slice this engine's artifacts depend on. The
+    /// value-blind baselines have no mask buffer of their own, so they
+    /// coalesce with the standard oneffset encoding group.
+    pub fn encoding_key(&self) -> EncodingKey {
+        match self {
+            Engine::Pra(cfg) => cfg.encoding_key(),
+            _ => PraConfig::default().encoding_key(),
+        }
+    }
+}
+
+/// Every engine label the service accepts for `repr`, in the sweep's
+/// row order — the request mix generator and docs both read this.
+pub fn engine_labels(repr: Representation) -> Vec<String> {
+    pra_bench::sweep::engine_labels(repr)
+}
+
+/// Short, wire-stable label for a representation.
+pub fn repr_label(repr: Representation) -> &'static str {
+    pra_bench::sweep::repr_label(repr)
+}
+
+fn parse_repr(label: &str) -> Option<Representation> {
+    match label {
+        "fp16" => Some(Representation::Fixed16),
+        "quant8" => Some(Representation::Quant8),
+        _ => None,
+    }
+}
+
+fn parse_network(name: &str) -> Option<Network> {
+    Network::ALL.into_iter().find(|n| n.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses a seed written as decimal or `0x`-hex (underscores allowed).
+pub fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        v.replace('_', "").parse().ok()
+    }
+}
+
+/// Extracts the raw JSON string value following `"key":` in a flat
+/// object; handles the escapes [`pra_bench::report::json_string`]
+/// emits. `None` when the key is absent or not a string.
+pub fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let rest = line[line.find(&needle)? + needle.len()..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                esc => out.push(esc),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the number following `"key":` in a flat JSON object.
+pub fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = line[line.find(&needle)? + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+impl Request {
+    /// Parses one request line. The engine label is validated against
+    /// the standard set so a typo is rejected at admission, not after
+    /// the batch already formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the missing or invalid
+    /// field.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let id = json_num_field(line, "id").ok_or("missing numeric \"id\"")? as u64;
+        let net_name = json_str_field(line, "network").ok_or("missing \"network\"")?;
+        let network =
+            parse_network(&net_name).ok_or_else(|| format!("unknown network '{net_name}'"))?;
+        let repr_name = json_str_field(line, "repr").ok_or("missing \"repr\"")?;
+        let repr = parse_repr(&repr_name)
+            .ok_or_else(|| format!("unknown repr '{repr_name}' (fp16 | quant8)"))?;
+        let engine = json_str_field(line, "engine").ok_or("missing \"engine\"")?;
+        if Engine::from_label(&engine, repr, Fidelity::Full).is_none() {
+            return Err(format!(
+                "unknown engine '{engine}' (one of: {})",
+                engine_labels(repr).join(", ")
+            ));
+        }
+        let seed = match json_str_field(line, "seed") {
+            Some(s) => parse_seed(&s).ok_or_else(|| format!("invalid seed '{s}'"))?,
+            None => pra_bench::SEED,
+        };
+        Ok(Request { id, network, repr, engine, seed })
+    }
+
+    /// Renders the request as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"id\": {}, \"network\": {}, \"repr\": {}, \"engine\": {}, \"seed\": \"{:#x}\"}}",
+            self.id,
+            pra_bench::report::json_string(self.network.name()),
+            pra_bench::report::json_string(repr_label(self.repr)),
+            pra_bench::report::json_string(&self.engine),
+            self.seed,
+        )
+    }
+}
+
+/// Per-request latency split, all in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySplit {
+    /// Submission to joining a forming batch (queue wait).
+    pub enqueue_ms: f64,
+    /// Joining the batch to the batch sealing (linger / fill wait).
+    pub batch_ms: f64,
+    /// Batch sealing to the response being ready (workload sourcing,
+    /// shared-artifact build and simulation).
+    pub sim_ms: f64,
+    /// Submission to response — the client-visible service latency.
+    pub total_ms: f64,
+}
+
+/// One simulation response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request was simulated.
+    Ok {
+        /// Echoed request id.
+        id: u64,
+        /// Echoed workload/engine naming.
+        network: String,
+        /// Echoed representation label.
+        repr: String,
+        /// Echoed engine label.
+        engine: String,
+        /// Echoed seed.
+        seed: u64,
+        /// Total cycles over the convolutional stack.
+        cycles: u64,
+        /// Total effectual terms processed.
+        terms: u64,
+        /// Speedup over the DaDN baseline of the same workload.
+        speedup: f64,
+        /// Hex SHA-256 over the simulation-determined fields — identical
+        /// across worker counts, batch sizes and batch compositions.
+        digest: String,
+        /// How many requests the batch this one rode in held.
+        batch_size: usize,
+        /// Latency accounting.
+        latency: LatencySplit,
+    },
+    /// The request was refused at admission.
+    Shed {
+        /// Echoed request id.
+        id: u64,
+        /// Why it was refused.
+        reason: ShedReason,
+    },
+    /// The request could not be parsed or simulated.
+    Error {
+        /// Echoed request id (0 when the line had no readable id).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// The canonical digest of a simulated response: everything the
+/// simulator determines, nothing scheduling determines. Timing fields
+/// and `batch_size` are deliberately excluded — batch composition is a
+/// scheduling artifact, and the acceptance gate requires byte-identical
+/// digests across worker counts and batch sizes.
+pub fn response_digest(
+    network: &str,
+    repr: &str,
+    engine: &str,
+    seed: u64,
+    cycles: u64,
+    terms: u64,
+    speedup: f64,
+) -> String {
+    let canon = format!(
+        "pra-serve-v{PROTOCOL_VERSION}|{network}|{repr}|{engine}|{seed:#018x}|{cycles}|{terms}|{speedup:.4}"
+    );
+    hex(&sha256(canon.as_bytes()))
+}
+
+/// Lower-case hex rendering of a digest.
+pub fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+impl Response {
+    /// The echoed request id, whatever the outcome.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Ok { id, .. } | Response::Shed { id, .. } | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        use pra_bench::report::json_string as js;
+        match self {
+            Response::Ok {
+                id,
+                network,
+                repr,
+                engine,
+                seed,
+                cycles,
+                terms,
+                speedup,
+                digest,
+                batch_size,
+                latency,
+            } => format!(
+                "{{\"id\": {id}, \"status\": \"ok\", \"network\": {}, \"repr\": {}, \"engine\": {}, \
+                 \"seed\": \"{seed:#x}\", \"cycles\": {cycles}, \"terms\": {terms}, \
+                 \"speedup\": {speedup:.4}, \"digest\": {}, \"batch_size\": {batch_size}, \
+                 \"enqueue_ms\": {:.3}, \"batch_ms\": {:.3}, \"sim_ms\": {:.3}, \"total_ms\": {:.3}}}",
+                js(network),
+                js(repr),
+                js(engine),
+                js(digest),
+                latency.enqueue_ms,
+                latency.batch_ms,
+                latency.sim_ms,
+                latency.total_ms,
+            ),
+            Response::Shed { id, reason } => {
+                format!("{{\"id\": {id}, \"status\": \"shed\", \"reason\": {}}}", js(reason.label()))
+            }
+            Response::Error { id, message } => {
+                format!("{{\"id\": {id}, \"status\": \"error\", \"message\": {}}}", js(message))
+            }
+        }
+    }
+
+    /// Parses one response line (the client side of [`to_json_line`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the status is missing or fields of an
+    /// `ok` response are absent.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let id = json_num_field(line, "id").unwrap_or(0.0) as u64;
+        match json_str_field(line, "status").as_deref() {
+            Some("ok") => {
+                let num = |k: &str| {
+                    json_num_field(line, k).ok_or_else(|| format!("ok response missing \"{k}\""))
+                };
+                let s = |k: &str| {
+                    json_str_field(line, k).ok_or_else(|| format!("ok response missing \"{k}\""))
+                };
+                Ok(Response::Ok {
+                    id,
+                    network: s("network")?,
+                    repr: s("repr")?,
+                    engine: s("engine")?,
+                    seed: parse_seed(&s("seed")?).ok_or("invalid seed in response")?,
+                    cycles: num("cycles")? as u64,
+                    terms: num("terms")? as u64,
+                    speedup: num("speedup")?,
+                    digest: s("digest")?,
+                    batch_size: num("batch_size")? as usize,
+                    latency: LatencySplit {
+                        enqueue_ms: num("enqueue_ms")?,
+                        batch_ms: num("batch_ms")?,
+                        sim_ms: num("sim_ms")?,
+                        total_ms: num("total_ms")?,
+                    },
+                })
+            }
+            Some("shed") => {
+                let reason = match json_str_field(line, "reason").as_deref() {
+                    Some("shutting_down") => ShedReason::ShuttingDown,
+                    _ => ShedReason::QueueFull,
+                };
+                Ok(Response::Shed { id, reason })
+            }
+            Some("error") => Ok(Response::Error {
+                id,
+                message: json_str_field(line, "message").unwrap_or_default(),
+            }),
+            other => Err(format!("unrecognized response status {other:?} in: {line}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = Request {
+            id: 7,
+            network: Network::GoogLeNet,
+            repr: Representation::Quant8,
+            engine: "PRA-2b-1R".to_string(),
+            seed: 0xDEAD_BEEF,
+        };
+        let line = req.to_json_line();
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn request_defaults_the_seed() {
+        let req = Request::parse(
+            "{\"id\": 1, \"network\": \"NiN\", \"repr\": \"fp16\", \"engine\": \"DaDN\"}",
+        )
+        .unwrap();
+        assert_eq!(req.seed, pra_bench::SEED);
+    }
+
+    #[test]
+    fn request_rejects_bad_fields() {
+        let base = "{\"id\": 1, \"network\": \"NiN\", \"repr\": \"fp16\", \"engine\": \"DaDN\"}";
+        assert!(Request::parse(base).is_ok());
+        assert!(Request::parse(&base.replace("NiN", "LeNet")).unwrap_err().contains("network"));
+        assert!(Request::parse(&base.replace("fp16", "fp32")).unwrap_err().contains("repr"));
+        assert!(Request::parse(&base.replace("DaDN", "TPU")).unwrap_err().contains("engine"));
+        assert!(Request::parse("{\"network\": \"NiN\"}").unwrap_err().contains("id"));
+    }
+
+    #[test]
+    fn every_standard_engine_label_resolves() {
+        for repr in [Representation::Fixed16, Representation::Quant8] {
+            for label in engine_labels(repr) {
+                assert!(
+                    Engine::from_label(&label, repr, Fidelity::Full).is_some(),
+                    "label {label} must resolve"
+                );
+            }
+        }
+        assert!(Engine::from_label("PRA-9b", Representation::Fixed16, Fidelity::Full).is_none());
+    }
+
+    #[test]
+    fn ok_response_round_trips() {
+        let resp = Response::Ok {
+            id: 42,
+            network: "Alexnet".to_string(),
+            repr: "fp16".to_string(),
+            engine: "PRA-2b".to_string(),
+            seed: 0x90AD,
+            cycles: 123_456,
+            terms: 789,
+            speedup: 2.5901,
+            digest: "abc123".to_string(),
+            batch_size: 8,
+            latency: LatencySplit {
+                enqueue_ms: 0.5,
+                batch_ms: 1.25,
+                sim_ms: 30.0,
+                total_ms: 31.75,
+            },
+        };
+        assert_eq!(Response::parse(&resp.to_json_line()).unwrap(), resp);
+        let shed = Response::Shed { id: 9, reason: ShedReason::QueueFull };
+        assert_eq!(Response::parse(&shed.to_json_line()).unwrap(), shed);
+        let err = Response::Error { id: 3, message: "bad \"quote\"".to_string() };
+        assert_eq!(Response::parse(&err.to_json_line()).unwrap(), err);
+    }
+
+    #[test]
+    fn digest_ignores_scheduling_but_not_results() {
+        let d = |cycles, speedup| {
+            response_digest("Alexnet", "fp16", "PRA-2b", 0x90AD, cycles, 7, speedup)
+        };
+        assert_eq!(d(100, 2.0), d(100, 2.0), "digest must be deterministic");
+        assert_ne!(d(100, 2.0), d(101, 2.0), "cycles must change the digest");
+        assert_ne!(d(100, 2.0), d(100, 2.5), "speedup must change the digest");
+    }
+
+    #[test]
+    fn field_scanner_handles_escapes() {
+        let line = "{\"msg\": \"a\\\"b\\\\c\\nd\", \"n\": -1.5e2}";
+        assert_eq!(json_str_field(line, "msg").unwrap(), "a\"b\\c\nd");
+        assert_eq!(json_num_field(line, "n").unwrap(), -150.0);
+        assert!(json_str_field(line, "absent").is_none());
+    }
+}

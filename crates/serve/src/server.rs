@@ -1,0 +1,117 @@
+//! The TCP front end: JSON-lines over a plain `std::net` socket.
+//!
+//! No async runtime and no network dependency — consistent with the
+//! workspace's offline-shims constraint. Each connection gets a reader
+//! (the accept thread itself) and one writer thread; the writer owns an
+//! mpsc receiver that every in-flight request's response lands on, so
+//! responses stream back as their batches complete, in completion
+//! order, while the reader keeps admitting new lines. Backpressure is
+//! the admission queue's job: a full queue answers `shed` immediately
+//! rather than letting the connection buffer grow.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use crate::protocol::{json_num_field, Request, Response};
+use crate::queue::ServeConfig;
+use crate::service::SimService;
+
+/// A bound, not-yet-serving TCP front end.
+pub struct Server {
+    listener: TcpListener,
+    svc: Arc<SimService>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`; port 0 picks a free port)
+    /// and starts the worker pool, but does not accept yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let svc = Arc::new(SimService::start(cfg));
+        Ok(Server { listener, svc })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The underlying service (stats, config).
+    pub fn service(&self) -> &Arc<SimService> {
+        &self.svc
+    }
+
+    /// Accepts connections forever (until the process exits or the
+    /// listener errors). Each connection is served on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a fatal accept failure; per-connection I/O errors
+    /// only end that connection.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let svc = Arc::clone(&self.svc);
+            std::thread::spawn(move || {
+                let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+                if let Err(e) = handle_connection(stream, &svc) {
+                    eprintln!("pra-serve: connection {peer}: {e}");
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: reads request lines, writes response lines.
+fn handle_connection(stream: TcpStream, svc: &Arc<SimService>) -> std::io::Result<()> {
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = channel::<Response>();
+    let writer = std::thread::spawn(move || -> std::io::Result<()> {
+        let mut out = std::io::BufWriter::new(write_half);
+        for resp in rx {
+            out.write_all(resp.to_json_line().as_bytes())?;
+            out.write_all(b"\n")?;
+            // Flush per response: latency beats syscall count here.
+            out.flush()?;
+        }
+        Ok(())
+    });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match Request::parse(&line) {
+            Ok(req) => {
+                let id = req.id;
+                match svc.submit(req, tx.clone()) {
+                    Ok(()) => continue,
+                    Err(reason) => Response::Shed { id, reason },
+                }
+            }
+            Err(message) => {
+                Response::Error { id: json_num_field(&line, "id").unwrap_or(0.0) as u64, message }
+            }
+        };
+        if tx.send(resp).is_err() {
+            break; // Writer died; no point reading further.
+        }
+    }
+    // EOF: drop our sender so the writer drains in-flight responses and
+    // exits once the last worker's clone goes away.
+    drop(tx);
+    writer.join().map_err(|_| std::io::Error::other("serve writer panicked"))?
+}

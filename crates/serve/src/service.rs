@@ -1,0 +1,401 @@
+//! The batched simulation service: a worker pool that drains the
+//! admission queue and runs each sealed batch against build-once shared
+//! artifacts.
+//!
+//! A batch is, by construction, one workload (network × representation
+//! × seed) plus a set of engine requests over it — exactly the shape of
+//! one sweep job (DESIGN.md §8), so the execution path is the same:
+//! source the workload once (content-addressed cache when enabled, so a
+//! warm service never regenerates), build one
+//! [`SharedEncodedNetwork`] covering the batch's distinct PRA design
+//! points, run each *distinct* engine exactly once, and fan the results
+//! back out to every request. Two requests for the same engine in one
+//! batch cost one simulation — that is the amortization the batching
+//! exists for. Responses depend only on the request's own fields, never
+//! on batch composition or scheduling, which is what makes response
+//! digests byte-identical across worker counts and batch sizes (pinned
+//! by `tests/service_determinism.rs` and the CI `serve-smoke` gate).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pra_core::{run_shared, ArtifactPool, PraConfig};
+use pra_engines::{dadn, stripes};
+use pra_sim::ChipConfig;
+use pra_workloads::cache::{self, Cache};
+use pra_workloads::{LayerView, NetworkWorkload};
+
+use crate::protocol::{
+    repr_label, response_digest, Engine, LatencySplit, Request, Response, ShedReason,
+};
+use crate::queue::{Batch, RequestQueue, ServeConfig};
+
+/// Running counters the front end and the smoke gate read.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests shed at admission.
+    pub shed: AtomicU64,
+    /// Batches simulated.
+    pub batches: AtomicU64,
+    /// Requests answered with `status: ok`.
+    pub answered: AtomicU64,
+    /// Batches that reused pooled workload+artifact handles instead of
+    /// rebuilding (the [`ArtifactPool`] batch-to-batch reuse).
+    pub pool_hits: AtomicU64,
+}
+
+/// Workload+artifact pool slots. All twelve standard workloads (six
+/// networks × two representations) fit with headroom for a few
+/// off-seed requests.
+const POOL_CAPACITY: usize = 16;
+
+/// The in-process batched simulation service. The TCP front end wraps
+/// it; tests and the load generator can also drive it directly.
+pub struct SimService {
+    queue: Arc<RequestQueue>,
+    cfg: ServeConfig,
+    stats: Arc<ServiceStats>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SimService {
+    /// Starts the worker pool described by `cfg`.
+    pub fn start(cfg: ServeConfig) -> SimService {
+        let queue = Arc::new(RequestQueue::new(cfg.queue_depth));
+        let stats = Arc::new(ServiceStats::default());
+        let pool = Arc::new(ArtifactPool::new(POOL_CAPACITY));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let pool = Arc::clone(&pool);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("pra-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = queue.next_batch(cfg.max_batch, cfg.linger) {
+                            stats.batches.fetch_add(1, Ordering::Relaxed);
+                            run_batch(&cfg, &stats, &pool, batch);
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        SimService { queue, cfg, stats, workers }
+    }
+
+    /// The service configuration the pool was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Submits a request; the response arrives on `tx`. Shedding is
+    /// returned to the caller *and* counted, but not sent on `tx` — the
+    /// caller decides how to surface it (the TCP front end renders a
+    /// `shed` response line, an in-process caller just sees the `Err`).
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ShedReason`] when the request was refused.
+    pub fn submit(&self, req: Request, tx: Sender<Response>) -> Result<(), ShedReason> {
+        match self.queue.submit(req, tx) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(reason) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Convenience for in-process callers: submit and get a dedicated
+    /// response receiver.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ShedReason`] when the request was refused.
+    pub fn call(&self, req: Request) -> Result<Receiver<Response>, ShedReason> {
+        let (tx, rx) = channel();
+        self.submit(req, tx)?;
+        Ok(rx)
+    }
+
+    /// Drains the queue and stops the workers: queued requests still get
+    /// answers, new submissions shed with
+    /// [`ShedReason::ShuttingDown`].
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Executes one sealed batch end to end and answers every member.
+fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch: Batch) {
+    let key = batch.key;
+    // Engine resolution failures answer per-request instead of poisoning
+    // the batch (parse-time validation makes this unreachable over the
+    // wire, but in-process callers construct requests directly).
+    let mut engines: Vec<(String, Engine)> = Vec::new();
+    for p in &batch.requests {
+        if !engines.iter().any(|(l, _)| *l == p.req.engine) {
+            if let Some(engine) = Engine::from_label(&p.req.engine, key.repr, cfg.fidelity) {
+                engines.push((p.req.engine.clone(), engine));
+            }
+        }
+    }
+
+    // Nothing resolvable: answer every request with an error without
+    // paying for a workload build or a baseline simulation.
+    if engines.is_empty() {
+        for p in batch.requests {
+            let _ = p.tx.send(Response::Error {
+                id: p.req.id,
+                message: format!("unknown engine '{}'", p.req.engine),
+            });
+        }
+        return;
+    }
+
+    // One workload and one shared-artifact build per batch, and — via
+    // the [`ArtifactPool`] — per *run of batches*: the pool is always
+    // keyed on the full standard design-point set, so the first batch
+    // of a workload builds artifacts every later batch reuses whatever
+    // engine mix it carries. The on-disk cache (PR 4) still backs the
+    // first build; baselines-only batches never pay for an encode —
+    // they probe the pool and fall back to the bare workload.
+    let cache_handle: Option<Cache> = (cfg.use_cache && cache::enabled())
+        .then(|| cfg.cache_dir.clone().map(Cache::new).unwrap_or_else(Cache::at_default));
+    let std_cfgs: Vec<PraConfig> = pra_bench::sweep::pra_configs(key.repr, cfg.fidelity);
+    let any_pra = engines.iter().any(|(_, e)| matches!(e, Engine::Pra(_)));
+    let (workload, shared) = if any_pra {
+        let (workload, shared, pool_hit) =
+            pool.get_or_build(&std_cfgs, key.network, key.repr, key.seed, cache_handle.as_ref());
+        if pool_hit {
+            stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (workload, Some(shared))
+    } else {
+        match pool.lookup(&std_cfgs, key.network, key.repr, key.seed) {
+            Some((workload, shared)) => {
+                stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+                (workload, Some(shared))
+            }
+            None => {
+                let workload = Arc::new(match &cache_handle {
+                    Some(c) => cache::build_cached_in(c, key.network, key.repr, key.seed).0,
+                    None => NetworkWorkload::build_uncached(key.network, key.repr, key.seed),
+                });
+                (workload, None)
+            }
+        }
+    };
+    let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+    let chip = ChipConfig::dadn();
+    let traffic = shared.as_ref().and_then(|s| s.traffic_view(&chip, Default::default(), key.repr));
+
+    // Each distinct engine simulates exactly once; the DaDN baseline is
+    // always needed for the speedup field.
+    let base = dadn::run_views(&chip, &views, key.repr, traffic);
+    let mut results: HashMap<&str, (u64, u64, f64)> = HashMap::new();
+    for (label, engine) in &engines {
+        let (cycles, terms, speedup) = match engine {
+            Engine::DaDn => (base.total_cycles(), base.total_terms(), 1.0),
+            Engine::Stripes => {
+                let r = stripes::run_views(&chip, &views, key.repr, traffic);
+                (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
+            }
+            Engine::Pra(pra_cfg) => {
+                let r = run_shared(pra_cfg, &workload, shared.as_deref().expect("built above"));
+                (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
+            }
+        };
+        results.insert(label.as_str(), (cycles, terms, speedup));
+    }
+
+    let batch_size = batch.requests.len();
+    let ms = |a: Instant, b: Instant| b.saturating_duration_since(a).as_secs_f64() * 1e3;
+    for p in batch.requests {
+        let done = Instant::now();
+        let joined = p.joined.unwrap_or(batch.sealed);
+        let resp = match results.get(p.req.engine.as_str()) {
+            Some(&(cycles, terms, speedup)) => {
+                let (net, repr) = (p.req.network.name(), repr_label(p.req.repr));
+                stats.answered.fetch_add(1, Ordering::Relaxed);
+                Response::Ok {
+                    id: p.req.id,
+                    network: net.to_string(),
+                    repr: repr.to_string(),
+                    engine: p.req.engine.clone(),
+                    seed: p.req.seed,
+                    cycles,
+                    terms,
+                    speedup,
+                    digest: response_digest(
+                        net,
+                        repr,
+                        &p.req.engine,
+                        p.req.seed,
+                        cycles,
+                        terms,
+                        speedup,
+                    ),
+                    batch_size,
+                    latency: LatencySplit {
+                        enqueue_ms: ms(p.submitted, joined),
+                        batch_ms: ms(joined, batch.sealed),
+                        sim_ms: ms(batch.sealed, done),
+                        total_ms: ms(p.submitted, done),
+                    },
+                }
+            }
+            None => Response::Error {
+                id: p.req.id,
+                message: format!("unknown engine '{}'", p.req.engine),
+            },
+        };
+        // A disconnected client is not the service's problem.
+        let _ = p.tx.send(resp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pra_core::Fidelity;
+    use pra_workloads::{Network, Representation};
+    use std::time::Duration;
+
+    fn fast_cfg(workers: usize, max_batch: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            max_batch,
+            queue_depth: 64,
+            linger: Duration::from_millis(5),
+            fidelity: Fidelity::Sampled { max_pallets: 2 },
+            use_cache: false,
+            cache_dir: None,
+        }
+    }
+
+    fn req(id: u64, engine: &str) -> Request {
+        Request {
+            id,
+            network: Network::AlexNet,
+            repr: Representation::Fixed16,
+            engine: engine.to_string(),
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn answers_every_engine_and_counts_stats() {
+        let svc = SimService::start(fast_cfg(2, 8));
+        let rxs: Vec<_> = ["DaDN", "Stripes", "PRA-2b", "PRA-4b", "PRA-2b-1R"]
+            .iter()
+            .enumerate()
+            .map(|(i, e)| svc.call(req(i as u64, e)).expect("admitted"))
+            .collect();
+        let mut speedups = Vec::new();
+        for rx in rxs {
+            match rx.recv_timeout(Duration::from_secs(120)).expect("response") {
+                Response::Ok { cycles, speedup, digest, latency, .. } => {
+                    assert!(cycles > 0);
+                    assert_eq!(digest.len(), 64, "sha256 hex digest");
+                    assert!(latency.total_ms >= latency.sim_ms);
+                    speedups.push(speedup);
+                }
+                other => panic!("expected ok, got {other:?}"),
+            }
+        }
+        assert_eq!(speedups[0], 1.0, "DaDN speedup over itself");
+        assert!(speedups[2] > 1.0, "PRA-2b must beat the baseline");
+        assert_eq!(svc.stats().accepted.load(Ordering::Relaxed), 5);
+        assert_eq!(svc.stats().answered.load(Ordering::Relaxed), 5);
+        assert_eq!(svc.stats().shed.load(Ordering::Relaxed), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn consecutive_batches_reuse_pooled_artifacts() {
+        let svc = SimService::start(fast_cfg(1, 1));
+        // Three one-request batches over one workload: the first builds,
+        // the rest must hit the pool (batch 1 ⇒ no within-batch reuse to
+        // confuse the count).
+        for id in 0..3 {
+            let rx = svc.call(req(id, "PRA-2b")).unwrap();
+            assert!(matches!(rx.recv_timeout(Duration::from_secs(120)), Ok(Response::Ok { .. })));
+        }
+        assert_eq!(svc.stats().batches.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            svc.stats().pool_hits.load(Ordering::Relaxed),
+            2,
+            "batches 2 and 3 must reuse the pooled artifacts"
+        );
+        // A baselines-only batch on the same workload also profits.
+        let rx = svc.call(req(9, "DaDN")).unwrap();
+        assert!(matches!(rx.recv_timeout(Duration::from_secs(120)), Ok(Response::Ok { .. })));
+        assert_eq!(svc.stats().pool_hits.load(Ordering::Relaxed), 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn duplicate_engines_in_one_batch_agree() {
+        let svc = SimService::start(fast_cfg(1, 4));
+        let a = svc.call(req(1, "PRA-2b")).unwrap();
+        let b = svc.call(req(2, "PRA-2b")).unwrap();
+        let get = |rx: Receiver<Response>| match rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(Response::Ok { cycles, terms, digest, .. }) => (cycles, terms, digest),
+            other => panic!("expected ok, got {other:?}"),
+        };
+        let (ca, ta, da) = get(a);
+        let (cb, tb, db) = get(b);
+        assert_eq!((ca, ta, &da), (cb, tb, &db), "identical requests, identical answers");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn unknown_engine_answers_with_error_in_process() {
+        let svc = SimService::start(fast_cfg(1, 2));
+        let rx = svc.call(req(9, "NotAnEngine")).unwrap();
+        match rx.recv_timeout(Duration::from_secs(120)).unwrap() {
+            Response::Error { id, message } => {
+                assert_eq!(id, 9);
+                assert!(message.contains("NotAnEngine"));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_already_queued_work() {
+        let svc = SimService::start(fast_cfg(1, 8));
+        let rx = svc.call(req(1, "DaDN")).unwrap();
+        svc.shutdown();
+        assert!(matches!(rx.recv_timeout(Duration::from_secs(120)), Ok(Response::Ok { .. })));
+    }
+}

@@ -1,0 +1,55 @@
+//! End-to-end smoke of the closed-loop load generator against an
+//! in-process TCP server — the same path CI's `serve-smoke` job drives
+//! across two OS processes, here at sampled fidelity. Notably pins the
+//! connection teardown (write-side shutdown → server EOF → reader
+//! exit), which a response-count-only test would never touch.
+
+use std::time::Duration;
+
+use pra_core::Fidelity;
+use pra_serve::{BenchConfig, ServeConfig, Server};
+
+fn server_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        queue_depth: 64,
+        linger: Duration::from_millis(2),
+        fidelity: Fidelity::Sampled { max_pallets: 2 },
+        use_cache: false,
+        cache_dir: None,
+    }
+}
+
+#[test]
+fn closed_loop_bench_completes_and_digest_is_window_independent() {
+    let server = Server::bind("127.0.0.1:0", server_cfg()).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+
+    let mut cfg = BenchConfig {
+        addr,
+        requests: 10,
+        window: 4,
+        seed: 0x5EED,
+        connect_timeout: Duration::from_secs(10),
+    };
+    let (m, responses) = pra_serve::run_bench(&cfg).expect("bench must complete");
+    assert_eq!(m.requests, 10);
+    assert_eq!(m.ok, 10);
+    assert_eq!(m.shed, 0);
+    assert_eq!(m.errors, 0);
+    assert_eq!(responses.len(), 10);
+    assert!(m.p50_ms > 0.0 && m.p50_ms <= m.p95_ms && m.p95_ms <= m.p99_ms);
+    assert!(m.rps > 0.0);
+    assert!(m.mean_batch >= 1.0);
+    assert_eq!(m.digest.len(), 64);
+
+    // A different in-flight window changes timing, never a response
+    // byte: the combined digest is the acceptance invariant.
+    cfg.window = 1;
+    let (m1, _) = pra_serve::run_bench(&cfg).expect("window 1 run");
+    assert_eq!(m1.digest, m.digest, "digest must be independent of the client window");
+}

@@ -1,0 +1,167 @@
+//! The acceptance property in miniature: response digests are
+//! byte-identical across worker counts and batch sizes, in-process and
+//! over TCP. CI's `serve-smoke` job runs the same property at full
+//! fidelity against the committed golden; this test uses sampled
+//! fidelity so it stays fast in the matrix.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+use pra_core::Fidelity;
+use pra_serve::bench::request_mix;
+use pra_serve::{Request, Response, ServeConfig, Server, SimService};
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+fn cfg(workers: usize, max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        max_batch,
+        queue_depth: 64,
+        linger: Duration::from_millis(2),
+        fidelity: Fidelity::Sampled { max_pallets: 2 },
+        use_cache: false,
+        cache_dir: None,
+    }
+}
+
+/// Drives `n` mixed requests through an in-process service and returns
+/// `id -> (digest, cycles)`.
+fn drive(svc: &SimService, n: usize) -> BTreeMap<u64, (String, u64)> {
+    let rxs: Vec<_> = (0..n)
+        .map(|i| {
+            let mut req = request_mix(i, 0x5EED);
+            // Compact the mix: blocks of 4 so small runs still coalesce.
+            req.network = pra_workloads::Network::ALL[(i / 4) % 2];
+            svc.call(req).expect("queue sized for the run")
+        })
+        .collect();
+    rxs.iter()
+        .map(|rx| match rx.recv_timeout(TIMEOUT).expect("response") {
+            Response::Ok { id, digest, cycles, .. } => (id, (digest, cycles)),
+            other => panic!("expected ok, got {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn digests_identical_across_workers_and_batch_sizes() {
+    let n = 16;
+    let reference = {
+        let svc = SimService::start(cfg(1, 1));
+        drive(&svc, n)
+    };
+    assert_eq!(reference.len(), n);
+    for (workers, max_batch) in [(2, 8), (8, 8), (4, 1), (1, 8)] {
+        let svc = SimService::start(cfg(workers, max_batch));
+        let got = drive(&svc, n);
+        assert_eq!(
+            got, reference,
+            "{workers} workers / batch {max_batch} must reproduce every response byte"
+        );
+    }
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_results() {
+    let server = Server::bind("127.0.0.1:0", cfg(2, 4)).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let svc_stats_probe = std::sync::Arc::clone(server.service());
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut out = stream.try_clone().unwrap();
+    let n = 8;
+    for i in 0..n {
+        let mut req = request_mix(i, 0x5EED);
+        req.network = pra_workloads::Network::AlexNet; // one workload: max coalescing
+        out.write_all((req.to_json_line() + "\n").as_bytes()).unwrap();
+    }
+    // An unparsable line and an unknown engine answer with errors
+    // without disturbing the in-flight requests.
+    out.write_all(b"this is not json\n").unwrap();
+    out.write_all(
+        b"{\"id\": 99, \"network\": \"Alexnet\", \"repr\": \"fp16\", \"engine\": \"TPU\"}\n",
+    )
+    .unwrap();
+    out.flush().unwrap();
+
+    let mut oks = BTreeMap::new();
+    let mut errors = 0;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        match Response::parse(&line.unwrap()).unwrap() {
+            Response::Ok { id, digest, cycles, batch_size, .. } => {
+                assert!((1..=4).contains(&batch_size));
+                oks.insert(id, (digest, cycles));
+            }
+            Response::Error { .. } => errors += 1,
+            Response::Shed { .. } => panic!("queue depth 64 must not shed 8 requests"),
+        }
+        if oks.len() == n && errors == 2 {
+            break;
+        }
+    }
+    assert_eq!(errors, 2, "both bad lines must answer with errors");
+
+    // The same requests in-process produce the same digests.
+    let svc = SimService::start(cfg(1, 1));
+    let direct: BTreeMap<u64, (String, u64)> = (0..n)
+        .map(|i| {
+            let mut req = request_mix(i, 0x5EED);
+            req.network = pra_workloads::Network::AlexNet;
+            match svc.call(req).unwrap().recv_timeout(TIMEOUT).unwrap() {
+                Response::Ok { id, digest, cycles, .. } => (id, (digest, cycles)),
+                other => panic!("expected ok, got {other:?}"),
+            }
+        })
+        .collect();
+    assert_eq!(oks, direct, "TCP transport must not change a single response byte");
+    assert!(
+        svc_stats_probe.stats().answered.load(std::sync::atomic::Ordering::Relaxed) >= n as u64
+    );
+}
+
+#[test]
+fn queue_full_sheds_over_tcp() {
+    // One worker, batch 1, long linger, depth 1: the first request
+    // occupies the worker's linger window, the second queues, the rest
+    // shed.
+    let mut c = cfg(1, 1);
+    c.queue_depth = 1;
+    c.linger = Duration::from_millis(50);
+    let server = Server::bind("127.0.0.1:0", c).expect("bind");
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut out = stream.try_clone().unwrap();
+    let burst = 12;
+    for i in 0..burst {
+        let mut req: Request = request_mix(i, 0x5EED);
+        req.network = pra_workloads::Network::AlexNet;
+        req.engine = "DaDN".to_string();
+        out.write_all((req.to_json_line() + "\n").as_bytes()).unwrap();
+    }
+    out.flush().unwrap();
+
+    let (mut ok, mut shed) = (0, 0);
+    for line in BufReader::new(stream).lines().take(burst) {
+        match Response::parse(&line.unwrap()).unwrap() {
+            Response::Ok { .. } => ok += 1,
+            Response::Shed { reason, .. } => {
+                assert_eq!(reason, pra_serve::ShedReason::QueueFull);
+                shed += 1;
+            }
+            Response::Error { message, .. } => panic!("unexpected error: {message}"),
+        }
+    }
+    assert_eq!(ok + shed, burst);
+    assert!(shed > 0, "a 12-request burst into depth 1 must shed");
+    assert!(ok >= 1, "admitted requests still get answers");
+}

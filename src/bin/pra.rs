@@ -15,7 +15,17 @@
 //!                                      cache unless --no-cache
 //! pra cache stats                      inspect the workload/artifact cache
 //! pra cache clear [--stale]            guarded cache deletion / stale-entry GC
-//! pra bench-delta <prev> <cur>         per-phase delta between two bench.json
+//! pra bench-delta <prev> <cur> [--gate R]
+//!                                      per-phase delta between two bench.json;
+//!                                      --gate fails on >Rx phase regressions
+//! pra serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D]
+//!           [--linger-ms L] [--sampled N] [--no-cache]
+//!                                      batched simulation service over TCP
+//!                                      JSON-lines (DESIGN.md §10)
+//! pra bench-serve [--addr A] [--requests N] [--batch W] [--seed S]
+//!                 [--allow-shed]       closed-loop load generator: p50/p95/p99
+//!                                      + throughput into bench.json, response
+//!                                      digest into serve_responses.sha256
 //! ```
 
 use std::process::ExitCode;
@@ -55,6 +65,8 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("cache") => cmd_cache(&args[1..]),
         Some("bench-delta") => cmd_bench_delta(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -66,7 +78,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -280,19 +292,145 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `pra bench-delta <prev.json> <cur.json>`: per-phase timing delta
-/// between two `bench.json` reports (CI runs this against the previous
-/// main run, and between the cold/warm halves of the identity gate).
+/// `pra bench-delta <prev.json> <cur.json> [--gate R]`: per-phase
+/// timing delta between two `bench.json` reports (CI runs this against
+/// the previous main run, and between the cold/warm halves of the
+/// identity gate). With `--gate R` the command also fails when any
+/// gated phase total regressed beyond `R`x (see
+/// [`pra_bench::sweep::bench_gate`] for the noise guardrails); CI skips
+/// the gate when the commit message carries `[bench-rebaseline]`.
 fn cmd_bench_delta(args: &[String]) -> Result<(), String> {
-    let [prev_path, cur_path] = args else {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut gate: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => {
+                let v = it.next().ok_or("--gate needs a max ratio, e.g. 1.25")?;
+                let r: f64 = v.parse().map_err(|e| format!("invalid --gate '{v}': {e}"))?;
+                if r < 1.0 || r.is_nan() {
+                    return Err(format!("--gate ratio must be >= 1.0, got {v}"));
+                }
+                gate = Some(r);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [prev_path, cur_path] = paths[..] else {
         return Err(format!("bench-delta needs two bench.json paths\n{USAGE}"));
     };
     let read =
         |p: &String| std::fs::read_to_string(p).map_err(|e| format!("could not read {p}: {e}"));
-    let delta = pra_bench::sweep::bench_delta(&read(prev_path)?, &read(cur_path)?)?;
+    let (prev, cur) = (read(prev_path)?, read(cur_path)?);
+    let delta = pra_bench::sweep::bench_delta(&prev, &cur)?;
     println!("=== Per-phase delta: {prev_path} -> {cur_path} ===");
     println!("{delta}");
+    if let Some(max_ratio) = gate {
+        let violations = pra_bench::sweep::bench_gate(&prev, &cur, max_ratio)?;
+        if !violations.is_empty() {
+            return Err(format!(
+                "bench gate failed ({} violation(s)):\n  {}\n(rebaseline intentionally with \
+                 [bench-rebaseline] in the commit message)",
+                violations.len(),
+                violations.join("\n  ")
+            ));
+        }
+        println!("bench gate passed (no phase beyond {max_ratio:.2}x)");
+    }
     Ok(())
+}
+
+/// `pra serve`: the batched simulation service (DESIGN.md §10) —
+/// JSON-lines over TCP, admission-controlled queue, coalescing worker
+/// pool over the shared-artifact batch path.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use pragmatic::serve::ServeConfig;
+    let mut addr = "127.0.0.1:9100".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--workers" => cfg.workers = flag_num(&mut it, "--workers")?.max(1),
+            "--max-batch" => cfg.max_batch = flag_num(&mut it, "--max-batch")?.max(1),
+            "--queue-depth" => cfg.queue_depth = flag_num(&mut it, "--queue-depth")?.max(1),
+            "--linger-ms" => {
+                cfg.linger =
+                    std::time::Duration::from_millis(flag_num(&mut it, "--linger-ms")? as u64)
+            }
+            "--sampled" => {
+                cfg.fidelity =
+                    Fidelity::Sampled { max_pallets: flag_num(&mut it, "--sampled")?.max(1) }
+            }
+            "--full" => cfg.fidelity = Fidelity::Full,
+            "--no-cache" => {
+                cfg.use_cache = false;
+                cache::set_enabled(false);
+            }
+            other => return Err(format!("unknown serve flag '{other}'\n{USAGE}")),
+        }
+    }
+    let server = pragmatic::serve::Server::bind(&addr, cfg.clone())
+        .map_err(|e| format!("could not bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "pra-serve listening on {bound} ({} workers, max batch {}, queue depth {}, linger {:?}, cache {})",
+        cfg.workers,
+        cfg.max_batch,
+        cfg.queue_depth,
+        cfg.linger,
+        if cfg.use_cache { "on" } else { "off" },
+    );
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// `pra bench-serve`: closed-loop load generator against a running
+/// `pra serve`, reporting latency percentiles and throughput into
+/// `bench.json` and the combined response digest into
+/// `serve_responses.sha256`. Fails when any request was shed (CI's
+/// zero-shed gate) unless `--allow-shed`.
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    use pragmatic::serve::bench;
+    let mut cfg = pragmatic::serve::BenchConfig::default();
+    let mut allow_shed = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            "--requests" => cfg.requests = flag_num(&mut it, "--requests")?.max(1),
+            "--batch" => cfg.window = flag_num(&mut it, "--batch")?.max(1),
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = parse_seed(v)?;
+            }
+            "--allow-shed" => allow_shed = true,
+            other => return Err(format!("unknown bench-serve flag '{other}'\n{USAGE}")),
+        }
+    }
+    println!("bench-serve: {} requests, window {}, against {}", cfg.requests, cfg.window, cfg.addr);
+    let (metrics, _responses) = bench::run_bench(&cfg)?;
+    bench::metrics_table(&metrics).print("Serving latency (closed loop)");
+    match bench::write_serve_report(&metrics) {
+        Some(path) => println!("serve metrics merged into: {}", path.display()),
+        None => eprintln!("warning: serve metrics could not be written"),
+    }
+    if metrics.errors > 0 {
+        return Err(format!("{} request(s) answered with errors", metrics.errors));
+    }
+    if metrics.shed > 0 && !allow_shed {
+        return Err(format!(
+            "{} request(s) shed (queue depth too small for the offered load); \
+             pass --allow-shed to tolerate",
+            metrics.shed
+        ));
+    }
+    Ok(())
+}
+
+/// Parses the numeric value following a `--flag` in an argument iterator.
+fn flag_num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, String> {
+    let v = it.next().ok_or_else(|| format!("{name} needs a value"))?;
+    v.parse().map_err(|e| format!("invalid {name} '{v}': {e}"))
 }
 
 fn parse_seed(v: &str) -> Result<u64, String> {

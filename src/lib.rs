@@ -13,6 +13,7 @@
 //! | [`engines`] | `pra-engines` | DaDianNao, Stripes, zero-skip baselines, potential (term) models |
 //! | [`core`] | `pra-core` | the Pragmatic accelerator: PIPs, 2-stage shifting, synchronization |
 //! | [`energy`] | `pra-energy` | 65 nm area/power/energy model calibrated to Tables III/IV |
+//! | [`serve`] | `pra-serve` | batched simulation serving: admission queue, coalescing workers, TCP front end |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -31,6 +32,7 @@ pub use pra_core as core;
 pub use pra_energy as energy;
 pub use pra_engines as engines;
 pub use pra_fixed as fixed;
+pub use pra_serve as serve;
 pub use pra_sim as sim;
 pub use pra_tensor as tensor;
 pub use pra_workloads as workloads;
