@@ -7,6 +7,7 @@
 //! simulation fidelity, parallel workload construction, and aligned table
 //! rendering.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod report;

@@ -22,8 +22,8 @@
 //! trajectory instead of re-profiling.
 
 use std::cell::RefCell;
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -186,8 +186,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
     // worker (e.g. parallel test runs on a shared global pool).
     static SWEEP_EPOCH: AtomicU64 = AtomicU64::new(0);
     thread_local! {
-        static COUNTED_EPOCHS: RefCell<HashSet<u64>> = RefCell::new(HashSet::new());
+        static COUNTED_EPOCHS: RefCell<BTreeSet<u64>> = const { RefCell::new(BTreeSet::new()) };
     }
+    // relaxed-ok: epoch allocation only needs uniqueness, not ordering
+    // against any other memory.
     let epoch = SWEEP_EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
     let threads_used = AtomicUsize::new(0);
 
@@ -200,6 +202,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
     let run_job = |(net, repr): (Network, Representation)| -> (Vec<SweepRow>, JobTiming) {
         COUNTED_EPOCHS.with(|c| {
             if c.borrow_mut().insert(epoch) {
+                // relaxed-ok: telemetry counter read only after the
+                // parallel section joins.
                 threads_used.fetch_add(1, Ordering::Relaxed);
             }
         });
@@ -328,7 +332,7 @@ pub const BENCH_SCHEMA_VERSION: u32 = 2;
 /// with the job's wall-clock, plus sweep-level totals. This is the file
 /// future PRs diff against to keep the perf trajectory visible.
 pub fn bench_json(out: &SweepOutcome) -> String {
-    let mut wall_by_job: HashMap<(&str, &str), f64> = HashMap::new();
+    let mut wall_by_job: BTreeMap<(&str, &str), f64> = BTreeMap::new();
     for t in &out.timings {
         wall_by_job.insert((t.network.as_str(), t.repr.as_str()), t.wall_ms);
     }
@@ -561,12 +565,12 @@ pub fn bench_gate(prev: &str, cur: &str, max_ratio: f64) -> Result<Vec<String>, 
 /// Cross-network geometric-mean speedup per `(representation, engine)`,
 /// in first-appearance order — the paper's "geo" summary bars.
 pub fn geomean_summary(rows: &[SweepRow]) -> Vec<(String, String, f64)> {
-    // One pass: a hash map accumulates per-key speedups while a side
+    // One pass: an ordered map accumulates per-key speedups while a side
     // vector remembers first-appearance order (the old implementation
     // rescanned a key vector per row and refiltered all rows per key —
     // O(n²) both ways).
     let mut order: Vec<(String, String)> = Vec::new();
-    let mut acc: HashMap<(String, String), Vec<f64>> = HashMap::new();
+    let mut acc: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
     for r in rows {
         let key = (r.repr.clone(), r.engine.clone());
         match acc.entry(key) {

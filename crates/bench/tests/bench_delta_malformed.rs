@@ -1,0 +1,83 @@
+//! `pra bench-delta` robustness: malformed `bench.json` inputs must
+//! produce a typed error or a warning, never a panic. These are the
+//! shapes a CI artifact can realistically degrade into — a truncated
+//! download, a pre-versioned document from an old branch, an empty or
+//! garbage file.
+
+use pra_bench::sweep::{bench_delta, bench_gate, phase_totals, schema_version, schema_warnings};
+
+/// A minimal well-formed v2 document, the happy-path partner for the
+/// malformed side of each comparison.
+fn valid_body() -> String {
+    [
+        "{",
+        "  \"schema_version\": 2,",
+        "  \"total_wall_ms\": 120.0,",
+        "  \"job_timings\": [",
+        "    {\"job\": \"AlexNet\", \"repr\": \"fp16\", \"gen_ms\": 10.0, \
+         \"encode_ms\": 20.0, \"sim_ms\": 70.0, \"wall_ms\": 100.0, \"cache\": \"miss\"}",
+        "  ]",
+        "}",
+    ]
+    .join("\n")
+}
+
+#[test]
+fn truncated_json_errors_cleanly() {
+    let full = valid_body();
+    // Cut mid-record: the gen_ms key (and its line) never completes.
+    let truncated = &full[..full.find("\"gen_ms\"").unwrap_or(full.len()) + 4];
+    let err = bench_delta(truncated, &valid_body()).unwrap_err();
+    assert!(err.contains("previous bench.json"), "names the bad side: {err}");
+    let err = bench_delta(&valid_body(), truncated).unwrap_err();
+    assert!(err.contains("current bench.json"), "names the bad side: {err}");
+    assert!(bench_gate(truncated, &valid_body(), 1.1).is_err());
+}
+
+#[test]
+fn missing_schema_version_warns_but_still_diffs() {
+    let unstamped = valid_body().replace("  \"schema_version\": 2,\n", "");
+    assert_eq!(schema_version(&unstamped), None);
+    let warnings = schema_warnings(&unstamped, &valid_body());
+    assert!(!warnings.is_empty(), "layout drift must be surfaced");
+    // The delta itself still renders (phase keys are stable), carrying
+    // the warning in its output.
+    let table = bench_delta(&unstamped, &valid_body()).expect("diffs despite missing stamp");
+    assert!(table.contains("pre-versioned"), "{table}");
+}
+
+#[test]
+fn empty_phase_maps_error_not_panic() {
+    for empty in ["{}", "{\"schema_version\": 2, \"job_timings\": []}", "", "   \n\n"] {
+        assert!(phase_totals(empty).is_none(), "no totals in {empty:?}");
+        let err = bench_delta(empty, &valid_body()).unwrap_err();
+        assert!(err.contains("no job timings"), "{err}");
+        let err = bench_gate(&valid_body(), empty, 1.1).unwrap_err();
+        assert!(err.contains("no job timings"), "{err}");
+    }
+}
+
+#[test]
+fn garbage_input_errors_not_panics() {
+    for garbage in ["not json at all", "{\"gen_ms\": }", "\u{0}\u{1}\u{2}", "{\"gen_ms\": \"NaN\"}"]
+    {
+        // Any Ok/Err outcome is acceptable; reaching this assert means
+        // no panic. A parsed total must at least be finite.
+        if let Some(t) = phase_totals(garbage) {
+            assert!(t.gen_ms.is_finite());
+        }
+        let _ = bench_delta(garbage, garbage);
+        let _ = bench_gate(garbage, &valid_body(), 1.1);
+        let _ = schema_warnings(garbage, &valid_body());
+    }
+}
+
+#[test]
+fn mismatched_schema_versions_warn() {
+    let v1 = valid_body().replace("\"schema_version\": 2", "\"schema_version\": 1");
+    let warnings = schema_warnings(&v1, &valid_body());
+    assert!(
+        warnings.iter().any(|w| w.contains("v1") && w.contains("v2")),
+        "both versions named: {warnings:?}"
+    );
+}

@@ -38,6 +38,7 @@
 //! one tile exactly and scales (the same argument the paper uses in
 //! §V-A3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod column;

@@ -175,11 +175,15 @@ impl LayerScheduler {
         }
         let (x, y) = (b.x as usize, b.y as usize);
         let idx = brick_index(dim, self.encoded.bricks_deep, x, y, b.i / BRICK);
+        // relaxed-ok: the memo slot is a self-contained packed u64;
+        // racing writers all store the same deterministic value, so no
+        // ordering edge to other memory is needed (benign race).
         let cached = self.memo[idx].load(Ordering::Relaxed);
         if cached != UNSET {
             return unpack(cached);
         }
         let sched = schedule_brick_with(self.encoded.brick_masks(x, y, b.i), self.scheduler);
+        // relaxed-ok: see the load above — same benign-race argument.
         self.memo[idx].store(pack(sched), Ordering::Relaxed);
         (sched.cycles, sched.terms)
     }

@@ -19,6 +19,7 @@
 //! per chip with 256 concurrent filters; layers whose filter count exceeds
 //! 256 run in `ceil(N/256)` filter groups.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dadn;

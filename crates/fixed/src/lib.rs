@@ -23,6 +23,7 @@
 //! * [`fixed16`] — conversions between real values and the 16-bit
 //!   fixed-point storage representation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;

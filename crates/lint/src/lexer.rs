@@ -1,0 +1,383 @@
+//! A small Rust lexer: just enough to walk token streams without being
+//! fooled by strings, comments, char literals or lifetimes.
+//!
+//! The rules in [`crate::rules`] match on *token* sequences
+//! (`Ordering :: Relaxed`, `. unwrap (`), so the lexer's one job is to
+//! classify every byte of a source file as token, comment or literal —
+//! a mention of `HashMap` inside a string or a doc comment must never
+//! fire a rule, and a `// relaxed-ok:` justification must be findable
+//! by line. It is not a full lexer (numeric literals are approximate),
+//! but it is exact where the rules need it: identifiers, punctuation,
+//! string/char/lifetime disambiguation, and nested block comments.
+
+/// Token classification, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// String, char, byte or numeric literal (text not preserved for
+    /// strings — rules must never match inside literals).
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (empty for string-ish literals).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A lexed file: the token stream plus the per-line comment text the
+/// justification and suppression lookups read.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comment text per 1-based line, concatenated when a line holds
+    /// several comments (or several lines of one block comment).
+    pub comments: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// The concatenated comment text on `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        // Comments are pushed in line order; binary search keeps the
+        // per-finding lookups cheap on big files.
+        let idx = self.comments.partition_point(|&(l, _)| l < line);
+        match self.comments.get(idx) {
+            Some(&(l, ref text)) if l == line => Some(text),
+            _ => None,
+        }
+    }
+}
+
+fn push_comment(out: &mut Lexed, line: u32, text: &str) {
+    if let Some(last) = out.comments.last_mut() {
+        if last.0 == line {
+            last.1.push(' ');
+            last.1.push_str(text);
+            return;
+        }
+    }
+    out.comments.push((line, text.to_string()));
+}
+
+/// Lexes `src` into tokens and per-line comments. Never fails: byte
+/// sequences the lexer does not model (stray quotes in macros, exotic
+/// literals) degrade into punct/literal tokens rather than errors.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                push_comment(&mut out, line, text.trim_start_matches('/').trim());
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comments, recorded line by line so a
+                // multi-line justification is visible on each line.
+                let mut depth = 1;
+                i += 2;
+                let mut seg = String::new();
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == '\n' {
+                        push_comment(&mut out, line, seg.trim_matches(['*', ' '].as_ref()));
+                        seg.clear();
+                        line += 1;
+                        i += 1;
+                    } else {
+                        seg.push(b[i]);
+                        i += 1;
+                    }
+                }
+                push_comment(&mut out, line, seg.trim_matches(['*', ' '].as_ref()));
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line: tok_line });
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a'` is a char, `'a` (no
+                // closing quote right after) is a lifetime.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    i = skip_char_literal(&b, i);
+                    out.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                } else if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] != '\'' {
+                    let start = i + 1;
+                    i += 1;
+                    while i < n && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    let text: String = b[start..i].iter().collect();
+                    out.toks.push(Tok { kind: TokKind::Lifetime, text, line });
+                } else {
+                    i = skip_char_literal(&b, i);
+                    out.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i = skip_number(&b, i);
+                let text: String = b[start..i].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Literal, text, line });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Ident, text, line });
+            }
+            c => {
+                out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (on `r` or `b`) starts a raw/byte string:
+/// `r"`, `r#`, `b"`, `br"`, `br#`.
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let next = |k: usize| b.get(i + k).copied();
+    match b[i] {
+        'r' => matches!(next(1), Some('"') | Some('#')) && raw_hashes_then_quote(b, i + 1),
+        'b' => match next(1) {
+            Some('"') => true,
+            Some('r') => raw_hashes_then_quote(b, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// After `r` (or `br`), raw strings are `#…#"`; checks the hashes do
+/// lead to a quote so `r#[test]`-style tokens are not misread.
+fn raw_hashes_then_quote(b: &[char], mut i: usize) -> bool {
+    while b.get(i) == Some(&'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&'"')
+}
+
+/// Skips a plain `"…"` string with escapes; returns the index past the
+/// closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`; returns the index past the
+/// closing delimiter.
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == 'r' {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return i; // Not actually a string; treat consumed prefix as done.
+    }
+    if !raw {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        if b[i] == '"' {
+            let mut k = 0;
+            while k < hashes && b.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a `'…'` char literal (escapes included); returns the index past
+/// the closing quote.
+fn skip_char_literal(b: &[char], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a numeric literal conservatively: digits (hex/oct/bin bodies),
+/// one fraction part only when a digit follows the dot (so `0..n` and
+/// `x.0.unwrap()` keep their dots as punctuation), an exponent, and a
+/// type suffix.
+fn skip_number(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    if b[i] == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+        i += 2;
+        while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+        i += 1;
+    }
+    if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+            i += 1;
+        }
+    }
+    if i < n && matches!(b[i], 'e' | 'E') {
+        let mut k = i + 1;
+        if k < n && matches!(b[k], '+' | '-') {
+            k += 1;
+        }
+        if k < n && b[k].is_ascii_digit() {
+            i = k;
+            while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+        i += 1; // Type suffix: u8, f64, usize…
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Ordering::Relaxed in a block */
+            let s = "HashMap::new()";
+            let r = r#"unsafe { SystemTime::now() }"#;
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|t| t == "HashMap"), "{ids:?}");
+        assert!(!ids.iter().any(|t| t == "unsafe"));
+        assert!(ids.iter().any(|t| t == "BTreeMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Literal), "'x' is a char literal");
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_its_dots() {
+        let lexed = lex("pair.0.unwrap()");
+        let texts: Vec<_> = lexed.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.windows(2).any(|w| w == [".", "unwrap"]), "{texts:?}");
+    }
+
+    #[test]
+    fn range_expressions_keep_their_dots() {
+        let lexed = lex("for i in 0..24 {}");
+        let dots = lexed.toks.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2, "0..24 must lex as literal, dot, dot, literal");
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let src = "let a = 1; // first\n// second\nlet b = 2;\n/* third\nfourth */\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comment_on(1), Some("first"));
+        assert_eq!(lexed.comment_on(2), Some("second"));
+        assert_eq!(lexed.comment_on(3), None);
+        assert_eq!(lexed.comment_on(4), Some("third"));
+        assert_eq!(lexed.comment_on(5), Some("fourth"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lexed = lex("/* outer /* inner */ still */ let x = 1;");
+        assert!(lexed.toks.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let s = \"a\nb\nc\";\nlet after = 1;");
+        let after = lexed.toks.iter().find(|t| t.text == "after").expect("token");
+        assert_eq!(after.line, 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! `pra-lint`: workspace-native static analysis for the pragmatic repo.
+//!
+//! Enforces the invariants the performance story of this codebase rests
+//! on but which `clippy` cannot express: determinism hygiene (no
+//! hash-order iteration or wall-clock reads in result paths),
+//! panic-safety on the serve request path, justified relaxed atomics,
+//! and a written-down safety argument for any future `unsafe`. See
+//! DESIGN.md §11 for the policy and rationale per rule.
+//!
+//! The crate is deliberately dependency-free — not even the offline
+//! shims — so it builds from a bare toolchain and cannot be broken by
+//! the code it checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use rules::{lint_source, Finding};
+
+/// The result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct WorkspaceOutcome {
+    /// All findings, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings silenced by well-formed, reasoned suppressions.
+    pub suppressed: usize,
+}
+
+/// Lints every `.rs` file under `root`, honoring `cfg.exclude`.
+///
+/// # Errors
+///
+/// Returns a message when `root` cannot be read. Individual unreadable
+/// files abort with the same error rather than being skipped — a lint
+/// pass that silently misses files is worse than one that fails.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceOutcome, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    // The walk already sorts each directory, but sorting the flat list
+    // by relative path makes the overall order independent of traversal
+    // shape too.
+    files.sort();
+    let mut out = WorkspaceOutcome::default();
+    for rel in &files {
+        let abs = root.join(rel);
+        let src =
+            fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        let file_out = lint_source(cfg, rel, &src);
+        out.findings.extend(file_out.findings);
+        out.suppressed += file_out.suppressed;
+        out.files_scanned += 1;
+    }
+    Ok(out)
+}
+
+/// Recursively collects repo-relative `/`-separated paths of `.rs`
+/// files, in sorted order, skipping hidden entries and excluded
+/// prefixes.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = relative_slash_path(root, &path);
+        if cfg.exclude.iter().any(|p| rel.starts_with(p.as_str())) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().filter_map(|c| c.as_os_str().to_str()).collect::<Vec<_>>().join("/")
+}
+
+/// Loads the effective config for `root`: repo defaults, then
+/// `pra-lint.toml` at the root if present, then `config_path` if given.
+///
+/// # Errors
+///
+/// Returns a message when a config file exists but cannot be read or
+/// parsed.
+pub fn load_config(root: &Path, config_path: Option<&Path>) -> Result<Config, String> {
+    let mut cfg = Config::repo_default();
+    let default_path = root.join("pra-lint.toml");
+    let chosen = match config_path {
+        Some(p) => Some(p.to_path_buf()),
+        None if default_path.is_file() => Some(default_path),
+        None => None,
+    };
+    if let Some(path) = chosen {
+        let body =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        cfg.apply_toml(&body).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(cfg)
+}

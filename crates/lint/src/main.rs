@@ -1,0 +1,123 @@
+//! CLI for `pra-lint`.
+//!
+//! ```text
+//! pra-lint [ROOT] [--json] [--deny-all] [--config PATH] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (warn-severity findings may still print),
+//! 1 deny-severity findings present, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pra_lint::config::Severity;
+use pra_lint::{lint_workspace, load_config, report, rules};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    config: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        config: None,
+        list_rules: false,
+    };
+    let mut root_set = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--deny-all" => args.deny_all = true,
+            "--list-rules" => args.list_rules = true,
+            "--config" => {
+                let path = argv.next().ok_or("--config needs a path")?;
+                args.config = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: pra-lint [ROOT] [--json] [--deny-all] [--config PATH] \
+                            [--list-rules]"
+                    .to_string())
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
+            path if !root_set => {
+                args.root = PathBuf::from(path);
+                root_set = true;
+            }
+            extra => return Err(format!("unexpected argument: {extra}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("pra-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for spec in rules::RULES {
+            println!(
+                "{:<26} {}{}",
+                spec.id,
+                spec.description,
+                if spec.checks_tests { " [applies to tests too]" } else { "" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = match load_config(&args.root, args.config.as_deref()) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("pra-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.deny_all {
+        for rule in cfg.rules.values_mut() {
+            rule.severity = Severity::Deny;
+        }
+    }
+
+    let outcome = match lint_workspace(&args.root, &cfg) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("pra-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if args.json {
+        report::json(&outcome.findings, &cfg, outcome.files_scanned, outcome.suppressed)
+    } else {
+        report::human(&outcome.findings, &cfg, outcome.files_scanned, outcome.suppressed)
+    };
+    print!("{rendered}");
+
+    // Meta findings (malformed suppressions) always deny: a suppression
+    // that cites no reason or no real rule silences nothing and rots.
+    let failing = outcome.findings.iter().any(|f| {
+        args.deny_all
+            || f.rule == rules::SUPPRESSION_WITHOUT_REASON
+            || f.rule == rules::UNKNOWN_RULE
+            || cfg.rule(&f.rule).severity == Severity::Deny
+    });
+    if failing && !outcome.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

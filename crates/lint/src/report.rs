@@ -1,0 +1,131 @@
+//! Rendering: human-readable and `--json` output.
+//!
+//! Both forms are emitted in a fixed order (file, then line, then rule)
+//! so lint output is itself deterministic — the tool has to clear the
+//! bar it sets.
+
+use crate::config::{Config, Severity};
+use crate::rules::Finding;
+
+/// Renders findings as `path:line: [severity/rule] message` lines plus
+/// a one-line summary.
+pub fn human(findings: &[Finding], cfg: &Config, files: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let sev = match cfg.rule(&f.rule).severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        out.push_str(&format!("{}:{}: [{sev}/{}] {}\n", f.file, f.line, f.rule, f.message));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "pra-lint: {} finding{} across {files} file{}{}\n",
+        findings.len(),
+        plural(findings.len()),
+        plural(files),
+        if suppressed > 0 {
+            format!(" ({suppressed} suppressed with written reasons)")
+        } else {
+            String::new()
+        },
+    ));
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Renders findings as a stable JSON document for tooling.
+pub fn json(findings: &[Finding], cfg: &Config, files: usize, suppressed: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        let sev = match cfg.rule(&f.rule).severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": \"{sev}\", \
+             \"message\": {}}}",
+            escape(&f.file),
+            f.line,
+            escape(&f.rule),
+            escape(&f.message),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {files},\n  \"suppressed\": {suppressed},\n  \
+         \"total\": {}\n}}\n",
+        findings.len(),
+    ));
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            rule: "no-wall-clock".to_string(),
+            message: "a \"quoted\" reason".to_string(),
+        }
+    }
+
+    #[test]
+    fn human_lines_carry_location_and_rule() {
+        let cfg = Config::repo_default();
+        let text = human(&[finding()], &cfg, 3, 1);
+        assert!(text.contains("crates/x/src/lib.rs:7: [deny/no-wall-clock]"), "{text}");
+        assert!(text.contains("1 finding across 3 files (1 suppressed"), "{text}");
+    }
+
+    #[test]
+    fn json_is_escaped_and_complete() {
+        let cfg = Config::repo_default();
+        let text = json(&[finding()], &cfg, 3, 0);
+        assert!(text.contains("\"a \\\"quoted\\\" reason\""), "{text}");
+        assert!(text.contains("\"total\": 1"), "{text}");
+        assert!(text.contains("\"files_scanned\": 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_run_renders_cleanly() {
+        let cfg = Config::repo_default();
+        assert!(human(&[], &cfg, 10, 0).contains("0 findings across 10 files"));
+        assert!(json(&[], &cfg, 10, 0).contains("\"findings\": [],"));
+    }
+}

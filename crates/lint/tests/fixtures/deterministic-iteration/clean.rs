@@ -1,0 +1,8 @@
+// Fixture: ordered containers keep every traversal deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn digest_input() -> Vec<(String, u64)> {
+    let m: BTreeMap<String, u64> = BTreeMap::new();
+    let _seen: BTreeSet<u64> = BTreeSet::new();
+    m.into_iter().collect()
+}

@@ -1,0 +1,8 @@
+// Fixture: hash containers in a determinism-critical path.
+use std::collections::{HashMap, HashSet};
+
+pub fn digest_input() -> Vec<(String, u64)> {
+    let m: HashMap<String, u64> = HashMap::new();
+    let _seen: HashSet<u64> = HashSet::new();
+    m.into_iter().collect()
+}

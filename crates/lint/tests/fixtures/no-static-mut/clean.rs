@@ -1,0 +1,4 @@
+// Fixture: the sound spelling of a mutable global.
+use std::sync::atomic::AtomicU64;
+
+pub static GLOBAL_EPOCH: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,2 @@
+// Fixture: mutable global state, a data race by construction.
+pub static mut GLOBAL_EPOCH: u64 = 0;

@@ -1,0 +1,5 @@
+// Fixture: workers are identified by an explicit index handed to them
+// at spawn time, never by runtime thread identity.
+pub fn worker_key(worker_index: usize) -> String {
+    format!("worker-{worker_index}")
+}

@@ -1,0 +1,9 @@
+// Fixture: scheduling identity leaking toward a result.
+use std::thread::ThreadId;
+
+pub fn worker_key() -> String {
+    let id = std::thread::current().id();
+    format!("{id:?}")
+}
+
+pub fn hold(_id: ThreadId) {}

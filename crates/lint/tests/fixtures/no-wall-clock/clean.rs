@@ -1,0 +1,7 @@
+// Fixture: results as pure functions of their inputs. Durations may be
+// *carried* (they are data), just never sampled here.
+use std::time::Duration;
+
+pub fn stamp(epoch: u64, elapsed: Duration) -> u64 {
+    epoch.wrapping_add(elapsed.as_secs())
+}

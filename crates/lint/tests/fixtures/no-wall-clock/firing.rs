@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads in a result path.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _t0 = Instant::now();
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: relaxed atomics carrying their argument next to the code.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: standalone statistics counter; no other memory is
+    // published through it, so no ordering edge is needed.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed) // relaxed-ok: display-only telemetry read
+}

@@ -1,0 +1,13 @@
+// Fixture: the same handler shape, shedding instead of dying.
+pub fn handle(line: Option<&str>, parts: &[&str]) -> Result<String, String> {
+    let line = line.ok_or("missing request line")?;
+    let first = parts.first().ok_or("empty request")?;
+    if first.is_empty() {
+        return Err("empty field".to_string());
+    }
+    let n: u32 = line.parse().map_err(|_| "non-numeric field")?;
+    if n > 1000 {
+        return Err(format!("n={n} exceeds admission bound"));
+    }
+    Ok(first.to_string())
+}

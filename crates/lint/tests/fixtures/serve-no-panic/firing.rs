@@ -1,0 +1,13 @@
+// Fixture: every way a request handler can kill its worker.
+pub fn handle(line: Option<&str>, parts: &[&str]) -> String {
+    let line = line.unwrap();
+    let first = parts[0];
+    if first.is_empty() {
+        panic!("empty field");
+    }
+    let n: u32 = line.parse().expect("numeric field");
+    if n > 1000 {
+        unreachable!("admission control bounds n");
+    }
+    first.to_string()
+}

@@ -1,0 +1,4 @@
+// Fixture: a suppression naming a rule that does not exist.
+
+// pra-lint: allow(no-hash-maps): typo of deterministic-iteration
+pub fn nothing() {}

@@ -1,0 +1,8 @@
+// Fixture: a well-formed suppression — rule named, reason written.
+use std::time::Instant;
+
+pub fn sample() -> Instant {
+    // pra-lint: allow(no-wall-clock): this fixture models a telemetry
+    // module where sampling the clock is the entire point.
+    Instant::now()
+}

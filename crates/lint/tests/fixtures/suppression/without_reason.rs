@@ -1,0 +1,8 @@
+// Fixture: a reasonless suppression — suppresses nothing and is itself
+// a finding.
+use std::time::Instant;
+
+pub fn sample() -> Instant {
+    // pra-lint: allow(no-wall-clock)
+    Instant::now()
+}

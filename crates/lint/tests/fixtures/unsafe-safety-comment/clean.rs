@@ -1,0 +1,6 @@
+// Fixture: unsafe carrying its soundness argument.
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` points to at least one initialized
+    // byte for the duration of the call.
+    unsafe { *p }
+}

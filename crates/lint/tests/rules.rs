@@ -1,0 +1,129 @@
+//! Per-rule fixture tests: each rule has a firing fixture it must flag
+//! and a clean fixture it must pass, checked under a permissive config
+//! so scoping never masks a matcher bug. A final test runs the real
+//! repo policy over the actual workspace — the tree itself is the
+//! ultimate clean fixture.
+
+use std::path::Path;
+
+use pra_lint::config::Config;
+use pra_lint::rules::{lint_source, SUPPRESSION_WITHOUT_REASON, UNKNOWN_RULE};
+use pra_lint::{lint_workspace, load_config};
+
+/// Lints a fixture under the permissive every-rule-everywhere config.
+/// The fixture path deliberately avoids `tests/` so the test-exemption
+/// logic stays out of the way.
+fn lint_fixture(rule: &str, which: &str, src: &str) -> pra_lint::rules::FileOutcome {
+    lint_source(&Config::all_paths(), &format!("fixtures/{rule}/{which}.rs"), src)
+}
+
+fn assert_rule_fires(rule: &str, src: &str) {
+    let out = lint_fixture(rule, "firing", src);
+    assert!(
+        out.findings.iter().any(|f| f.rule == rule),
+        "{rule}: firing fixture produced no {rule} finding: {:?}",
+        out.findings
+    );
+    assert!(
+        out.findings.iter().all(|f| f.rule == rule),
+        "{rule}: firing fixture tripped unrelated rules: {:?}",
+        out.findings
+    );
+}
+
+fn assert_clean(rule: &str, src: &str) {
+    let out = lint_fixture(rule, "clean", src);
+    assert!(
+        out.findings.is_empty(),
+        "{rule}: clean fixture should pass every rule: {:?}",
+        out.findings
+    );
+}
+
+macro_rules! rule_fixture_tests {
+    ($($test:ident => $rule:literal),+ $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                assert_rule_fires(
+                    $rule,
+                    include_str!(concat!("fixtures/", $rule, "/firing.rs")),
+                );
+                assert_clean(
+                    $rule,
+                    include_str!(concat!("fixtures/", $rule, "/clean.rs")),
+                );
+            }
+        )+
+    };
+}
+
+rule_fixture_tests! {
+    deterministic_iteration_fixtures => "deterministic-iteration",
+    no_wall_clock_fixtures => "no-wall-clock",
+    no_thread_id_fixtures => "no-thread-id",
+    serve_no_panic_fixtures => "serve-no-panic",
+    relaxed_ordering_comment_fixtures => "relaxed-ordering-comment",
+    no_static_mut_fixtures => "no-static-mut",
+    unsafe_safety_comment_fixtures => "unsafe-safety-comment",
+}
+
+#[test]
+fn serve_no_panic_firing_fixture_flags_every_escape_hatch() {
+    let out =
+        lint_fixture("serve-no-panic", "firing", include_str!("fixtures/serve-no-panic/firing.rs"));
+    // unwrap, indexing, panic!, expect, unreachable! — all five sites.
+    assert_eq!(out.findings.len(), 5, "{:?}", out.findings);
+}
+
+#[test]
+fn reasoned_suppression_is_honored() {
+    let out = lint_fixture(
+        "suppression",
+        "with_reason",
+        include_str!("fixtures/suppression/with_reason.rs"),
+    );
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 1);
+}
+
+#[test]
+fn reasonless_suppression_fires_twice() {
+    let out = lint_fixture(
+        "suppression",
+        "without_reason",
+        include_str!("fixtures/suppression/without_reason.rs"),
+    );
+    let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules.contains(&"no-wall-clock"), "the violation itself still fires: {rules:?}");
+    assert!(rules.contains(&SUPPRESSION_WITHOUT_REASON), "{rules:?}");
+    assert_eq!(out.suppressed, 0);
+}
+
+#[test]
+fn unknown_rule_suppression_is_flagged() {
+    let out = lint_fixture(
+        "suppression",
+        "unknown_rule",
+        include_str!("fixtures/suppression/unknown_rule.rs"),
+    );
+    let rules: Vec<&str> = out.findings.iter().map(|f| f.rule.as_str()).collect();
+    assert_eq!(rules, vec![UNKNOWN_RULE]);
+}
+
+#[test]
+fn workspace_is_clean_under_repo_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = load_config(&root, None).expect("config loads");
+    let out = lint_workspace(&root, &cfg).expect("workspace walks");
+    assert!(
+        out.findings.is_empty(),
+        "the repo must lint clean under its own policy:\n{}",
+        out.findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(out.files_scanned > 40, "walker found only {} files", out.files_scanned);
+}

@@ -30,6 +30,7 @@
 //! batch composition never change a single response byte (only the
 //! latency fields, which are excluded from the digest).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;

@@ -132,7 +132,7 @@ pub fn parse_seed(v: &str) -> Option<u64> {
 /// emits. `None` when the key is absent or not a string.
 pub fn json_str_field(line: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":");
-    let rest = line[line.find(&needle)? + needle.len()..].trim_start();
+    let rest = line.get(line.find(&needle)? + needle.len()..)?.trim_start();
     let rest = rest.strip_prefix('"')?;
     let mut out = String::new();
     let mut chars = rest.chars();
@@ -158,11 +158,11 @@ pub fn json_str_field(line: &str, key: &str) -> Option<String> {
 /// Extracts the number following `"key":` in a flat JSON object.
 pub fn json_num_field(line: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
-    let rest = line[line.find(&needle)? + needle.len()..].trim_start();
+    let rest = line.get(line.find(&needle)? + needle.len()..)?.trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    rest.get(..end)?.parse().ok()
 }
 
 impl Request {

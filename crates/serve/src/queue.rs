@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use pra_core::{EncodingKey, Fidelity};
@@ -144,9 +144,18 @@ impl RequestQueue {
         }
     }
 
+    /// Locks the queue state, recovering from poisoning: a worker that
+    /// panicked mid-lock leaves `Inner` structurally intact (a VecDeque
+    /// and a bool have no invariant a partial critical section can
+    /// break), and the serve path must keep answering rather than
+    /// cascade the panic through every worker.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Currently queued (not yet batched) requests.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("serve queue poisoned").queue.len()
+        self.lock().queue.len()
     }
 
     /// `true` when nothing is queued.
@@ -161,7 +170,7 @@ impl RequestQueue {
     /// [`ShedReason::QueueFull`] at capacity, [`ShedReason::ShuttingDown`]
     /// after [`RequestQueue::close`].
     pub fn submit(&self, req: Request, tx: Sender<Response>) -> Result<(), ShedReason> {
-        let mut g = self.inner.lock().expect("serve queue poisoned");
+        let mut g = self.lock();
         if g.closed {
             return Err(ShedReason::ShuttingDown);
         }
@@ -180,7 +189,7 @@ impl RequestQueue {
     /// Closes the queue: pending requests still drain into batches, new
     /// submissions shed, and workers return `None` once empty.
     pub fn close(&self) {
-        self.inner.lock().expect("serve queue poisoned").closed = true;
+        self.lock().closed = true;
         self.available.notify_all();
     }
 
@@ -190,7 +199,7 @@ impl RequestQueue {
     /// queue is closed and drained.
     pub fn next_batch(&self, max_batch: usize, linger: Duration) -> Option<Batch> {
         let max_batch = max_batch.max(1);
-        let mut g = self.inner.lock().expect("serve queue poisoned");
+        let mut g = self.lock();
         let mut lead = loop {
             if let Some(lead) = g.queue.pop_front() {
                 break lead;
@@ -198,7 +207,7 @@ impl RequestQueue {
             if g.closed {
                 return None;
             }
-            g = self.available.wait(g).expect("serve queue poisoned");
+            g = self.available.wait(g).unwrap_or_else(PoisonError::into_inner);
         };
         let key = lead.key;
         lead.joined = Some(Instant::now());
@@ -209,10 +218,11 @@ impl RequestQueue {
             // order); incompatible ones are left for other workers.
             let mut i = 0;
             while i < g.queue.len() && requests.len() < max_batch {
-                if g.queue[i].key == key {
-                    let mut p = g.queue.remove(i).expect("index in bounds");
-                    p.joined = Some(Instant::now());
-                    requests.push(p);
+                if g.queue.get(i).is_some_and(|p| p.key == key) {
+                    if let Some(mut p) = g.queue.remove(i) {
+                        p.joined = Some(Instant::now());
+                        requests.push(p);
+                    }
                 } else {
                     i += 1;
                 }
@@ -224,8 +234,10 @@ impl RequestQueue {
             if now >= deadline {
                 break;
             }
-            let (guard, timeout) =
-                self.available.wait_timeout(g, deadline - now).expect("serve queue poisoned");
+            let (guard, timeout) = self
+                .available
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             g = guard;
             if timeout.timed_out() {
                 // One final scan below the loop exit would miss requests

@@ -16,7 +16,7 @@
 //! digests byte-identical across worker counts and batch sizes (pinned
 //! by `tests/service_determinism.rs` and the CI `serve-smoke` gate).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -71,7 +71,7 @@ impl SimService {
         let stats = Arc::new(ServiceStats::default());
         let pool = Arc::new(ArtifactPool::new(POOL_CAPACITY));
         let workers = (0..cfg.workers.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
                 let pool = Arc::clone(&pool);
@@ -80,13 +80,21 @@ impl SimService {
                     .name(format!("pra-serve-worker-{i}"))
                     .spawn(move || {
                         while let Some(batch) = queue.next_batch(cfg.max_batch, cfg.linger) {
+                            // relaxed-ok: monotonic stat counter; nothing
+                            // synchronizes through it.
                             stats.batches.fetch_add(1, Ordering::Relaxed);
                             run_batch(&cfg, &stats, &pool, batch);
                         }
                     })
-                    .expect("spawn serve worker")
+                    .ok()
             })
-            .collect();
+            .collect::<Vec<_>>();
+        if workers.is_empty() {
+            // No worker could spawn: close immediately so submissions
+            // shed with ShuttingDown instead of queueing forever.
+            eprintln!("pra-serve: no worker threads could be spawned; service is shedding");
+            queue.close();
+        }
         SimService { queue, cfg, stats, workers }
     }
 
@@ -111,10 +119,14 @@ impl SimService {
     pub fn submit(&self, req: Request, tx: Sender<Response>) -> Result<(), ShedReason> {
         match self.queue.submit(req, tx) {
             Ok(()) => {
+                // relaxed-ok: monotonic stat counter; nothing synchronizes
+                // through it.
                 self.stats.accepted.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(reason) => {
+                // relaxed-ok: monotonic stat counter; nothing synchronizes
+                // through it.
                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
                 Err(reason)
             }
@@ -195,12 +207,16 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
         let (workload, shared, pool_hit) =
             pool.get_or_build(&std_cfgs, key.network, key.repr, key.seed, cache_handle.as_ref());
         if pool_hit {
+            // relaxed-ok: monotonic stat counter; nothing synchronizes
+            // through it.
             stats.pool_hits.fetch_add(1, Ordering::Relaxed);
         }
         (workload, Some(shared))
     } else {
         match pool.lookup(&std_cfgs, key.network, key.repr, key.seed) {
             Some((workload, shared)) => {
+                // relaxed-ok: monotonic stat counter; nothing
+                // synchronizes through it.
                 stats.pool_hits.fetch_add(1, Ordering::Relaxed);
                 (workload, Some(shared))
             }
@@ -220,7 +236,7 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
     // Each distinct engine simulates exactly once; the DaDN baseline is
     // always needed for the speedup field.
     let base = dadn::run_views(&chip, &views, key.repr, traffic);
-    let mut results: HashMap<&str, (u64, u64, f64)> = HashMap::new();
+    let mut results: BTreeMap<&str, (u64, u64, f64)> = BTreeMap::new();
     for (label, engine) in &engines {
         let (cycles, terms, speedup) = match engine {
             Engine::DaDn => (base.total_cycles(), base.total_terms(), 1.0),
@@ -228,10 +244,17 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
                 let r = stripes::run_views(&chip, &views, key.repr, traffic);
                 (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
             }
-            Engine::Pra(pra_cfg) => {
-                let r = run_shared(pra_cfg, &workload, shared.as_deref().expect("built above"));
-                (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
-            }
+            // `shared` is always built when any PRA engine resolved; a
+            // None here (impossible by construction) falls through to the
+            // per-request unknown-engine error below instead of panicking
+            // the worker.
+            Engine::Pra(pra_cfg) => match shared.as_deref() {
+                Some(s) => {
+                    let r = run_shared(pra_cfg, &workload, s);
+                    (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
+                }
+                None => continue,
+            },
         };
         results.insert(label.as_str(), (cycles, terms, speedup));
     }
@@ -244,6 +267,8 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
         let resp = match results.get(p.req.engine.as_str()) {
             Some(&(cycles, terms, speedup)) => {
                 let (net, repr) = (p.req.network.name(), repr_label(p.req.repr));
+                // relaxed-ok: monotonic stat counter; nothing synchronizes
+                // through it.
                 stats.answered.fetch_add(1, Ordering::Relaxed);
                 Response::Ok {
                     id: p.req.id,

@@ -7,6 +7,7 @@
 //! analysis, the dispatcher fetch model, access counters consumed by the
 //! energy model, and the run-result/metrics types every engine reports.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capacity;

@@ -27,6 +27,7 @@
 //! # Ok::<(), pra_tensor::ShapeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod brick;

@@ -337,11 +337,14 @@ pub fn enabled() -> bool {
     let env_off = *ENV_DISABLED.get_or_init(
         || matches!(std::env::var("PRA_NO_CACHE"), Ok(v) if !v.is_empty() && v != "0"),
     );
+    // relaxed-ok: an isolated on/off flag; no other memory is published
+    // through it, and callers tolerate a stale read by design.
     ENABLED.load(Ordering::Relaxed) && !env_off
 }
 
 /// Turns the cache on or off process-wide (`pra sweep --no-cache`).
 pub fn set_enabled(on: bool) {
+    // relaxed-ok: an isolated on/off flag; see `enabled`.
     ENABLED.store(on, Ordering::Relaxed);
 }
 
@@ -549,6 +552,8 @@ impl Cache {
             "{kind}-{}{ENTRY_EXT}.tmp{}.{}",
             key.hex(),
             std::process::id(),
+            // relaxed-ok: the counter only needs to hand out distinct
+            // temp-file suffixes within this process.
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
         fs::write(&tmp_path, &body)?;

@@ -19,7 +19,7 @@
 //! sigma), making the objective deterministic and monotone enough for a
 //! robust fit. Results are cached process-wide.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use crate::generator::{
@@ -74,9 +74,9 @@ pub(crate) const CALIBRATION_SAMPLES: usize = 120_000;
 /// Returns the calibrated activation model for `network` under `repr`,
 /// fitting it on first use and caching the result process-wide.
 pub fn calibrated_model(network: Network, repr: Representation) -> ActivationModel {
-    static CACHE: OnceLock<Mutex<HashMap<(Network, Representation), ActivationModel>>> =
+    static CACHE: OnceLock<Mutex<BTreeMap<(Network, Representation), ActivationModel>>> =
         OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(m) = cache.lock().expect("calibration cache poisoned").get(&(network, repr)) {
         return *m;
     }

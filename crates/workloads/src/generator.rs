@@ -103,7 +103,7 @@ impl Sampler {
 }
 
 /// The two neuron representations evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Representation {
     /// DaDianNao's 16-bit fixed point (§I).
     Fixed16,

@@ -20,6 +20,7 @@
 //!   builds of the same `(network, repr, seed)` stream generation-free
 //!   (DESIGN.md §9).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

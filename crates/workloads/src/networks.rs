@@ -14,7 +14,7 @@ use pra_tensor::ConvLayerSpec;
 
 /// The six state-of-the-art image-classification networks of the paper's
 /// evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Network {
     /// AlexNet (5 convolutional layers).
     AlexNet,

@@ -28,6 +28,8 @@
 //!                                      digest into serve_responses.sha256
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use pra_bench::sweep::{self, SweepConfig};

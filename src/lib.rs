@@ -28,6 +28,8 @@
 //! assert_eq!(n.powers(), &[2, 6, 8]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pra_core as core;
 pub use pra_energy as energy;
 pub use pra_engines as engines;
