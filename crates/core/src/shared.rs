@@ -311,9 +311,21 @@ impl ArtifactPool {
         Self { capacity: capacity.max(1), entries: std::sync::Mutex::new(Vec::new()) }
     }
 
+    /// Locks the entry list, recovering from poisoning. A worker that
+    /// panicked while holding the lock cannot leave a half-mutated
+    /// entry behind — entries are immutable `Arc` bundles and the list
+    /// operations (`remove`/`insert`/`truncate`) never unwind midway —
+    /// so the pool keeps serving instead of cascading the panic into
+    /// every later batch. Defense in depth for the case a panicking
+    /// *build* published something suspect anyway is [`Self::evict`],
+    /// which the serve supervisor calls for the dead worker's key.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<PoolEntry>> {
+        self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Pooled entries currently held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("artifact pool poisoned").len()
+        self.lock().len()
     }
 
     /// `true` when nothing is pooled yet.
@@ -332,7 +344,7 @@ impl ArtifactPool {
         repr: Representation,
         seed: u64,
     ) -> Option<(Arc<NetworkWorkload>, Arc<SharedEncodedNetwork>)> {
-        let mut entries = self.entries.lock().expect("artifact pool poisoned");
+        let mut entries = self.lock();
         let idx = entries.iter().position(|e| {
             e.network == network && e.repr == repr && e.seed == seed && e.configs == configs
         })?;
@@ -376,7 +388,7 @@ impl ArtifactPool {
             Some(c) => SharedEncodedNetwork::from_workload_cached_in(configs, &workload, c).0,
             None => SharedEncodedNetwork::from_workload(configs, &workload),
         });
-        let mut entries = self.entries.lock().expect("artifact pool poisoned");
+        let mut entries = self.lock();
         entries.insert(
             0,
             PoolEntry {
@@ -390,6 +402,20 @@ impl ArtifactPool {
         );
         entries.truncate(self.capacity);
         (workload, shared, false)
+    }
+
+    /// Drops every pooled entry for `(network, repr, seed)`, whatever
+    /// design-point set it was built under. The serve supervisor calls
+    /// this after reclaiming a dead worker's batch: the pooled
+    /// artifacts are immutable and *should* be sound, but a panic
+    /// inside a build/simulate path costs one rebuild to rule out,
+    /// while trusting a suspect entry could poison every later answer
+    /// for that workload. Returns how many entries were dropped.
+    pub fn evict(&self, network: pra_workloads::Network, repr: Representation, seed: u64) -> usize {
+        let mut entries = self.lock();
+        let before = entries.len();
+        entries.retain(|e| !(e.network == network && e.repr == repr && e.seed == seed));
+        before - entries.len()
     }
 }
 
@@ -716,6 +742,39 @@ mod tests {
             &NetworkWorkload::build_uncached(net, Representation::Fixed16, 0xC),
         );
         assert_eq!(pooled, direct, "pool reuse must be invisible in the results");
+    }
+
+    #[test]
+    fn artifact_pool_survives_a_poisoned_lock_and_evicts_on_demand() {
+        let pool = Arc::new(ArtifactPool::new(4));
+        let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
+        let net = pra_workloads::Network::AlexNet;
+        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
+        assert!(!hit);
+        // Poison the pool mutex the way a panicking worker would: die
+        // while holding it mid-operation.
+        let p2 = Arc::clone(&pool);
+        let panicked = std::thread::spawn(move || {
+            let _guard = p2.entries.lock().unwrap();
+            panic!("injected: worker died holding the pool lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "the poisoning thread must have panicked");
+        assert!(pool.entries.is_poisoned(), "the lock must actually be poisoned");
+        // Every pool operation keeps working on the recovered state.
+        assert_eq!(pool.len(), 1);
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xA).is_some());
+        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
+        assert!(hit, "the surviving entry still serves hits after recovery");
+        // Supervisor-style eviction drops the suspect workload's entry
+        // (and only that one), forcing the next batch to rebuild.
+        let (_, _, _) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xB, None);
+        assert_eq!(pool.evict(net, Representation::Fixed16, 0xA), 1);
+        assert_eq!(pool.evict(net, Representation::Fixed16, 0xA), 0, "evict is idempotent");
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xA).is_none());
+        assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xB).is_some());
+        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
+        assert!(!hit, "an evicted entry rebuilds");
     }
 
     #[test]

@@ -93,17 +93,20 @@ impl Config {
         );
         // Wall clocks are legitimate only where time *is* the payload:
         // the serve latency split and linger window, the sweep's phase
-        // timings, the client-side load generator, and the cache's
-        // stale-temp GC.
+        // timings, the client-side load generator, the cache's
+        // stale-temp GC, the supervisor's deadline/wedge bookkeeping,
+        // and the chaos layer's injected stalls.
         rules.insert(
             "no-wall-clock".to_string(),
             with(
                 &[],
                 &[
                     "crates/bench/src/sweep.rs",
+                    "crates/chaos/src",
                     "crates/serve/src/bench.rs",
                     "crates/serve/src/queue.rs",
                     "crates/serve/src/service.rs",
+                    "crates/serve/src/supervisor.rs",
                     "crates/workloads/src/cache.rs",
                 ],
             ),
@@ -111,6 +114,8 @@ impl Config {
         rules.insert("no-thread-id".to_string(), RuleCfg::default());
         // The serve request path: a malformed request or a poisoned
         // lock must shed or answer a typed error, never kill a worker.
+        // (The one deliberate panic — the chaos worker-panic site —
+        // carries a written in-source allow-suppression.)
         rules.insert(
             "serve-no-panic".to_string(),
             with(
@@ -119,6 +124,7 @@ impl Config {
                     "crates/serve/src/queue.rs",
                     "crates/serve/src/server.rs",
                     "crates/serve/src/service.rs",
+                    "crates/serve/src/supervisor.rs",
                 ],
                 &[],
             ),
@@ -254,9 +260,12 @@ mod tests {
     fn default_policy_scopes_rules() {
         let cfg = Config::repo_default();
         assert!(cfg.rule("serve-no-panic").applies_to("crates/serve/src/queue.rs"));
+        assert!(cfg.rule("serve-no-panic").applies_to("crates/serve/src/supervisor.rs"));
         assert!(!cfg.rule("serve-no-panic").applies_to("crates/serve/src/bench.rs"));
         assert!(cfg.rule("no-wall-clock").applies_to("crates/core/src/schedule.rs"));
         assert!(!cfg.rule("no-wall-clock").applies_to("crates/serve/src/queue.rs"));
+        assert!(!cfg.rule("no-wall-clock").applies_to("crates/serve/src/supervisor.rs"));
+        assert!(!cfg.rule("no-wall-clock").applies_to("crates/chaos/src/lib.rs"));
         assert!(cfg.rule("deterministic-iteration").applies_to("crates/bench/src/sweep.rs"));
         assert!(cfg.rule("unsafe-safety-comment").applies_to("anything/at/all.rs"));
     }

@@ -1,0 +1,12 @@
+// Fixture: the chaos worker-panic site shape — a deliberate `panic!`
+// inside serve-no-panic territory, justified by a multi-line
+// suppression block (the reason wraps, as the real site's does).
+
+pub fn worker_body(fires: bool) {
+    if fires {
+        // pra-lint: allow(serve-no-panic): deliberate chaos fault site —
+        // the panic is the fault being injected, and the supervisor's
+        // reclaim path is what the soak test is proving.
+        panic!("chaos: injected worker panic");
+    }
+}

@@ -88,6 +88,19 @@ fn reasoned_suppression_is_honored() {
 }
 
 #[test]
+fn chaos_panic_site_suppression_is_honored() {
+    // The shape the serving tier's injected worker-panic site uses: a
+    // `panic!` under serve-no-panic with a wrapped multi-line reason.
+    let out = lint_fixture(
+        "suppression",
+        "chaos_site",
+        include_str!("fixtures/suppression/chaos_site.rs"),
+    );
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 1);
+}
+
+#[test]
 fn reasonless_suppression_fires_twice() {
     let out = lint_fixture(
         "suppression",

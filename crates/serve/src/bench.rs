@@ -40,6 +40,16 @@ pub struct BenchConfig {
     /// How long to keep retrying the initial connect (covers the racy
     /// `pra serve & pra bench-serve` startup in CI).
     pub connect_timeout: Duration,
+    /// How many times a *retryable* shed (`queue_full`, `deadline`,
+    /// `worker_lost`, `overloaded` — not `shutting_down`) is re-issued
+    /// before it is recorded as the request's final outcome. Zero (the
+    /// default) records sheds as-is, which is what keeps the golden
+    /// digest gates byte-stable; the chaos smoke runs with a budget so
+    /// injected faults converge back to `ok`.
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles per attempt (capped)
+    /// with deterministic jitter derived from `(seed, id, attempt)`.
+    pub backoff_ms: u64,
 }
 
 impl Default for BenchConfig {
@@ -50,8 +60,28 @@ impl Default for BenchConfig {
             window: 8,
             seed: pra_bench::SEED,
             connect_timeout: Duration::from_secs(10),
+            retries: 0,
+            backoff_ms: 25,
         }
     }
+}
+
+/// Jittered exponential backoff, fully determined by its inputs: the
+/// exponential part doubles per attempt from `base_ms` (capped at 1 s),
+/// the jitter adds up to half of it, keyed on `(seed, id, attempt)` via
+/// a splitmix64 step — reruns back off identically, concurrent ids
+/// don't thunder in herd.
+pub fn backoff_delay(base_ms: u64, attempt: u32, seed: u64, id: u64) -> Duration {
+    let attempt = attempt.max(1);
+    let exp = base_ms.saturating_mul(1u64 << (attempt.min(6) - 1)).min(1_000);
+    let mut z = seed
+        ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Duration::from_millis(exp + z % (exp / 2 + 1))
 }
 
 /// The deterministic request mix: blocks of eight consecutive ids share
@@ -80,10 +110,13 @@ pub struct ServeMetrics {
     pub requests: usize,
     /// `ok` responses.
     pub ok: usize,
-    /// `shed` responses.
+    /// `shed` responses (final outcomes, after any retries).
     pub shed: usize,
     /// `error` responses.
     pub errors: usize,
+    /// Re-issued requests: every retryable shed the retry budget
+    /// absorbed on its way to a final outcome.
+    pub retries: usize,
     /// Client-observed latency percentiles (ms).
     pub p50_ms: f64,
     /// 95th percentile (ms).
@@ -189,6 +222,8 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
 
     let mut responses: Vec<Option<Response>> = vec![None; n];
     let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut attempts: Vec<u32> = vec![0; n];
+    let mut retried = 0usize;
     let mut done = 0;
     while done < n {
         let (resp, at) = rx
@@ -197,6 +232,17 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
         let id = resp.id() as usize;
         if id >= n || responses[id].is_some() {
             return Err(format!("unexpected response id {id}"));
+        }
+        // A retryable shed with budget left is re-issued (same id, same
+        // payload) after a deterministic jittered backoff instead of
+        // being recorded; its latency clock restarts with the re-send.
+        let retryable = matches!(&resp, Response::Shed { reason, .. } if reason.retryable());
+        if retryable && attempts[id] < cfg.retries {
+            attempts[id] += 1;
+            retried += 1;
+            std::thread::sleep(backoff_delay(cfg.backoff_ms, attempts[id], cfg.seed, id as u64));
+            send_req(id, cfg.seed, &mut out, &mut send_at)?;
+            continue;
         }
         if let Some(sent) = send_at[id] {
             latencies.push(at.duration_since(sent).as_secs_f64() * 1e3);
@@ -218,7 +264,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
     let _ = reader.join();
 
     let responses: Vec<Response> = responses.into_iter().map(|r| r.expect("counted")).collect();
-    Ok((summarize(&responses, latencies, elapsed_ms, window), responses))
+    Ok((summarize(&responses, latencies, elapsed_ms, window, retried), responses))
 }
 
 /// Folds responses + client latencies into [`ServeMetrics`].
@@ -227,6 +273,7 @@ fn summarize(
     mut latencies: Vec<f64>,
     elapsed_ms: f64,
     window: usize,
+    retries: usize,
 ) -> ServeMetrics {
     let n = responses.len();
     let (mut ok, mut shed, mut errors) = (0usize, 0usize, 0usize);
@@ -263,6 +310,7 @@ fn summarize(
         ok,
         shed,
         errors,
+        retries,
         p50_ms: percentile(&latencies, 0.50),
         p95_ms: percentile(&latencies, 0.95),
         p99_ms: percentile(&latencies, 0.99),
@@ -285,6 +333,7 @@ fn summarize(
 pub fn serve_section(m: &ServeMetrics) -> String {
     format!(
         "  \"serve\": {{\"requests\": {}, \"ok\": {}, \"shed\": {}, \"errors\": {}, \
+         \"retries\": {}, \
          \"window\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
          \"mean_ms\": {:.3}, \"mean_enqueue_ms\": {:.3}, \"mean_batch_wait_ms\": {:.3}, \
          \"mean_sim_ms\": {:.3}, \"mean_batch\": {:.2}, \"elapsed_ms\": {:.3}, \"rps\": {:.2}, \
@@ -293,6 +342,7 @@ pub fn serve_section(m: &ServeMetrics) -> String {
         m.ok,
         m.shed,
         m.errors,
+        m.retries,
         m.window,
         m.p50_ms,
         m.p95_ms,
@@ -367,7 +417,10 @@ pub fn metrics_table(m: &ServeMetrics) -> pra_bench::Table {
     let mut t = pra_bench::Table::new(["metric", "value"]);
     t.row([
         "requests",
-        &format!("{} ({} ok, {} shed, {} errors)", m.requests, m.ok, m.shed, m.errors),
+        &format!(
+            "{} ({} ok, {} shed, {} errors, {} retried)",
+            m.requests, m.ok, m.shed, m.errors, m.retries
+        ),
     ]);
     t.row(["in-flight window", &m.window.to_string()]);
     t.row(["p50 / p95 / p99", &format!("{:.1} / {:.1} / {:.1} ms", m.p50_ms, m.p95_ms, m.p99_ms)]);
@@ -410,6 +463,25 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        // Same inputs, same delay — reruns of a chaos smoke back off
+        // identically.
+        assert_eq!(backoff_delay(25, 1, 7, 3), backoff_delay(25, 1, 7, 3));
+        // Different ids jitter apart at the same attempt.
+        let spread: std::collections::BTreeSet<_> =
+            (0..32).map(|id| backoff_delay(25, 1, 7, id)).collect();
+        assert!(spread.len() > 8, "jitter must actually spread ids");
+        for attempt in 1..=8u32 {
+            let d = backoff_delay(25, attempt, 7, 0);
+            let exp = 25u64.saturating_mul(1 << (attempt.min(6) - 1)).min(1_000);
+            assert!(d >= Duration::from_millis(exp), "at least the exponential part");
+            assert!(d <= Duration::from_millis(exp + exp / 2), "jitter capped at half");
+        }
+        // The cap keeps a long retry storm from stalling the bench.
+        assert!(backoff_delay(1_000, 30, 1, 1) <= Duration::from_millis(1_500));
+    }
+
+    #[test]
     fn percentiles_by_rank() {
         let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         assert_eq!(percentile(&v, 0.50), 50.0);
@@ -438,8 +510,8 @@ mod tests {
 
     #[test]
     fn summary_digest_is_order_stable_and_shed_sensitive() {
-        let a = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![1.0, 2.0], 10.0, 2);
-        let b = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![2.0, 1.0], 99.0, 4);
+        let a = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![1.0, 2.0], 10.0, 2, 0);
+        let b = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![2.0, 1.0], 99.0, 4, 3);
         assert_eq!(a.digest, b.digest, "digest depends on responses only");
         let with_shed = summarize(
             &[
@@ -449,6 +521,7 @@ mod tests {
             vec![1.0],
             10.0,
             2,
+            0,
         );
         assert_ne!(a.digest, with_shed.digest);
         assert_eq!(with_shed.shed, 1);
@@ -458,7 +531,7 @@ mod tests {
     fn merge_preserves_sweep_content_and_replaces_serve() {
         let sweep_doc =
             "{\n  \"schema_version\": 2,\n  \"total_wall_ms\": 12.0,\n  \"jobs\": 1\n}\n";
-        let m = summarize(&[ok(0, "aaa")], vec![1.0], 10.0, 1);
+        let m = summarize(&[ok(0, "aaa")], vec![1.0], 10.0, 1, 0);
         let merged = merge_bench_json(Some(sweep_doc), &serve_section(&m));
         assert!(merged.contains("\"total_wall_ms\": 12.0"), "sweep content intact");
         assert!(merged.contains("\"serve\": {"));

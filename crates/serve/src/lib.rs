@@ -21,14 +21,22 @@
 //!   engine simulated exactly once, per-request latency split
 //!   (enqueue / batch-wait / sim / total);
 //! * [`server`] — a JSON-lines TCP front end (`pra serve`) with no
-//!   network dependencies;
+//!   network dependencies, a bounded connection cap, and `stats` /
+//!   `drain` control requests over the same wire;
+//! * [`supervisor`] — the degradation machinery (DESIGN.md §12): an
+//!   in-flight registry giving every admitted request exactly one
+//!   answer even when its worker dies, dead-worker respawn, and
+//!   per-request deadline enforcement;
 //! * [`bench`] — the closed-loop load generator (`pra bench-serve`)
 //!   reporting p50/p95/p99 and throughput into `bench.json`, plus the
-//!   response-digest fingerprint CI pins.
+//!   response-digest fingerprint CI pins; sheds are retried with
+//!   jittered exponential backoff.
 //!
 //! Responses are scheduling-independent: worker count, batch size and
 //! batch composition never change a single response byte (only the
-//! latency fields, which are excluded from the digest).
+//! latency fields, which are excluded from the digest). Fault
+//! injection (`pra-chaos`, armed via `PRA_CHAOS`) exercises exactly
+//! these guarantees in the chaos soak and the CI `chaos-smoke` gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,9 +46,10 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod supervisor;
 
 pub use bench::{run_bench, BenchConfig, ServeMetrics};
-pub use protocol::{Engine, Request, Response, ShedReason};
+pub use protocol::{ControlRequest, Engine, Request, Response, ShedReason, StatsSnapshot};
 pub use queue::{BatchKey, RequestQueue, ServeConfig};
 pub use server::Server;
 pub use service::SimService;

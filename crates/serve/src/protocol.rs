@@ -24,7 +24,7 @@ use pra_workloads::{Network, Representation};
 /// stale golden fails loudly instead of comparing apples to oranges.
 pub const PROTOCOL_VERSION: u32 = 1;
 
-/// Why the service refused a request instead of queueing it.
+/// Why the service refused a request instead of simulating it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShedReason {
     /// The bounded queue was at capacity — the caller should back off
@@ -32,6 +32,16 @@ pub enum ShedReason {
     QueueFull,
     /// The service is shutting down and accepts no new work.
     ShuttingDown,
+    /// The connection cap was reached; this connection was refused
+    /// before any request was read.
+    Overloaded,
+    /// The request's deadline expired before its simulation finished;
+    /// answering late would be answering garbage, so it sheds instead.
+    Deadline,
+    /// The worker simulating this request's batch died; the supervisor
+    /// answered on its behalf. Retryable — the respawned worker serves
+    /// the retry.
+    WorkerLost,
 }
 
 impl ShedReason {
@@ -40,7 +50,117 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue_full",
             ShedReason::ShuttingDown => "shutting_down",
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::Deadline => "deadline",
+            ShedReason::WorkerLost => "worker_lost",
         }
+    }
+
+    /// Whether a client should retry after backing off. Shutdown is the
+    /// one reason retrying the same server cannot help with.
+    pub fn retryable(&self) -> bool {
+        !matches!(self, ShedReason::ShuttingDown)
+    }
+}
+
+/// An out-of-band control request: not simulation work, but service
+/// introspection (`stats`) and graceful shutdown (`drain`) over the
+/// same wire, so operators need no side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// Snapshot the live [`StatsSnapshot`] counters.
+    Stats,
+    /// Stop accepting, answer everything queued, then exit `run()`
+    /// (honored only by `pra serve --once`; refused otherwise).
+    Drain,
+}
+
+impl ControlRequest {
+    /// Recognizes a control line: `{"ctl": "stats"}` or
+    /// `{"ctl": "drain"}`. `None` for ordinary request lines.
+    pub fn parse(line: &str) -> Option<ControlRequest> {
+        match json_str_field(line, "ctl").as_deref() {
+            Some("stats") => Some(ControlRequest::Stats),
+            Some("drain") => Some(ControlRequest::Drain),
+            _ => None,
+        }
+    }
+
+    /// Renders the control request as one JSON line.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            ControlRequest::Stats => "{\"ctl\": \"stats\"}".to_string(),
+            ControlRequest::Drain => "{\"ctl\": \"drain\"}".to_string(),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters, as answered to a
+/// `stats` control request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests shed (admission, deadline, and supervisor sheds).
+    pub shed: u64,
+    /// Batches simulated.
+    pub batches: u64,
+    /// Requests answered `ok`.
+    pub answered: u64,
+    /// Batches served from the artifact pool.
+    pub pool_hits: u64,
+    /// Connections being served right now.
+    pub live_connections: u64,
+    /// Connections refused at the cap with `shed:overloaded`.
+    pub connections_shed: u64,
+    /// Dead workers detected and respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Requests answered `shed:deadline` past their deadline.
+    pub deadline_expired: u64,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as one JSON line (`"status": "stats"`).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"status\": \"stats\", \"accepted\": {}, \"shed\": {}, \"batches\": {}, \
+             \"answered\": {}, \"pool_hits\": {}, \"live_connections\": {}, \
+             \"connections_shed\": {}, \"worker_restarts\": {}, \"deadline_expired\": {}}}",
+            self.accepted,
+            self.shed,
+            self.batches,
+            self.answered,
+            self.pool_hits,
+            self.live_connections,
+            self.connections_shed,
+            self.worker_restarts,
+            self.deadline_expired,
+        )
+    }
+
+    /// Parses the client side of [`to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing field.
+    pub fn parse(line: &str) -> Result<StatsSnapshot, String> {
+        if json_str_field(line, "status").as_deref() != Some("stats") {
+            return Err(format!("not a stats line: {line}"));
+        }
+        let num = |k: &str| {
+            json_num_field(line, k).map(|v| v as u64).ok_or_else(|| format!("missing \"{k}\""))
+        };
+        Ok(StatsSnapshot {
+            accepted: num("accepted")?,
+            shed: num("shed")?,
+            batches: num("batches")?,
+            answered: num("answered")?,
+            pool_hits: num("pool_hits")?,
+            live_connections: num("live_connections")?,
+            connections_shed: num("connections_shed")?,
+            worker_restarts: num("worker_restarts")?,
+            deadline_expired: num("deadline_expired")?,
+        })
     }
 }
 
@@ -155,6 +275,33 @@ pub fn json_str_field(line: &str, key: &str) -> Option<String> {
     None
 }
 
+/// Extracts the request `id` as an exact `u64`, rejecting what
+/// [`json_num_field`]'s `f64` path would silently mangle: ids beyond
+/// 2⁵³ lose precision in a double, negatives and floats would
+/// truncate, and an absent field used to default to 0 — which made a
+/// malformed line impersonate whichever real request used id 0. The
+/// raw token is preserved in the error so the client can see exactly
+/// what the server rejected.
+///
+/// # Errors
+///
+/// Returns a message naming the problem and quoting the raw id text.
+pub fn request_id(line: &str) -> Result<u64, String> {
+    let needle = "\"id\":";
+    let rest = line
+        .find(needle)
+        .and_then(|at| line.get(at + needle.len()..))
+        .ok_or("missing numeric \"id\"")?
+        .trim_start();
+    let end =
+        rest.find(|c: char| c.is_whitespace() || matches!(c, ',' | '}')).unwrap_or(rest.len());
+    let raw = rest.get(..end).unwrap_or(rest);
+    if raw.is_empty() {
+        return Err("missing numeric \"id\"".to_string());
+    }
+    raw.parse::<u64>().map_err(|_| format!("invalid \"id\" '{raw}' (expected an integer ≤ u64)"))
+}
+
 /// Extracts the number following `"key":` in a flat JSON object.
 pub fn json_num_field(line: &str, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
@@ -175,7 +322,7 @@ impl Request {
     /// Returns a human-readable message naming the missing or invalid
     /// field.
     pub fn parse(line: &str) -> Result<Request, String> {
-        let id = json_num_field(line, "id").ok_or("missing numeric \"id\"")? as u64;
+        let id = request_id(line)?;
         let net_name = json_str_field(line, "network").ok_or("missing \"network\"")?;
         let network =
             parse_network(&net_name).ok_or_else(|| format!("unknown network '{net_name}'"))?;
@@ -382,6 +529,9 @@ impl Response {
             Some("shed") => {
                 let reason = match json_str_field(line, "reason").as_deref() {
                     Some("shutting_down") => ShedReason::ShuttingDown,
+                    Some("overloaded") => ShedReason::Overloaded,
+                    Some("deadline") => ShedReason::Deadline,
+                    Some("worker_lost") => ShedReason::WorkerLost,
                     _ => ShedReason::QueueFull,
                 };
                 Ok(Response::Shed { id, reason })
@@ -479,6 +629,65 @@ mod tests {
         assert_eq!(d(100, 2.0), d(100, 2.0), "digest must be deterministic");
         assert_ne!(d(100, 2.0), d(101, 2.0), "cycles must change the digest");
         assert_ne!(d(100, 2.0), d(100, 2.5), "speedup must change the digest");
+    }
+
+    #[test]
+    fn huge_or_malformed_ids_are_rejected_with_raw_text() {
+        // 2⁶⁴ — one past u64::MAX. The old f64 path silently cast this
+        // (and any other unparsable id) to something wrong.
+        let huge = "{\"id\": 18446744073709551616, \"network\": \"NiN\", \
+                    \"repr\": \"fp16\", \"engine\": \"DaDN\"}";
+        let err = Request::parse(huge).unwrap_err();
+        assert!(err.contains("18446744073709551616"), "raw id text preserved: {err}");
+        let float = huge.replace("18446744073709551616", "1.5");
+        assert!(Request::parse(&float).unwrap_err().contains("'1.5'"));
+        let neg = huge.replace("18446744073709551616", "-3");
+        assert!(Request::parse(&neg).unwrap_err().contains("'-3'"));
+        assert!(request_id("{\"network\": \"NiN\"}").unwrap_err().contains("id"));
+        // u64::MAX itself is a legal id.
+        assert_eq!(request_id("{\"id\": 18446744073709551615}").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn control_requests_round_trip_and_do_not_shadow_requests() {
+        for ctl in [ControlRequest::Stats, ControlRequest::Drain] {
+            assert_eq!(ControlRequest::parse(&ctl.to_json_line()), Some(ctl));
+        }
+        let req = "{\"id\": 1, \"network\": \"NiN\", \"repr\": \"fp16\", \"engine\": \"DaDN\"}";
+        assert_eq!(ControlRequest::parse(req), None);
+        assert_eq!(ControlRequest::parse("{\"ctl\": \"reboot\"}"), None);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips() {
+        let snap = StatsSnapshot {
+            accepted: 10,
+            shed: 2,
+            batches: 4,
+            answered: 8,
+            pool_hits: 3,
+            live_connections: 1,
+            connections_shed: 5,
+            worker_restarts: 1,
+            deadline_expired: 2,
+        };
+        assert_eq!(StatsSnapshot::parse(&snap.to_json_line()).unwrap(), snap);
+        assert!(StatsSnapshot::parse("{\"status\": \"ok\"}").is_err());
+    }
+
+    #[test]
+    fn every_shed_reason_round_trips_with_retryability() {
+        for reason in [
+            ShedReason::QueueFull,
+            ShedReason::ShuttingDown,
+            ShedReason::Overloaded,
+            ShedReason::Deadline,
+            ShedReason::WorkerLost,
+        ] {
+            let shed = Response::Shed { id: 1, reason };
+            assert_eq!(Response::parse(&shed.to_json_line()).unwrap(), shed);
+            assert_eq!(reason.retryable(), reason != ShedReason::ShuttingDown);
+        }
     }
 
     #[test]

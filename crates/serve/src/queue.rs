@@ -47,6 +47,18 @@ pub struct ServeConfig {
     /// Cache directory override; `None` resolves the default
     /// (`PRA_CACHE_DIR`, else `<target>/pra-cache`).
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Per-request deadline, measured from admission. Requests still
+    /// unanswered when it expires are shed with
+    /// [`ShedReason::Deadline`] instead of simulated; `None` disables
+    /// deadline enforcement.
+    pub deadline: Option<Duration>,
+    /// Concurrent TCP connections the front end serves; excess
+    /// connections get one `shed:overloaded` line and a clean close.
+    pub max_connections: usize,
+    /// How long a worker may sit on one batch before the supervisor
+    /// treats it as wedged and spawns a supplemental worker (threads
+    /// cannot be killed; the wedged batch ages out via deadlines).
+    pub wedge_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +71,9 @@ impl Default for ServeConfig {
             fidelity: Fidelity::Full,
             use_cache: true,
             cache_dir: None,
+            deadline: None,
+            max_connections: 64,
+            wedge_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -191,6 +206,12 @@ impl RequestQueue {
     pub fn close(&self) {
         self.lock().closed = true;
         self.available.notify_all();
+    }
+
+    /// `true` once [`RequestQueue::close`] has been called (the
+    /// supervisor's exit signal).
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Blocks for the next batch: seeds it with the oldest request,
@@ -327,6 +348,46 @@ mod tests {
         let batch = q.next_batch(3, Duration::from_secs(10)).unwrap();
         assert_eq!(batch.requests.len(), 3);
         assert!(start.elapsed() < Duration::from_secs(5), "full batch must not linger");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_for_submit_and_next_batch() {
+        use std::sync::Arc;
+        let q = Arc::new(RequestQueue::new(2));
+        let (tx, _rx) = channel();
+        q.submit(req(0, Network::AlexNet, "DaDN", 1), tx.clone()).unwrap();
+
+        // Poison the queue mutex the way a buggy worker would: panic
+        // while holding the guard (PR 6's recovery path).
+        let q2 = Arc::clone(&q);
+        let poisoner = std::thread::spawn(move || {
+            let _g = q2.inner.lock().unwrap();
+            panic!("deliberate: poison the queue mutex");
+        });
+        assert!(poisoner.join().is_err(), "the poisoning thread must have panicked");
+        assert!(q.inner.is_poisoned(), "the mutex must actually be poisoned");
+
+        // Every operation keeps working through the poisoned lock, and
+        // the admission invariants (depth cap, close semantics) still
+        // hold — recovery must not silently skip the shed checks.
+        assert_eq!(q.len(), 1);
+        assert!(q.submit(req(1, Network::AlexNet, "DaDN", 1), tx.clone()).is_ok());
+        assert_eq!(
+            q.submit(req(2, Network::AlexNet, "DaDN", 1), tx.clone()),
+            Err(ShedReason::QueueFull),
+            "depth cap survives poisoning"
+        );
+        let batch = q.next_batch(8, Duration::ZERO).expect("batch forms through a poisoned lock");
+        assert_eq!(batch.requests.iter().map(|p| p.req.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(
+            q.submit(req(3, Network::AlexNet, "DaDN", 1), tx),
+            Err(ShedReason::ShuttingDown),
+            "close semantics survive poisoning"
+        );
+        assert!(q.next_batch(8, Duration::ZERO).is_none(), "closed + drained still returns None");
     }
 
     #[test]

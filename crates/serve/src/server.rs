@@ -2,19 +2,32 @@
 //!
 //! No async runtime and no network dependency — consistent with the
 //! workspace's offline-shims constraint. Each connection gets a reader
-//! (the accept thread itself) and one writer thread; the writer owns an
-//! mpsc receiver that every in-flight request's response lands on, so
+//! (its own thread) and one writer thread; the writer owns an mpsc
+//! receiver that every in-flight request's response lands on, so
 //! responses stream back as their batches complete, in completion
 //! order, while the reader keeps admitting new lines. Backpressure is
 //! the admission queue's job: a full queue answers `shed` immediately
-//! rather than letting the connection buffer grow.
+//! rather than letting the connection buffer grow. The accept loop is
+//! itself bounded: past [`ServeConfig::max_connections`] live
+//! connections, a new connection gets one `shed:overloaded` line and a
+//! clean close (and finished connection threads are reaped each accept,
+//! so handles never accumulate).
+//!
+//! Control requests ride the same wire: `{"ctl": "stats"}` answers a
+//! [`StatsSnapshot`] line on any server; `{"ctl": "drain"}` stops the
+//! accept loop and drains the service, but only on a server started
+//! with [`Server::run_once`] (`pra serve --once`) — an always-on server
+//! refuses it with an error line, so a stray client cannot take the
+//! service down.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
-use crate::protocol::{json_num_field, Request, Response};
+use crate::protocol::{request_id, ControlRequest, Request, Response, ShedReason};
 use crate::queue::ServeConfig;
 use crate::service::SimService;
 
@@ -22,6 +35,18 @@ use crate::service::SimService;
 pub struct Server {
     listener: TcpListener,
     svc: Arc<SimService>,
+}
+
+/// Shared accept-loop state a connection handler can reach: the drain
+/// flag and how to wake the accept loop so it notices the flag.
+struct ServerCtl {
+    /// `true` once a drain was accepted; the accept loop exits on it.
+    draining: AtomicBool,
+    /// Whether this server honors `{"ctl": "drain"}`.
+    once: bool,
+    /// The bound address — a drain wakes the blocking `accept` by
+    /// making one throwaway connection to it.
+    addr: SocketAddr,
 }
 
 impl Server {
@@ -52,46 +77,166 @@ impl Server {
     }
 
     /// Accepts connections forever (until the process exits or the
-    /// listener errors). Each connection is served on its own thread.
+    /// listener errors). Each connection is served on its own thread;
+    /// `{"ctl": "drain"}` is refused.
     ///
     /// # Errors
     ///
     /// Propagates a fatal accept failure; per-connection I/O errors
     /// only end that connection.
     pub fn run(self) -> std::io::Result<()> {
+        self.serve(false)
+    }
+
+    /// Like [`Server::run`], but honors `{"ctl": "drain"}`: on drain
+    /// the accept loop stops, open connections finish, the service
+    /// drains its queue, and this returns — the `pra serve --once`
+    /// mode CI scripts use for a start-load-stop cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a fatal accept failure; per-connection I/O errors
+    /// only end that connection.
+    pub fn run_once(self) -> std::io::Result<()> {
+        self.serve(true)
+    }
+
+    fn serve(self, once: bool) -> std::io::Result<()> {
+        let ctl = Arc::new(ServerCtl {
+            draining: AtomicBool::new(false),
+            once,
+            addr: self.local_addr()?,
+        });
+        let max_connections = self.svc.config().max_connections.max(1) as u64;
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
+            if ctl.draining.load(Ordering::SeqCst) {
+                // The wake-up connection (or any later one) lands here;
+                // it gets a clean close without a handler.
+                break;
+            }
             let stream = stream?;
+            // Reap finished handlers so the handle list stays bounded by
+            // the live-connection cap instead of growing per connection.
+            let mut live_handles = Vec::with_capacity(handles.len());
+            for h in handles {
+                if h.is_finished() {
+                    let _ = h.join();
+                } else {
+                    live_handles.push(h);
+                }
+            }
+            handles = live_handles;
+
+            // relaxed-ok: admission gauge; the only writer that matters
+            // for the cap is this accept thread, handlers only decrement.
+            let live = self.svc.stats().live_connections.load(Ordering::Relaxed);
+            if live >= max_connections {
+                // relaxed-ok: monotonic stat counter; nothing
+                // synchronizes through it.
+                self.svc.stats().connections_shed.fetch_add(1, Ordering::Relaxed);
+                let mut stream = stream;
+                let line = Response::Shed { id: 0, reason: ShedReason::Overloaded }.to_json_line();
+                let _ = stream.write_all(line.as_bytes());
+                let _ = stream.write_all(b"\n");
+                continue; // dropping the stream closes it
+            }
+
+            // relaxed-ok: admission gauge (see the load above).
+            self.svc.stats().live_connections.fetch_add(1, Ordering::Relaxed);
             let svc = Arc::clone(&self.svc);
-            std::thread::spawn(move || {
+            let ctl = Arc::clone(&ctl);
+            handles.push(std::thread::spawn(move || {
                 let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
-                if let Err(e) = handle_connection(stream, &svc) {
+                if let Err(e) = handle_connection(stream, &svc, &ctl) {
                     eprintln!("pra-serve: connection {peer}: {e}");
                 }
-            });
+                // relaxed-ok: admission gauge (see the load above).
+                svc.stats().live_connections.fetch_sub(1, Ordering::Relaxed);
+            }));
+        }
+        // Draining: let open connections finish, then drain the queue so
+        // every admitted request is answered before this returns.
+        for h in handles {
+            let _ = h.join();
+        }
+        self.svc.begin_shutdown();
+        match Arc::try_unwrap(self.svc) {
+            Ok(svc) => svc.shutdown(),
+            // A caller still holds the service (stats inspection); the
+            // queue is closed, so workers drain and join on its drop.
+            Err(_svc) => {}
         }
         Ok(())
     }
 }
 
+/// The shared write half: the writer thread streams simulation
+/// responses from the channel, while the reader interleaves whole
+/// control-response lines under the same lock.
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// Writes one line (plus newline) and flushes. The chaos `sock-stall` /
+/// `sock-write-err` sites model a congested or failing client link.
+fn write_line(out: &SharedWriter, line: &str) -> std::io::Result<()> {
+    pra_chaos::stall(pra_chaos::Site::SockStall);
+    if pra_chaos::fires(pra_chaos::Site::SockWriteErr) {
+        return Err(std::io::Error::other(
+            "chaos: injected socket write error (site sock-write-err)",
+        ));
+    }
+    let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
+    g.write_all(line.as_bytes())?;
+    g.write_all(b"\n")?;
+    // Flush per response: latency beats syscall count here.
+    g.flush()
+}
+
 /// Serves one connection: reads request lines, writes response lines.
-fn handle_connection(stream: TcpStream, svc: &Arc<SimService>) -> std::io::Result<()> {
-    let write_half = stream.try_clone()?;
+fn handle_connection(
+    stream: TcpStream,
+    svc: &Arc<SimService>,
+    ctl: &Arc<ServerCtl>,
+) -> std::io::Result<()> {
+    let out: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
     let (tx, rx) = channel::<Response>();
+    let writer_out = Arc::clone(&out);
     let writer = std::thread::spawn(move || -> std::io::Result<()> {
-        let mut out = std::io::BufWriter::new(write_half);
         for resp in rx {
-            out.write_all(resp.to_json_line().as_bytes())?;
-            out.write_all(b"\n")?;
-            // Flush per response: latency beats syscall count here.
-            out.flush()?;
+            write_line(&writer_out, &resp.to_json_line())?;
         }
         Ok(())
     });
 
     let reader = BufReader::new(stream);
     for line in reader.lines() {
+        if pra_chaos::fires(pra_chaos::Site::SockReadErr) {
+            return Err(std::io::Error::other(
+                "chaos: injected socket read error (site sock-read-err)",
+            ));
+        }
         let line = line?;
         if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(ctl_req) = ControlRequest::parse(&line) {
+            let reply = match ctl_req {
+                ControlRequest::Stats => svc.stats().snapshot().to_json_line(),
+                ControlRequest::Drain if ctl.once => {
+                    ctl.draining.store(true, Ordering::SeqCst);
+                    let reply = svc.stats().snapshot().to_json_line();
+                    // Wake the blocking accept so it observes the flag;
+                    // the throwaway connection is closed unserved.
+                    let _ = TcpStream::connect(ctl.addr);
+                    reply
+                }
+                ControlRequest::Drain => Response::Error {
+                    id: 0,
+                    message: "drain refused: server is not running in --once mode".to_string(),
+                }
+                .to_json_line(),
+            };
+            write_line(&out, &reply)?;
             continue;
         }
         let resp = match Request::parse(&line) {
@@ -102,9 +247,11 @@ fn handle_connection(stream: TcpStream, svc: &Arc<SimService>) -> std::io::Resul
                     Err(reason) => Response::Shed { id, reason },
                 }
             }
-            Err(message) => {
-                Response::Error { id: json_num_field(&line, "id").unwrap_or(0.0) as u64, message }
-            }
+            // The parse error already carries the raw id text when the
+            // id itself was the problem; a huge or missing id answers as
+            // an explicit error on id 0, never as a silently truncated
+            // id (the pre-PR-7 `as u64` bug).
+            Err(message) => Response::Error { id: request_id(&line).unwrap_or(0), message },
         };
         if tx.send(resp).is_err() {
             break; // Writer died; no point reading further.

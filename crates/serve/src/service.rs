@@ -15,13 +15,25 @@
 //! on batch composition or scheduling, which is what makes response
 //! digests byte-identical across worker counts and batch sizes (pinned
 //! by `tests/service_determinism.rs` and the CI `serve-smoke` gate).
+//!
+//! Degradation (DESIGN.md §12): every batch member is registered in the
+//! [`InflightRegistry`] before the batch can fail, and a supervisor
+//! thread sweeps the registry for expired deadlines, joins and respawns
+//! dead workers (answering their orphaned requests
+//! `shed:worker_lost` and evicting the suspect pooled artifacts), and
+//! spawns bounded supplemental workers past wedged ones. The chaos
+//! sites (`pra-chaos`) sit exactly on the failure paths this machinery
+//! defends: worker panic after registration, simulated slowdown, and
+//! spawn failure.
+//!
+//! [`SharedEncodedNetwork`]: pra_core::SharedEncodedNetwork
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pra_core::{run_shared, ArtifactPool, PraConfig};
 use pra_engines::{dadn, stripes};
@@ -30,9 +42,10 @@ use pra_workloads::cache::{self, Cache};
 use pra_workloads::{LayerView, NetworkWorkload};
 
 use crate::protocol::{
-    repr_label, response_digest, Engine, LatencySplit, Request, Response, ShedReason,
+    repr_label, response_digest, Engine, LatencySplit, Request, Response, ShedReason, StatsSnapshot,
 };
 use crate::queue::{Batch, RequestQueue, ServeConfig};
+use crate::supervisor::InflightRegistry;
 
 /// Running counters the front end and the smoke gate read.
 #[derive(Debug, Default)]
@@ -48,6 +61,38 @@ pub struct ServiceStats {
     /// Batches that reused pooled workload+artifact handles instead of
     /// rebuilding (the [`ArtifactPool`] batch-to-batch reuse).
     pub pool_hits: AtomicU64,
+    /// Currently open TCP connections (a gauge, maintained by the
+    /// front end).
+    pub live_connections: AtomicU64,
+    /// Connections refused at the [`ServeConfig::max_connections`] cap.
+    pub connections_shed: AtomicU64,
+    /// Workers the supervisor (re)spawned after a death, a failed
+    /// spawn, or a wedge.
+    pub worker_restarts: AtomicU64,
+    /// Requests answered `shed:deadline` after their per-request
+    /// deadline expired.
+    pub deadline_expired: AtomicU64,
+}
+
+impl ServiceStats {
+    /// A point-in-time copy, rendered over the wire by the `stats`
+    /// control request.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        // relaxed-ok: independent monotonic counters and a gauge; the
+        // snapshot is advisory and needs no cross-counter consistency.
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            accepted: ld(&self.accepted),
+            shed: ld(&self.shed),
+            batches: ld(&self.batches),
+            answered: ld(&self.answered),
+            pool_hits: ld(&self.pool_hits),
+            live_connections: ld(&self.live_connections),
+            connections_shed: ld(&self.connections_shed),
+            worker_restarts: ld(&self.worker_restarts),
+            deadline_expired: ld(&self.deadline_expired),
+        }
+    }
 }
 
 /// Workload+artifact pool slots. All twelve standard workloads (six
@@ -55,47 +100,56 @@ pub struct ServiceStats {
 /// off-seed requests.
 const POOL_CAPACITY: usize = 16;
 
+/// Supervisor sweep cadence: short enough that deadline sheds and
+/// worker respawns land well inside any client timeout, long enough to
+/// stay invisible in profiles.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(5);
+
+type WorkerSlots = Mutex<Vec<Option<JoinHandle<()>>>>;
+
 /// The in-process batched simulation service. The TCP front end wraps
 /// it; tests and the load generator can also drive it directly.
 pub struct SimService {
     queue: Arc<RequestQueue>,
     cfg: ServeConfig,
     stats: Arc<ServiceStats>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Arc<WorkerSlots>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl SimService {
-    /// Starts the worker pool described by `cfg`.
+    /// Starts the worker pool described by `cfg`, plus the supervisor
+    /// that keeps it healthy.
     pub fn start(cfg: ServeConfig) -> SimService {
         let queue = Arc::new(RequestQueue::new(cfg.queue_depth));
         let stats = Arc::new(ServiceStats::default());
         let pool = Arc::new(ArtifactPool::new(POOL_CAPACITY));
-        let workers = (0..cfg.workers.max(1))
-            .filter_map(|i| {
-                let queue = Arc::clone(&queue);
-                let stats = Arc::clone(&stats);
-                let pool = Arc::clone(&pool);
-                let cfg = cfg.clone();
-                std::thread::Builder::new()
-                    .name(format!("pra-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(batch) = queue.next_batch(cfg.max_batch, cfg.linger) {
-                            // relaxed-ok: monotonic stat counter; nothing
-                            // synchronizes through it.
-                            stats.batches.fetch_add(1, Ordering::Relaxed);
-                            run_batch(&cfg, &stats, &pool, batch);
-                        }
-                    })
-                    .ok()
-            })
-            .collect::<Vec<_>>();
-        if workers.is_empty() {
-            // No worker could spawn: close immediately so submissions
-            // shed with ShuttingDown instead of queueing forever.
-            eprintln!("pra-serve: no worker threads could be spawned; service is shedding");
+        let want = cfg.workers.max(1);
+        let registry = Arc::new(InflightRegistry::new(want));
+        let slots: Vec<Option<JoinHandle<()>>> = (0..want)
+            .map(|slot| spawn_worker(slot, &queue, &stats, &pool, &registry, &cfg))
+            .collect();
+        let workers = Arc::new(Mutex::new(slots));
+        let supervisor = {
+            let cfg = cfg.clone();
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            let pool = Arc::clone(&pool);
+            let registry = Arc::clone(&registry);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("pra-serve-supervisor".to_string())
+                .spawn(move || supervise(&cfg, &queue, &stats, &pool, &registry, &workers))
+                .ok()
+        };
+        if supervisor.is_none() && lock_workers(&workers).iter().all(Option::is_none) {
+            // Nothing can run batches and nothing can retry spawning:
+            // close so submissions shed with ShuttingDown instead of
+            // queueing forever.
+            eprintln!("pra-serve: no worker or supervisor thread could be spawned; shedding");
             queue.close();
         }
-        SimService { queue, cfg, stats, workers }
+        SimService { queue, cfg, stats, workers, supervisor }
     }
 
     /// The service configuration the pool was started with.
@@ -145,29 +199,255 @@ impl SimService {
         Ok(rx)
     }
 
+    /// Stops admission without blocking: queued requests still drain
+    /// into batches, new submissions shed with
+    /// [`ShedReason::ShuttingDown`]. The front end calls this on drain
+    /// while it cannot yet consume the service; [`SimService::shutdown`]
+    /// (or `Drop`) still does the joining.
+    pub fn begin_shutdown(&self) {
+        self.queue.close();
+    }
+
     /// Drains the queue and stops the workers: queued requests still get
     /// answers, new submissions shed with
     /// [`ShedReason::ShuttingDown`].
     pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Close, then join the supervisor (which joins the workers on its
+    /// way out); idempotent so `shutdown` + `Drop` compose.
+    fn stop(&mut self) {
         self.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        // Fallback for the no-supervisor degenerate case (and a no-op
+        // otherwise: the supervisor exits with every slot joined).
+        let handles: Vec<JoinHandle<()>> =
+            lock_workers(&self.workers).iter_mut().filter_map(Option::take).collect();
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
 
 impl Drop for SimService {
     fn drop(&mut self) {
-        self.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.stop();
     }
 }
 
+/// Locks the worker slot table, recovering from poisoning: slots are
+/// plain handles and the supervisor must keep sweeping after any panic.
+fn lock_workers(workers: &WorkerSlots) -> MutexGuard<'_, Vec<Option<JoinHandle<()>>>> {
+    workers.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Spawns the worker for `slot`. `None` when the OS refuses the thread
+/// (or the chaos `spawn-fail` site fires); the supervisor retries on
+/// its next sweep.
+fn spawn_worker(
+    slot: usize,
+    queue: &Arc<RequestQueue>,
+    stats: &Arc<ServiceStats>,
+    pool: &Arc<ArtifactPool>,
+    registry: &Arc<InflightRegistry>,
+    cfg: &ServeConfig,
+) -> Option<JoinHandle<()>> {
+    if pra_chaos::fires(pra_chaos::Site::SpawnFail) {
+        return None;
+    }
+    let queue = Arc::clone(queue);
+    let stats = Arc::clone(stats);
+    let pool = Arc::clone(pool);
+    let registry = Arc::clone(registry);
+    let cfg = cfg.clone();
+    std::thread::Builder::new()
+        .name(format!("pra-serve-worker-{slot}"))
+        .spawn(move || {
+            while let Some(batch) = queue.next_batch(cfg.max_batch, cfg.linger) {
+                // relaxed-ok: monotonic stat counter; nothing
+                // synchronizes through it.
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                run_batch(&cfg, &stats, &pool, &registry, slot, batch);
+            }
+        })
+        .ok()
+}
+
+/// Claims every deadline-expired in-flight request and answers it
+/// `shed:deadline`. Called from the supervisor sweep and from workers
+/// before paying for a simulation; the registry's exactly-once claim
+/// makes the two callers race-free.
+fn shed_expired(registry: &InflightRegistry, stats: &ServiceStats, now: Instant) {
+    for c in registry.claim_expired(now) {
+        // relaxed-ok: monotonic stat counter; nothing synchronizes
+        // through it.
+        stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        let _ = c.tx.send(Response::Shed { id: c.id, reason: ShedReason::Deadline });
+    }
+}
+
+/// Answers everything a dead worker still owed (`shed:worker_lost`,
+/// retryable) and evicts the pooled artifacts its batch was using — the
+/// panic may have happened mid-build, so the cheap safe move is to
+/// rebuild that workload on next use.
+fn reclaim_dead_slot(
+    slot: usize,
+    stats: &ServiceStats,
+    pool: &ArtifactPool,
+    registry: &InflightRegistry,
+) {
+    let (owed, workload) = registry.claim_dead(slot);
+    for c in owed {
+        // relaxed-ok: monotonic stat counter; nothing synchronizes
+        // through it.
+        stats.shed.fetch_add(1, Ordering::Relaxed);
+        let _ = c.tx.send(Response::Shed { id: c.id, reason: ShedReason::WorkerLost });
+    }
+    if let Some((network, repr, seed)) = workload {
+        let _ = pool.evict(network, repr, seed);
+    }
+}
+
+/// The supervisor loop: deadline sweep, dead-worker reclaim + respawn,
+/// wedge detection. Exits — with every worker joined — once the queue
+/// is closed and fully drained.
+fn supervise(
+    cfg: &ServeConfig,
+    queue: &Arc<RequestQueue>,
+    stats: &Arc<ServiceStats>,
+    pool: &Arc<ArtifactPool>,
+    registry: &Arc<InflightRegistry>,
+    workers: &Arc<WorkerSlots>,
+) {
+    let base_workers = cfg.workers.max(1);
+    let max_slots = base_workers * 2;
+    loop {
+        if cfg.deadline.is_some() {
+            shed_expired(registry, stats, Instant::now());
+        }
+        let all_idle = {
+            let mut ws = lock_workers(workers);
+            // Dead workers: join, reclaim their batch, free the slot. A
+            // clean exit (join Ok) only happens once the queue closed
+            // and drained, so an Err is the only reclaim trigger.
+            for slot in 0..ws.len() {
+                let finished =
+                    ws.get(slot).and_then(|w| w.as_ref()).is_some_and(JoinHandle::is_finished);
+                if finished {
+                    if let Some(h) = ws.get_mut(slot).and_then(Option::take) {
+                        if h.join().is_err() {
+                            reclaim_dead_slot(slot, stats, pool, registry);
+                        }
+                    }
+                }
+            }
+            ws.iter().all(Option::is_none)
+        };
+        let draining = !queue.is_closed() || !queue.is_empty() || registry.owed() > 0;
+        if draining {
+            let mut ws = lock_workers(workers);
+            // Respawn every empty slot (failed spawns, dead workers).
+            for slot in 0..ws.len() {
+                if ws.get(slot).is_some_and(Option::is_none) {
+                    if let Some(h) = respawn(slot, queue, stats, pool, registry, cfg) {
+                        if let Some(w) = ws.get_mut(slot) {
+                            *w = Some(h);
+                        }
+                    }
+                }
+            }
+            // Wedge detection: a batch in flight past the wedge timeout
+            // means its worker cannot be counted on; if too few healthy
+            // workers remain, add a bounded supplemental one (threads
+            // cannot be killed — the wedged batch ages out via its
+            // deadlines while the pool keeps draining).
+            let now = Instant::now();
+            let live = ws.iter().filter(|w| w.is_some()).count();
+            let wedged = (0..ws.len())
+                .filter(|&s| {
+                    ws.get(s).is_some_and(Option::is_some)
+                        && registry.in_flight_age(s, now).is_some_and(|age| age > cfg.wedge_timeout)
+                })
+                .count();
+            if wedged > 0 && live.saturating_sub(wedged) < base_workers && ws.len() < max_slots {
+                let slot = ws.len();
+                registry.ensure_slots(slot + 1);
+                let h = respawn(slot, queue, stats, pool, registry, cfg);
+                ws.push(h);
+            }
+        } else if all_idle {
+            // Closed, drained, nothing owed, every slot joined: done.
+            // One defensive final sweep answers anything that slipped in
+            // between the checks (there is nothing to slip: submits shed
+            // once closed).
+            if cfg.deadline.is_some() {
+                shed_expired(registry, stats, Instant::now());
+            }
+            return;
+        }
+        std::thread::sleep(SUPERVISOR_TICK);
+    }
+}
+
+/// One supervisor-initiated spawn attempt for `slot`, counted in
+/// [`ServiceStats::worker_restarts`] when it succeeds (a `None` — OS
+/// refusal or the chaos `spawn-fail` site — is retried next sweep).
+fn respawn(
+    slot: usize,
+    queue: &Arc<RequestQueue>,
+    stats: &Arc<ServiceStats>,
+    pool: &Arc<ArtifactPool>,
+    registry: &Arc<InflightRegistry>,
+    cfg: &ServeConfig,
+) -> Option<JoinHandle<()>> {
+    let h = spawn_worker(slot, queue, stats, pool, registry, cfg)?;
+    // relaxed-ok: monotonic stat counter; nothing synchronizes through
+    // it.
+    stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    Some(h)
+}
+
 /// Executes one sealed batch end to end and answers every member.
-fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch: Batch) {
+fn run_batch(
+    cfg: &ServeConfig,
+    stats: &ServiceStats,
+    pool: &ArtifactPool,
+    registry: &InflightRegistry,
+    slot: usize,
+    batch: Batch,
+) {
     let key = batch.key;
+    // Register every member before anything on this path can fail: from
+    // here on, the registry owns exactly-once answering — the fan-out
+    // below claims each id, and whatever this worker never claims (it
+    // panicked, the deadline passed) the supervisor claims instead.
+    let members: Vec<_> = batch
+        .requests
+        .iter()
+        .map(|p| (p.req.id, p.tx.clone(), cfg.deadline.map(|d| p.submitted + d)))
+        .collect();
+    for c in registry.begin_batch(slot, (key.network, key.repr, key.seed), members) {
+        // Unreachable by construction (finish_batch drains the slot);
+        // answering beats leaking if that ever regresses.
+        let _ = c.tx.send(Response::Shed { id: c.id, reason: ShedReason::WorkerLost });
+    }
+
+    if pra_chaos::fires(pra_chaos::Site::WorkerPanic) {
+        // pra-lint: allow(serve-no-panic): deliberate chaos fault site —
+        // it sits after registration precisely so the soak can prove the
+        // supervisor reclaims the batch and respawns the worker.
+        panic!("chaos: injected worker panic (site worker-panic)");
+    }
+    pra_chaos::stall(pra_chaos::Site::SlowSim);
+
+    // Answer already-expired requests before paying for the simulation.
+    if cfg.deadline.is_some() {
+        shed_expired(registry, stats, Instant::now());
+    }
+
     // Engine resolution failures answer per-request instead of poisoning
     // the batch (parse-time validation makes this unreachable over the
     // wire, but in-process callers construct requests directly).
@@ -183,12 +463,15 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
     // Nothing resolvable: answer every request with an error without
     // paying for a workload build or a baseline simulation.
     if engines.is_empty() {
-        for p in batch.requests {
-            let _ = p.tx.send(Response::Error {
-                id: p.req.id,
-                message: format!("unknown engine '{}'", p.req.engine),
-            });
+        for p in &batch.requests {
+            if let Some(c) = registry.claim(slot, p.req.id) {
+                let _ = c.tx.send(Response::Error {
+                    id: c.id,
+                    message: format!("unknown engine '{}'", p.req.engine),
+                });
+            }
         }
+        finish_slot(registry, slot);
         return;
     }
 
@@ -261,7 +544,13 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
 
     let batch_size = batch.requests.len();
     let ms = |a: Instant, b: Instant| b.saturating_duration_since(a).as_secs_f64() * 1e3;
-    for p in batch.requests {
+    for p in &batch.requests {
+        // Claim first: a `None` means the deadline sweep already
+        // answered this request — the exactly-once discipline says this
+        // worker must stay silent about it.
+        let Some(claimed) = registry.claim(slot, p.req.id) else {
+            continue;
+        };
         let done = Instant::now();
         let joined = p.joined.unwrap_or(batch.sealed);
         let resp = match results.get(p.req.engine.as_str()) {
@@ -303,7 +592,16 @@ fn run_batch(cfg: &ServeConfig, stats: &ServiceStats, pool: &ArtifactPool, batch
             },
         };
         // A disconnected client is not the service's problem.
-        let _ = p.tx.send(resp);
+        let _ = claimed.tx.send(resp);
+    }
+    finish_slot(registry, slot);
+}
+
+/// Ends `slot`'s batch, defensively answering anything the fan-out
+/// failed to claim (unreachable by construction).
+fn finish_slot(registry: &InflightRegistry, slot: usize) {
+    for c in registry.finish_batch(slot) {
+        let _ = c.tx.send(Response::Shed { id: c.id, reason: ShedReason::WorkerLost });
     }
 }
 
@@ -312,7 +610,6 @@ mod tests {
     use super::*;
     use pra_core::Fidelity;
     use pra_workloads::{Network, Representation};
-    use std::time::Duration;
 
     fn fast_cfg(workers: usize, max_batch: usize) -> ServeConfig {
         ServeConfig {
@@ -323,6 +620,9 @@ mod tests {
             fidelity: Fidelity::Sampled { max_pallets: 2 },
             use_cache: false,
             cache_dir: None,
+            deadline: None,
+            max_connections: 64,
+            wedge_timeout: Duration::from_secs(30),
         }
     }
 
@@ -361,6 +661,8 @@ mod tests {
         assert_eq!(svc.stats().accepted.load(Ordering::Relaxed), 5);
         assert_eq!(svc.stats().answered.load(Ordering::Relaxed), 5);
         assert_eq!(svc.stats().shed.load(Ordering::Relaxed), 0);
+        let snap = svc.stats().snapshot();
+        assert_eq!((snap.accepted, snap.answered, snap.worker_restarts), (5, 5, 0));
         svc.shutdown();
     }
 
@@ -422,5 +724,46 @@ mod tests {
         let rx = svc.call(req(1, "DaDN")).unwrap();
         svc.shutdown();
         assert!(matches!(rx.recv_timeout(Duration::from_secs(120)), Ok(Response::Ok { .. })));
+    }
+
+    #[test]
+    fn expired_deadline_sheds_instead_of_simulating() {
+        // A zero deadline expires at admission: the worker's pre-sim
+        // sweep (or the supervisor's) must answer `shed:deadline`, and
+        // the fan-out must stay silent about the claimed id.
+        let mut cfg = fast_cfg(1, 4);
+        cfg.deadline = Some(Duration::ZERO);
+        let svc = SimService::start(cfg);
+        let rx = svc.call(req(1, "DaDN")).unwrap();
+        match rx.recv_timeout(Duration::from_secs(120)).expect("exactly one answer") {
+            Response::Shed { id, reason } => {
+                assert_eq!(id, 1);
+                assert_eq!(reason, ShedReason::Deadline);
+                assert!(reason.retryable());
+            }
+            other => panic!("expected shed:deadline, got {other:?}"),
+        }
+        assert!(svc.stats().deadline_expired.load(Ordering::Relaxed) >= 1);
+        assert_eq!(svc.stats().answered.load(Ordering::Relaxed), 0, "nothing simulated an answer");
+        // The channel saw exactly one response.
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err(), "no second answer");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_does_not_disturb_answers() {
+        let mut cfg = fast_cfg(2, 4);
+        cfg.deadline = Some(Duration::from_secs(600));
+        let svc = SimService::start(cfg);
+        let rx = svc.call(req(3, "PRA-2b")).unwrap();
+        match rx.recv_timeout(Duration::from_secs(120)).expect("response") {
+            Response::Ok { id, cycles, .. } => {
+                assert_eq!(id, 3);
+                assert!(cycles > 0);
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        assert_eq!(svc.stats().deadline_expired.load(Ordering::Relaxed), 0);
+        svc.shutdown();
     }
 }

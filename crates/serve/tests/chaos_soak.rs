@@ -1,0 +1,229 @@
+//! The chaos soak (DESIGN.md §12): a seeded fault matrix driven through
+//! a live server, asserting the serving tier's degradation invariants —
+//!
+//!  1. no hang: every scenario's server thread joins within a bound;
+//!  2. no leaked panic: injected worker panics are absorbed by the
+//!     supervisor, never by the test harness;
+//!  3. exactly-once: every admitted request is answered exactly once
+//!     (`run_bench` errors on any duplicate response id);
+//!  4. bit-identical results: every `ok` response under faults carries
+//!     the same digest as the fault-free golden run, so the combined
+//!     response fingerprint matches the golden fingerprint.
+//!
+//! Lives in its own integration binary because the fault plan is
+//! process-global (same reasoning as `cache_chaos.rs` in
+//! `pra-workloads`); a `static` mutex serializes the tests on top.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use pra_chaos::{FaultPlan, Site};
+use pra_core::Fidelity;
+use pra_serve::{
+    run_bench, BenchConfig, ControlRequest, ServeConfig, ServeMetrics, Server, StatsSnapshot,
+};
+
+/// Serializes the tests in this binary around the global fault plan.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// Join bound per scenario — generous next to the worst seeded stall
+/// budget, tiny next to a real hang.
+const SCENARIO_DEADLINE: Duration = Duration::from_secs(60);
+
+fn server_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        queue_depth: 64,
+        linger: Duration::from_millis(2),
+        fidelity: Fidelity::Sampled { max_pallets: 2 },
+        use_cache: false,
+        cache_dir: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn bench_cfg(addr: String, retries: u32) -> BenchConfig {
+    BenchConfig {
+        addr,
+        requests: 12,
+        window: 4,
+        seed: 0x50_AF_CA_FE,
+        connect_timeout: Duration::from_secs(10),
+        retries,
+        backoff_ms: 5,
+    }
+}
+
+/// Sends `{"ctl": "drain"}` and waits for the one-line reply.
+fn drain(addr: &str) {
+    let stream = TcpStream::connect(addr).expect("connect for drain");
+    let mut out = stream.try_clone().expect("clone drain stream");
+    out.write_all((ControlRequest::Drain.to_json_line() + "\n").as_bytes())
+        .and_then(|()| out.flush())
+        .expect("send drain");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("drain reply");
+    assert!(reply.contains("\"status\": \"stats\""), "drain must answer a snapshot: {reply}");
+}
+
+/// Boots a `--once` server under the current fault plan, runs the
+/// closed-loop bench against it, then disarms, drains, and joins the
+/// server thread within [`SCENARIO_DEADLINE`] (the no-hang assertion).
+/// Returns the bench metrics + responses and the final stats snapshot.
+fn run_scenario(
+    what: &str,
+    cfg: ServeConfig,
+    retries: u32,
+) -> (ServeMetrics, Vec<pra_serve::Response>, StatsSnapshot) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let svc = Arc::clone(server.service());
+    let join = std::thread::spawn(move || server.run_once());
+
+    let bench = run_bench(&bench_cfg(addr.clone(), retries));
+    // Disarm before draining so socket/worker faults cannot swallow the
+    // drain handshake itself; the faults under test already fired
+    // during the bench.
+    pra_chaos::disarm();
+    let (metrics, responses) = bench.unwrap_or_else(|e| panic!("{what}: bench failed: {e}"));
+    drain(&addr);
+
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while !join.is_finished() {
+        assert!(Instant::now() < deadline, "{what}: server failed to drain within bound (hang)");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    join.join()
+        .unwrap_or_else(|_| panic!("{what}: server thread panicked"))
+        .unwrap_or_else(|e| panic!("{what}: server errored: {e}"));
+    let snapshot = svc.stats().snapshot();
+    (metrics, responses, snapshot)
+}
+
+/// One fault-free pass pinning the golden fingerprint every chaos
+/// scenario must reproduce.
+fn golden() -> ServeMetrics {
+    pra_chaos::disarm();
+    let (m, _, snap) = run_scenario("golden", server_cfg(), 0);
+    assert_eq!((m.ok, m.shed, m.errors), (12, 0, 0), "golden run must be clean");
+    assert_eq!(snap.worker_restarts, 0, "golden run must not restart workers");
+    m
+}
+
+#[test]
+fn seeded_fault_matrix_preserves_results_and_liveness() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let golden = golden();
+
+    // The matrix: (scenario, plan). Rates are modest so the bench's
+    // retry budget converges every request to `ok`; every seed is
+    // pinned, so each scenario replays bit-identically.
+    let matrix: Vec<(&str, FaultPlan)> = vec![
+        ("worker-panic", FaultPlan::new(0xA1).with_site(Site::WorkerPanic, 0.25, None)),
+        ("slow-sim", FaultPlan::new(0xB2).with_site(Site::SlowSim, 0.5, Some(30))),
+        ("spawn-fail", FaultPlan::new(0xC3).with_site(Site::SpawnFail, 0.3, None)),
+        ("sock-stall", FaultPlan::new(0xE5).with_site(Site::SockStall, 0.3, Some(40))),
+        (
+            "combined",
+            FaultPlan::new(0xF7)
+                .with_site(Site::WorkerPanic, 0.15, None)
+                .with_site(Site::SlowSim, 0.3, Some(20))
+                .with_site(Site::SockStall, 0.2, Some(25)),
+        ),
+    ];
+
+    for (what, plan) in matrix {
+        pra_chaos::arm(plan);
+        let (m, _, snap) = run_scenario(what, server_cfg(), 8);
+        assert_eq!(m.ok, 12, "{what}: every request must converge to ok (retried {})", m.retries);
+        assert_eq!((m.shed, m.errors), (0, 0), "{what}: no terminal sheds or errors");
+        assert_eq!(
+            m.digest, golden.digest,
+            "{what}: ok responses must be bit-identical to the fault-free golden"
+        );
+        // Exactly-once is enforced inside run_bench (duplicate response
+        // ids error the bench); the ledger must balance too.
+        assert!(
+            snap.answered >= 12,
+            "{what}: answered {} must cover the request count",
+            snap.answered
+        );
+        if what == "worker-panic" {
+            // A panic at the tail of the run is reclaimed without a
+            // respawn (the queue is already closed), so only the
+            // dedicated high-rate scenario pins the respawn path.
+            assert!(
+                snap.worker_restarts > 0,
+                "{what}: the supervisor must have respawned a panicked worker"
+            );
+            assert!(snap.shed > 0, "{what}: reclaimed batches answer shed:worker_lost");
+        }
+    }
+    pra_chaos::disarm();
+}
+
+#[test]
+fn cache_corruption_under_load_still_serves_golden_bits() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let golden = golden();
+
+    let dir = std::env::temp_dir().join(format!("pra-serve-chaos-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cached = ServeConfig { use_cache: true, cache_dir: Some(dir.clone()), ..server_cfg() };
+
+    // Warm pass (fault-free) populates the on-disk cache…
+    pra_chaos::disarm();
+    let (warm, _, _) = run_scenario("cache-warm", cached.clone(), 0);
+    assert_eq!(warm.digest, golden.digest, "cache on/off must not change response bytes");
+
+    // …then every read is corrupted: integrity verification must treat
+    // the entries as misses and regenerate, never serve mangled bits.
+    pra_chaos::arm(FaultPlan::new(0xD4).with_site(Site::CacheCorrupt, 1.0, None));
+    let (m, _, _) = run_scenario("cache-corrupt", cached, 4);
+    assert_eq!(m.ok, 12, "cache-corrupt: every request must still answer ok");
+    assert_eq!(
+        m.digest, golden.digest,
+        "cache-corrupt: corrupted cache reads must regenerate golden bits"
+    );
+    pra_chaos::disarm();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn socket_faults_end_a_connection_but_never_the_server() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let golden = golden();
+
+    let server = Server::bind("127.0.0.1:0", server_cfg()).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let join = std::thread::spawn(move || server.run_once());
+
+    // Every read and write on the wire fails: the bench's connection
+    // dies, but that must stay the blast radius — the server keeps
+    // accepting.
+    pra_chaos::arm(FaultPlan::new(0x9E).with_site(Site::SockReadErr, 1.0, None).with_site(
+        Site::SockWriteErr,
+        1.0,
+        None,
+    ));
+    let broken = run_bench(&bench_cfg(addr.clone(), 0));
+    assert!(broken.is_err(), "a fully faulted wire must fail the client, not hang it");
+
+    // Disarmed, a fresh connection serves the golden bits — the faulted
+    // connection left no residue.
+    pra_chaos::disarm();
+    let (m, _) = run_bench(&bench_cfg(addr.clone(), 0)).expect("clean bench after socket faults");
+    assert_eq!((m.ok, m.shed, m.errors), (12, 0, 0), "recovery run must be clean");
+    assert_eq!(m.digest, golden.digest, "recovery run must carry golden bits");
+
+    drain(&addr);
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while !join.is_finished() {
+        assert!(Instant::now() < deadline, "server failed to drain after socket faults (hang)");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    join.join().expect("server thread").expect("server run");
+}

@@ -18,6 +18,7 @@ fn server_cfg() -> ServeConfig {
         fidelity: Fidelity::Sampled { max_pallets: 2 },
         use_cache: false,
         cache_dir: None,
+        ..ServeConfig::default()
     }
 }
 
@@ -35,6 +36,8 @@ fn closed_loop_bench_completes_and_digest_is_window_independent() {
         window: 4,
         seed: 0x5EED,
         connect_timeout: Duration::from_secs(10),
+        retries: 0,
+        backoff_ms: 25,
     };
     let (m, responses) = pra_serve::run_bench(&cfg).expect("bench must complete");
     assert_eq!(m.requests, 10);

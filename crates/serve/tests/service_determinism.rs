@@ -23,6 +23,7 @@ fn cfg(workers: usize, max_batch: usize) -> ServeConfig {
         fidelity: Fidelity::Sampled { max_pallets: 2 },
         use_cache: false,
         cache_dir: None,
+        ..ServeConfig::default()
     }
 }
 

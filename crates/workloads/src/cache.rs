@@ -572,7 +572,16 @@ impl Cache {
     /// returns `None` so the caller regenerates.
     pub fn load(&self, kind: &str, version: u32, key: &CacheKey) -> Option<Vec<u8>> {
         let path = self.entry_path(kind, key);
-        let bytes = fs::read(&path).ok()?;
+        let mut bytes = fs::read(&path).ok()?;
+        // Chaos fault sites (DESIGN.md §12): mangle the entry exactly
+        // as silent disk corruption or a torn write would, *after* the
+        // read and *before* verification — the integrity trailer must
+        // catch it and the regenerate-on-mismatch path below must heal
+        // it. Compiled down to one atomic load when chaos is unarmed.
+        if pra_chaos::armed() {
+            let _ = pra_chaos::mangle(pra_chaos::Site::CacheCorrupt, &mut bytes);
+            let _ = pra_chaos::mangle(pra_chaos::Site::CacheTruncate, &mut bytes);
+        }
         match Self::verify(bytes, kind, version) {
             Some(payload) => Some(payload),
             None => {

@@ -1,0 +1,99 @@
+//! Chaos fault sites in the cache read path (DESIGN.md §12): injected
+//! corruption and truncation must be caught by the entry's integrity
+//! verification and healed by the regenerate-on-mismatch path, with the
+//! regenerated payload bit-identical to a fault-free build.
+//!
+//! This lives in its own integration binary because the fault plan is
+//! process-global: arming it next to the ordinary cache tests would
+//! corrupt *their* loads too (they would still pass — that is the
+//! defense working — but hit/miss assertions would flake).
+
+use std::sync::{Mutex, PoisonError};
+
+use pra_chaos::{FaultPlan, Site};
+use pra_workloads::cache::{build_cached_in, Cache, CacheOutcome};
+use pra_workloads::{Network, NetworkWorkload, Representation};
+
+/// Serializes the tests in this binary around the global fault plan.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// Field-by-field bit-identity (the workload type has no `PartialEq`;
+/// same idiom as `cache_roundtrip.rs`).
+fn assert_same_workload(a: &NetworkWorkload, b: &NetworkWorkload, what: &str) {
+    assert_eq!(a.network, b.network, "{what}: network");
+    assert_eq!(a.repr, b.repr, "{what}: repr");
+    assert_eq!(a.model, b.model, "{what}: activation model");
+    assert_eq!(a.layers.len(), b.layers.len(), "{what}: layer count");
+    for (ga, gb) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(ga.spec.name(), gb.spec.name(), "{what}: layer name");
+        assert_eq!(ga.window, gb.window, "{what}: window");
+        assert_eq!(ga.stripes_precision, gb.stripes_precision, "{what}: precision");
+        assert_eq!(ga.neurons, gb.neurons, "{what}: layer {} tensor", ga.spec.name());
+    }
+}
+
+fn scratch_cache(tag: &str) -> (Cache, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("pra-cache-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    (Cache::new(&dir), dir)
+}
+
+#[test]
+fn corrupted_and_truncated_reads_regenerate_bit_identically() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let (net, repr, seed) = (Network::AlexNet, Representation::Fixed16, 0xC4A0u64);
+    for site in [Site::CacheCorrupt, Site::CacheTruncate] {
+        let (cache, dir) = scratch_cache(site.label());
+        pra_chaos::disarm();
+        let (clean, outcome) = build_cached_in(&cache, net, repr, seed);
+        assert_eq!(outcome, CacheOutcome::Miss, "cold build populates the entry");
+        assert_eq!(build_cached_in(&cache, net, repr, seed).1, CacheOutcome::Hit);
+
+        // Every read now sees a mangled entry: verification must reject
+        // it (a Miss, never a wrong payload) and regeneration must
+        // produce exactly the fault-free workload.
+        pra_chaos::arm(FaultPlan::new(7).with_site(site, 1.0, None));
+        let (healed, outcome) = build_cached_in(&cache, net, repr, seed);
+        assert_eq!(
+            outcome,
+            CacheOutcome::Miss,
+            "{}: a mangled entry must read as a miss",
+            site.label()
+        );
+        assert_same_workload(&healed, &clean, site.label());
+        assert!(pra_chaos::fired_count(site) > 0, "{}: the fault must have fired", site.label());
+
+        // Disarmed again, the republished entry serves warm hits.
+        pra_chaos::disarm();
+        let (warm, outcome) = build_cached_in(&cache, net, repr, seed);
+        assert_eq!(outcome, CacheOutcome::Hit, "{}: the heal republished", site.label());
+        assert_same_workload(&warm, &clean, "warm reread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sub_unity_corruption_rate_converges_to_a_hit() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let (cache, dir) = scratch_cache("flaky");
+    let (net, repr, seed) = (Network::NiN, Representation::Quant8, 0xF1A6u64);
+    pra_chaos::disarm();
+    let (clean, _) = build_cached_in(&cache, net, repr, seed);
+    // A 50% corruption rate models a flaky medium: some loads fail and
+    // regenerate, some succeed — every outcome must carry the same
+    // bits.
+    pra_chaos::arm(FaultPlan::new(11).with_site(Site::CacheCorrupt, 0.5, None));
+    let mut hits = 0;
+    for _ in 0..8 {
+        let (w, outcome) = build_cached_in(&cache, net, repr, seed);
+        assert_same_workload(&w, &clean, "flaky read");
+        if outcome == CacheOutcome::Hit {
+            hits += 1;
+        }
+    }
+    pra_chaos::disarm();
+    // 8 draws at 0.5: all-miss has probability 2⁻⁸ per seed and seed 11
+    // is pinned, so this is deterministic, not flaky.
+    assert!(hits > 0, "some loads must get through at rate 0.5");
+    let _ = std::fs::remove_dir_all(&dir);
+}

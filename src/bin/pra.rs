@@ -19,13 +19,22 @@
 //!                                      per-phase delta between two bench.json;
 //!                                      --gate fails on >Rx phase regressions
 //! pra serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D]
-//!           [--linger-ms L] [--sampled N] [--no-cache]
+//!           [--linger-ms L] [--sampled N] [--no-cache] [--once]
+//!           [--max-conns C] [--deadline-ms D] [--chaos SPEC]
 //!                                      batched simulation service over TCP
-//!                                      JSON-lines (DESIGN.md §10)
+//!                                      JSON-lines (DESIGN.md §10); --once
+//!                                      honors the drain control request,
+//!                                      --chaos (or PRA_CHAOS) arms seeded
+//!                                      fault injection (DESIGN.md §12)
+//! pra ctl <stats | drain> [--addr A]   send a control request to a running
+//!                                      server and print its answer
 //! pra bench-serve [--addr A] [--requests N] [--batch W] [--seed S]
-//!                 [--allow-shed]       closed-loop load generator: p50/p95/p99
+//!                 [--allow-shed] [--retries R] [--backoff-ms B]
+//!                                      closed-loop load generator: p50/p95/p99
 //!                                      + throughput into bench.json, response
-//!                                      digest into serve_responses.sha256
+//!                                      digest into serve_responses.sha256;
+//!                                      --retries re-issues retryable sheds
+//!                                      with jittered exponential backoff
 //! ```
 
 #![forbid(unsafe_code)]
@@ -68,6 +77,7 @@ fn main() -> ExitCode {
         Some("cache") => cmd_cache(&args[1..]),
         Some("bench-delta") => cmd_bench_delta(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("ctl") => cmd_ctl(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
@@ -80,7 +90,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--retries R] [--backoff-ms B]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -349,6 +359,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use pragmatic::serve::ServeConfig;
     let mut addr = "127.0.0.1:9100".to_string();
     let mut cfg = ServeConfig::default();
+    let mut once = false;
+    let mut chaos_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -369,21 +381,106 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 cfg.use_cache = false;
                 cache::set_enabled(false);
             }
+            "--once" => once = true,
+            "--max-conns" => cfg.max_connections = flag_num(&mut it, "--max-conns")?.max(1),
+            "--deadline-ms" => {
+                cfg.deadline = Some(std::time::Duration::from_millis(
+                    flag_num(&mut it, "--deadline-ms")?.max(1) as u64,
+                ))
+            }
+            "--chaos" => {
+                chaos_spec = Some(
+                    it.next().ok_or("--chaos needs a spec, e.g. seed=7,worker-panic=0.05")?.clone(),
+                )
+            }
             other => return Err(format!("unknown serve flag '{other}'\n{USAGE}")),
         }
+    }
+    // Fault injection: an explicit --chaos wins over the PRA_CHAOS
+    // environment spec; with neither, the chaos layer stays a no-op.
+    match &chaos_spec {
+        Some(spec) => pragmatic::chaos::arm_spec(spec).map_err(|e| format!("--chaos: {e}"))?,
+        None => {
+            pragmatic::chaos::arm_from_env().map_err(|e| format!("PRA_CHAOS: {e}"))?;
+        }
+    }
+    if let Some(plan) = pragmatic::chaos::current() {
+        println!("pra-serve CHAOS ARMED: {}", plan.summary());
     }
     let server = pragmatic::serve::Server::bind(&addr, cfg.clone())
         .map_err(|e| format!("could not bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "pra-serve listening on {bound} ({} workers, max batch {}, queue depth {}, linger {:?}, cache {})",
+        "pra-serve listening on {bound} ({} workers, max batch {}, queue depth {}, linger {:?}, \
+         cache {}, max conns {}, deadline {}, {})",
         cfg.workers,
         cfg.max_batch,
         cfg.queue_depth,
         cfg.linger,
         if cfg.use_cache { "on" } else { "off" },
+        cfg.max_connections,
+        cfg.deadline.map_or_else(|| "none".to_string(), |d| format!("{d:?}")),
+        if once { "once (drain honored)" } else { "always-on" },
     );
-    server.run().map_err(|e| format!("serve: {e}"))
+    if once {
+        server.run_once().map_err(|e| format!("serve: {e}"))?;
+        println!("pra-serve drained and stopped");
+        Ok(())
+    } else {
+        server.run().map_err(|e| format!("serve: {e}"))
+    }
+}
+
+/// `pra ctl stats|drain [--addr A]`: send one control request over the
+/// serving wire and print the server's answer line. `drain` asks a
+/// `--once` server to stop accepting, finish open connections, and
+/// drain its queue (an always-on server refuses it).
+fn cmd_ctl(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let verb = match args.first().map(String::as_str) {
+        Some("stats") => pragmatic::serve::ControlRequest::Stats,
+        Some("drain") => pragmatic::serve::ControlRequest::Drain,
+        _ => return Err(format!("ctl needs a subcommand: stats | drain\n{USAGE}")),
+    };
+    let mut addr = "127.0.0.1:9100".to_string();
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
+            other => return Err(format!("unknown ctl flag '{other}'\n{USAGE}")),
+        }
+    }
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("could not connect to {addr}: {e}"))?;
+    stream
+        .write_all((verb.to_json_line() + "\n").as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send control request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read control response: {e}"))?;
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("server closed the connection without answering".to_string());
+    }
+    println!("{line}");
+    if let Ok(snap) = pragmatic::serve::StatsSnapshot::parse(line) {
+        let mut t = Table::new(["counter", "value"]);
+        t.row(["accepted", &snap.accepted.to_string()]);
+        t.row(["answered", &snap.answered.to_string()]);
+        t.row(["shed", &snap.shed.to_string()]);
+        t.row(["batches", &snap.batches.to_string()]);
+        t.row(["pool hits", &snap.pool_hits.to_string()]);
+        t.row(["live connections", &snap.live_connections.to_string()]);
+        t.row(["connections shed", &snap.connections_shed.to_string()]);
+        t.row(["worker restarts", &snap.worker_restarts.to_string()]);
+        t.row(["deadline expired", &snap.deadline_expired.to_string()]);
+        t.print("Service counters");
+    } else if line.contains("\"error\"") {
+        return Err("control request refused (see line above)".to_string());
+    }
+    Ok(())
 }
 
 /// `pra bench-serve`: closed-loop load generator against a running
@@ -406,10 +503,15 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 cfg.seed = parse_seed(v)?;
             }
             "--allow-shed" => allow_shed = true,
+            "--retries" => cfg.retries = flag_num(&mut it, "--retries")? as u32,
+            "--backoff-ms" => cfg.backoff_ms = flag_num(&mut it, "--backoff-ms")?.max(1) as u64,
             other => return Err(format!("unknown bench-serve flag '{other}'\n{USAGE}")),
         }
     }
-    println!("bench-serve: {} requests, window {}, against {}", cfg.requests, cfg.window, cfg.addr);
+    println!(
+        "bench-serve: {} requests, window {}, retries {}, against {}",
+        cfg.requests, cfg.window, cfg.retries, cfg.addr
+    );
     let (metrics, _responses) = bench::run_bench(&cfg)?;
     bench::metrics_table(&metrics).print("Serving latency (closed loop)");
     match bench::write_serve_report(&metrics) {

@@ -14,6 +14,7 @@
 //! | [`core`] | `pra-core` | the Pragmatic accelerator: PIPs, 2-stage shifting, synchronization |
 //! | [`energy`] | `pra-energy` | 65 nm area/power/energy model calibrated to Tables III/IV |
 //! | [`serve`] | `pra-serve` | batched simulation serving: admission queue, coalescing workers, TCP front end |
+//! | [`chaos`] | `pra-chaos` | deterministic fault injection (`PRA_CHAOS`) for the serving tier |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -30,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use pra_chaos as chaos;
 pub use pra_core as core;
 pub use pra_energy as energy;
 pub use pra_engines as engines;
