@@ -50,11 +50,21 @@ pub enum Site {
     SockWriteErr,
     /// Stall a connection's writer before a response line.
     SockStall,
+    /// Kill a serving shard mid-request: sever every live connection,
+    /// discard queued work unanswered, and stop accepting — the router
+    /// must fail the lost in-flight requests over to the fallback
+    /// shard. One-shot: fires at most once per armed plan, so a
+    /// cluster-wide plan can never take *every* replica down.
+    ShardKill,
+    /// Stall a router health probe past its heartbeat deadline (the
+    /// probe counts as failed, driving the UP → DEGRADED → DOWN state
+    /// machine without any shard actually misbehaving).
+    ProbeStall,
 }
 
 impl Site {
     /// Every site, in spec order.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 10] = [
         Site::CacheCorrupt,
         Site::CacheTruncate,
         Site::WorkerPanic,
@@ -63,6 +73,8 @@ impl Site {
         Site::SockReadErr,
         Site::SockWriteErr,
         Site::SockStall,
+        Site::ShardKill,
+        Site::ProbeStall,
     ];
 
     /// Stable spec/CLI label.
@@ -76,6 +88,8 @@ impl Site {
             Site::SockReadErr => "sock-read-err",
             Site::SockWriteErr => "sock-write-err",
             Site::SockStall => "sock-stall",
+            Site::ShardKill => "shard-kill",
+            Site::ProbeStall => "probe-stall",
         }
     }
 
@@ -90,8 +104,18 @@ impl Site {
         match self {
             Site::SlowSim => 25,
             Site::SockStall => 50,
+            Site::ProbeStall => 100,
             _ => 0,
         }
+    }
+
+    /// Whether the site fires at most once per armed plan, no matter
+    /// how many invocations draw a hit. A shard kill is terminal for
+    /// the shard that draws it; capping the plan at one kill keeps a
+    /// cluster-wide chaos run from taking every replica of a key down
+    /// at once (which would turn a failover test into an outage test).
+    pub fn one_shot(&self) -> bool {
+        matches!(self, Site::ShardKill)
     }
 
     fn index(&self) -> usize {
@@ -280,12 +304,18 @@ impl FaultPlan {
         // distinct draw index; no other memory is published through it.
         let n = sp.invocations.fetch_add(1, Ordering::Relaxed);
         let fire = self.draw(site, n) < sp.threshold;
-        if fire {
-            // relaxed-ok: monotonic stat counter; nothing synchronizes
-            // through it.
-            sp.fired.fetch_add(1, Ordering::Relaxed);
+        if !fire {
+            return false;
         }
-        fire
+        if site.one_shot() {
+            // relaxed-ok: the CAS itself elects the single winner; no
+            // other memory is published through the counter.
+            return sp.fired.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok();
+        }
+        // relaxed-ok: monotonic stat counter; nothing synchronizes
+        // through it.
+        sp.fired.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// The stall length configured for `site`.
@@ -481,6 +511,28 @@ mod tests {
         let fired = (0..4000).filter(|_| plan.fires(Site::CacheCorrupt)).count();
         assert!((800..=1200).contains(&fired), "0.25 rate fired {fired}/4000");
         assert_eq!(plan.fired_count(Site::CacheCorrupt) as usize, fired);
+    }
+
+    #[test]
+    fn one_shot_sites_fire_at_most_once_per_plan() {
+        let plan = FaultPlan::new(11).with_site(Site::ShardKill, 1.0, None);
+        let fired = (0..64).filter(|_| plan.fires(Site::ShardKill)).count();
+        assert_eq!(fired, 1, "rate-1 shard-kill must still fire exactly once");
+        assert_eq!(plan.fired_count(Site::ShardKill), 1);
+        // A fresh plan re-arms the kill — one shot per *plan*, not per
+        // process.
+        let again = FaultPlan::new(11).with_site(Site::ShardKill, 1.0, None);
+        assert!(again.fires(Site::ShardKill));
+    }
+
+    #[test]
+    fn new_site_labels_round_trip() {
+        for site in [Site::ShardKill, Site::ProbeStall] {
+            assert_eq!(Site::from_label(site.label()), Some(site));
+        }
+        let plan = FaultPlan::parse("seed=1,shard-kill=0.5,probe-stall=1").unwrap();
+        assert_eq!(plan.site_delay(Site::ProbeStall), Duration::from_millis(100));
+        assert!(plan.summary().contains("shard-kill=0.500"));
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl Config {
                     "crates/core/src",
                     "crates/engines/src",
                     "crates/lint/src",
+                    "crates/router/src",
                     "crates/serve/src",
                     "crates/sim/src",
                     "crates/workloads/src",
@@ -95,7 +96,8 @@ impl Config {
         // the serve latency split and linger window, the sweep's phase
         // timings, the client-side load generator, the cache's
         // stale-temp GC, the supervisor's deadline/wedge bookkeeping,
-        // and the chaos layer's injected stalls.
+        // the chaos layer's injected stalls, and the router's probe
+        // scheduling and heartbeat deadlines.
         rules.insert(
             "no-wall-clock".to_string(),
             with(
@@ -103,6 +105,7 @@ impl Config {
                 &[
                     "crates/bench/src/sweep.rs",
                     "crates/chaos/src",
+                    "crates/router/src",
                     "crates/serve/src/bench.rs",
                     "crates/serve/src/queue.rs",
                     "crates/serve/src/service.rs",
@@ -115,18 +118,21 @@ impl Config {
         // The serve request path: a malformed request or a poisoned
         // lock must shed or answer a typed error, never kill a worker.
         // (The one deliberate panic — the chaos worker-panic site —
-        // carries a written in-source allow-suppression.)
+        // carries a written in-source allow-suppression.) The router's
+        // data path is held to the same bar; its cluster module is
+        // bench/test scaffolding and exempt.
         rules.insert(
             "serve-no-panic".to_string(),
             with(
                 &[
+                    "crates/router/src",
                     "crates/serve/src/protocol.rs",
                     "crates/serve/src/queue.rs",
                     "crates/serve/src/server.rs",
                     "crates/serve/src/service.rs",
                     "crates/serve/src/supervisor.rs",
                 ],
-                &[],
+                &["crates/router/src/cluster.rs"],
             ),
         );
         rules.insert("relaxed-ordering-comment".to_string(), RuleCfg::default());
@@ -262,11 +268,16 @@ mod tests {
         assert!(cfg.rule("serve-no-panic").applies_to("crates/serve/src/queue.rs"));
         assert!(cfg.rule("serve-no-panic").applies_to("crates/serve/src/supervisor.rs"));
         assert!(!cfg.rule("serve-no-panic").applies_to("crates/serve/src/bench.rs"));
+        assert!(cfg.rule("serve-no-panic").applies_to("crates/router/src/router.rs"));
+        assert!(cfg.rule("serve-no-panic").applies_to("crates/router/src/health.rs"));
+        assert!(!cfg.rule("serve-no-panic").applies_to("crates/router/src/cluster.rs"));
         assert!(cfg.rule("no-wall-clock").applies_to("crates/core/src/schedule.rs"));
         assert!(!cfg.rule("no-wall-clock").applies_to("crates/serve/src/queue.rs"));
         assert!(!cfg.rule("no-wall-clock").applies_to("crates/serve/src/supervisor.rs"));
         assert!(!cfg.rule("no-wall-clock").applies_to("crates/chaos/src/lib.rs"));
+        assert!(!cfg.rule("no-wall-clock").applies_to("crates/router/src/health.rs"));
         assert!(cfg.rule("deterministic-iteration").applies_to("crates/bench/src/sweep.rs"));
+        assert!(cfg.rule("deterministic-iteration").applies_to("crates/router/src/router.rs"));
         assert!(cfg.rule("unsafe-safety-comment").applies_to("anything/at/all.rs"));
     }
 

@@ -1,0 +1,283 @@
+//! Per-shard health: the UP/DEGRADED/DOWN state machine the prober and
+//! the failover path both drive.
+//!
+//! The machine is deliberately small: a probe success puts a shard UP;
+//! one probe failure demotes UP → DEGRADED (still routable — a single
+//! missed heartbeat is usually a GC-shaped blip, and yanking traffic on
+//! it would turn every blip into a failover storm); a second
+//! consecutive failure demotes DEGRADED → DOWN (not routable). A hard
+//! connection failure observed by the data path skips the intermediate
+//! step via [`HealthBoard::mark_down`] — a dead socket is evidence, not
+//! suspicion. Every UP transition also compares the shard's reported
+//! boot epoch: a changed epoch under the same shard id means the shard
+//! restarted (cold artifact pool, in-flight work lost) even though no
+//! probe ever failed.
+//!
+//! Probe *scheduling* is seeded-deterministic: the jitter applied to
+//! the n-th probe round is a pure function of `(seed, round)` (same
+//! construction as `pra-chaos` draws), so two runs of a chaos scenario
+//! probe at the same offsets and the soak replays.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use pra_serve::{ControlRequest, StatsSnapshot};
+
+/// One shard's routability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Answering probes; routable.
+    Up,
+    /// Missed one heartbeat; still routable (primary for its keys).
+    Degraded,
+    /// Missed two consecutive heartbeats or hard-failed a connection;
+    /// not routable until a probe succeeds again.
+    Down,
+}
+
+const UP: u8 = 0;
+const DEGRADED: u8 = 1;
+const DOWN: u8 = 2;
+
+/// The shared health table: one state byte and one last-seen epoch per
+/// shard. Writers are the prober thread and any data-path thread that
+/// observes a hard failure; readers are every dispatch decision.
+#[derive(Debug)]
+pub struct HealthBoard {
+    states: Vec<AtomicU8>,
+    epochs: Vec<AtomicU64>,
+}
+
+impl HealthBoard {
+    /// A board for `shards` shards, all initially UP (optimistic start:
+    /// the first dispatch races the first probe round, and refusing all
+    /// traffic until a probe lands would shed the entire warmup).
+    pub fn new(shards: usize) -> HealthBoard {
+        HealthBoard {
+            states: (0..shards).map(|_| AtomicU8::new(UP)).collect(),
+            epochs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Shard count the board tracks.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the board tracks no shards.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// `shard`'s current state (DOWN for out-of-range ids, which can
+    /// never be routed to anyway).
+    pub fn state(&self, shard: usize) -> ShardHealth {
+        // relaxed-ok: health is advisory routing input; a stale read
+        // delays one failover decision by one probe period at worst.
+        match self.states.get(shard).map(|s| s.load(Ordering::Relaxed)) {
+            Some(UP) => ShardHealth::Up,
+            Some(DEGRADED) => ShardHealth::Degraded,
+            _ => ShardHealth::Down,
+        }
+    }
+
+    /// Whether dispatch must skip `shard`.
+    pub fn is_down(&self, shard: usize) -> bool {
+        self.state(shard) == ShardHealth::Down
+    }
+
+    /// Records a successful probe of `shard` reporting `epoch`.
+    /// Returns `true` when the shard visibly *restarted* (same id, new
+    /// epoch) — callers may want to log it; routing needs no action
+    /// (the shard is UP either way, just cold).
+    pub fn mark_probe_ok(&self, shard: usize, epoch: u64) -> bool {
+        if let Some(s) = self.states.get(shard) {
+            // relaxed-ok: see `state`.
+            s.store(UP, Ordering::Relaxed);
+        }
+        match self.epochs.get(shard) {
+            Some(e) => {
+                // relaxed-ok: the epoch cell is an advisory last-seen
+                // value; the swap just makes read-and-update one step.
+                let prev = e.swap(epoch, Ordering::Relaxed);
+                prev != 0 && prev != epoch
+            }
+            None => false,
+        }
+    }
+
+    /// Records a failed probe of `shard`: UP → DEGRADED → DOWN.
+    /// Returns `true` when this failure *transitioned* the shard to
+    /// DOWN (the caller re-dispatches that shard's in-flight work).
+    pub fn mark_probe_failed(&self, shard: usize) -> bool {
+        let Some(s) = self.states.get(shard) else { return false };
+        // relaxed-ok: the CAS chain only moves one state machine whose
+        // exact interleaving with routing reads is immaterial (a racing
+        // dispatch to a just-downed shard is caught by the data path).
+        if s.compare_exchange(UP, DEGRADED, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            return false;
+        }
+        // relaxed-ok: see above.
+        s.compare_exchange(DEGRADED, DOWN, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    }
+
+    /// Hard-downs `shard` (a data-path connection died — stronger
+    /// evidence than a missed heartbeat, no DEGRADED stopover).
+    /// Returns `true` when this call made the transition (exactly one
+    /// caller wins, so the re-dispatch sweep runs once per outage).
+    pub fn mark_down(&self, shard: usize) -> bool {
+        let Some(s) = self.states.get(shard) else { return false };
+        // relaxed-ok: see `mark_probe_failed`.
+        s.swap(DOWN, Ordering::Relaxed) != DOWN
+    }
+
+    /// (up, degraded, down) counts for the router stats line.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        let (mut up, mut degraded, mut down) = (0, 0, 0);
+        for i in 0..self.states.len() {
+            match self.state(i) {
+                ShardHealth::Up => up += 1,
+                ShardHealth::Degraded => degraded += 1,
+                ShardHealth::Down => down += 1,
+            }
+        }
+        (up, degraded, down)
+    }
+}
+
+/// Probe timing knobs.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Base interval between probe rounds.
+    pub interval: Duration,
+    /// Heartbeat deadline: connect + stats round trip must finish
+    /// inside it or the probe counts as failed — including time lost
+    /// to the chaos `probe-stall` site, which is the point of that
+    /// site.
+    pub deadline: Duration,
+    /// Seed for the deterministic probe jitter.
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            interval: Duration::from_millis(100),
+            deadline: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+}
+
+/// Deterministic jitter for probe round `round`: a pure function of
+/// `(seed, round)` in `[0, interval/4]`, so probe schedules replay
+/// across runs of a seeded scenario (no wall-clock entropy).
+pub fn probe_jitter(seed: u64, round: u64, interval: Duration) -> Duration {
+    let mut z = seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let span = (interval.as_millis() / 4) as u64;
+    Duration::from_millis(if span == 0 { 0 } else { z % (span + 1) })
+}
+
+/// One heartbeat: connect, send `{"ctl": "stats"}`, read the snapshot —
+/// all inside `deadline` (wall-clock overall, not just per syscall).
+/// The chaos `probe-stall` site stalls at the top, so a stall longer
+/// than the deadline fails the probe even though the shard itself is
+/// healthy — the seeded way to exercise DEGRADED/DOWN without killing
+/// anything.
+///
+/// # Errors
+///
+/// A message naming the failing step; every error counts as one missed
+/// heartbeat.
+pub fn probe_once(addr: &SocketAddr, deadline: Duration) -> Result<StatsSnapshot, String> {
+    let started = Instant::now();
+    pra_chaos::stall(pra_chaos::Site::ProbeStall);
+    let stream = TcpStream::connect_timeout(addr, deadline)
+        .map_err(|e| format!("probe connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(deadline)).map_err(|e| format!("probe deadline: {e}"))?;
+    stream.set_write_timeout(Some(deadline)).map_err(|e| format!("probe deadline: {e}"))?;
+    let mut out = stream.try_clone().map_err(|e| format!("probe clone: {e}"))?;
+    out.write_all((ControlRequest::Stats.to_json_line() + "\n").as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("probe send {addr}: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).map_err(|e| format!("probe read {addr}: {e}"))?;
+    if reply.is_empty() {
+        return Err(format!("probe {addr}: connection closed before the snapshot"));
+    }
+    let snap = StatsSnapshot::parse(&reply).map_err(|e| format!("probe {addr}: {e}"))?;
+    if started.elapsed() > deadline {
+        return Err(format!("probe {addr}: heartbeat exceeded {deadline:?}"));
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_machine_degrades_then_downs_and_recovers() {
+        let b = HealthBoard::new(2);
+        assert_eq!(b.state(0), ShardHealth::Up);
+        assert!(!b.mark_probe_failed(0), "first miss only degrades");
+        assert_eq!(b.state(0), ShardHealth::Degraded);
+        assert!(!b.is_down(0), "degraded is still routable");
+        assert!(b.mark_probe_failed(0), "second consecutive miss downs");
+        assert_eq!(b.state(0), ShardHealth::Down);
+        assert!(!b.mark_probe_failed(0), "already down: no new transition");
+        assert!(!b.mark_probe_ok(0, 7), "recovery, first epoch seen");
+        assert_eq!(b.state(0), ShardHealth::Up);
+        assert_eq!(b.state(1), ShardHealth::Up, "other shards untouched");
+    }
+
+    #[test]
+    fn hard_down_skips_degraded_and_wins_once() {
+        let b = HealthBoard::new(1);
+        assert!(b.mark_down(0), "first caller makes the transition");
+        assert!(!b.mark_down(0), "second caller sees it already down");
+        assert_eq!(b.counts(), (0, 0, 1));
+        assert!(b.is_down(9), "out-of-range shards are never routable");
+        assert!(!b.mark_down(9));
+    }
+
+    #[test]
+    fn epoch_change_reports_a_restart() {
+        let b = HealthBoard::new(1);
+        assert!(!b.mark_probe_ok(0, 100), "first sighting is not a restart");
+        assert!(!b.mark_probe_ok(0, 100), "stable epoch is not a restart");
+        assert!(b.mark_probe_ok(0, 101), "epoch bump is a restart");
+        assert_eq!(b.state(0), ShardHealth::Up, "a restarted shard is up, just cold");
+    }
+
+    #[test]
+    fn probe_jitter_is_deterministic_and_bounded() {
+        let interval = Duration::from_millis(100);
+        for round in 0..64 {
+            let j = probe_jitter(7, round, interval);
+            assert_eq!(j, probe_jitter(7, round, interval), "pure function of (seed, round)");
+            assert!(j <= interval / 4, "jitter bounded by a quarter interval");
+        }
+        let distinct: std::collections::BTreeSet<_> =
+            (0..64).map(|r| probe_jitter(7, r, interval)).collect();
+        assert!(distinct.len() > 4, "jitter actually varies across rounds");
+        assert_eq!(probe_jitter(7, 3, Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn probe_of_nothing_fails_cleanly() {
+        // Bind-then-drop reserves an address nobody is listening on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let err = probe_once(&addr, Duration::from_millis(250)).unwrap_err();
+        assert!(err.contains("probe"), "error names the probe step: {err}");
+    }
+}

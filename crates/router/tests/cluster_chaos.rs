@@ -1,0 +1,250 @@
+//! Cluster-level chaos (DESIGN.md §13): a router in front of real shard
+//! servers, asserting the sharding tier's invariants —
+//!
+//!  1. transparency: benching through the router produces the same
+//!     response digest as benching a bare single server, and the digest
+//!     is identical across 1/2/4-shard topologies;
+//!  2. failover: killing a shard mid-run (`shard-kill`) loses no
+//!     request — the router re-issues lost work on the fallback shard
+//!     and every request still converges to the golden bits;
+//!  3. health: probe deadline violations (`probe-stall`) flip shards to
+//!     DOWN and probes flip them back UP, without a byte of response
+//!     difference before or after;
+//!  4. typed exhaustion: a key whose whole replica set is down answers
+//!     `shed:no_shard` (retryable), never hangs and never errors;
+//!  5. drain: one `{"ctl": "drain"}` at the router winds the whole
+//!     cluster down within a bound, dead shards included.
+//!
+//! Lives in its own integration binary because the fault plan is
+//! process-global; a `static` mutex serializes the tests on top.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use pra_chaos::{FaultPlan, Site};
+use pra_core::Fidelity;
+use pra_router::cluster::{control_line, digests_match, run_cluster_bench};
+use pra_router::{Cluster, ClusterConfig, ProbeConfig, Router, RouterConfig};
+use pra_serve::protocol::json_num_field;
+use pra_serve::{run_bench, BenchConfig, ControlRequest, ServeConfig, ServeMetrics, Server};
+
+/// Serializes the tests in this binary around the global fault plan.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+const SCENARIO_DEADLINE: Duration = Duration::from_secs(60);
+
+fn server_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        queue_depth: 64,
+        linger: Duration::from_millis(2),
+        fidelity: Fidelity::Sampled { max_pallets: 2 },
+        use_cache: false,
+        cache_dir: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn cluster_cfg(shards: usize) -> ClusterConfig {
+    ClusterConfig {
+        shards,
+        replicas: 2,
+        serve: server_cfg(),
+        probe: ProbeConfig {
+            interval: Duration::from_millis(25),
+            deadline: Duration::from_millis(250),
+            seed: 0x9D,
+        },
+    }
+}
+
+fn bench_cfg(addr: String, retries: u32) -> BenchConfig {
+    BenchConfig {
+        addr,
+        requests: 12,
+        window: 4,
+        seed: 0x50_AF_CA_FE,
+        connect_timeout: Duration::from_secs(10),
+        retries,
+        backoff_ms: 5,
+    }
+}
+
+/// The golden fingerprint: the same 12-request bench against a bare
+/// single server, no router anywhere. Everything the router serves must
+/// be byte-identical to this.
+fn golden() -> ServeMetrics {
+    pra_chaos::disarm();
+    let server = Server::bind("127.0.0.1:0", server_cfg()).expect("bind golden server");
+    let addr = server.local_addr().expect("addr").to_string();
+    let join = std::thread::spawn(move || server.run_once());
+    let (m, _) = run_bench(&bench_cfg(addr.clone(), 0)).expect("golden bench");
+    assert_eq!((m.ok, m.shed, m.errors), (12, 0, 0), "golden run must be clean");
+    let reply = control_line(&addr.parse().expect("addr"), ControlRequest::Drain)
+        .expect("drain golden server");
+    assert!(reply.contains("\"status\": \"stats\""), "drain answers a snapshot: {reply}");
+    join_within(join, "golden server");
+    m
+}
+
+fn join_within(handle: std::thread::JoinHandle<std::io::Result<()>>, what: &str) {
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while !handle.is_finished() {
+        assert!(Instant::now() < deadline, "{what} failed to stop within bound (hang)");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle
+        .join()
+        .unwrap_or_else(|_| panic!("{what} panicked"))
+        .unwrap_or_else(|e| panic!("{what} errored: {e}"));
+}
+
+/// Reads one numeric field out of a `router_stats` reply.
+fn stat(addr: &SocketAddr, key: &str) -> u64 {
+    let line = control_line(addr, ControlRequest::Stats).expect("router stats");
+    assert!(line.contains("\"status\": \"router_stats\""), "router stats line: {line}");
+    json_num_field(&line, key).unwrap_or_else(|| panic!("stats missing {key}: {line}")) as u64
+}
+
+#[test]
+fn topologies_serve_bytes_identical_to_a_bare_server() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let golden = golden();
+
+    let rows = run_cluster_bench(&[1, 2, 4], &bench_cfg(String::new(), 0), &cluster_cfg(0), None)
+        .expect("cluster bench across topologies");
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert_eq!(
+            (row.metrics.ok, row.metrics.shed, row.metrics.errors),
+            (12, 0, 0),
+            "{} shard(s): clean run",
+            row.shards
+        );
+        assert_eq!(
+            row.metrics.digest, golden.digest,
+            "{} shard(s): router must be byte-transparent",
+            row.shards
+        );
+    }
+    assert!(digests_match(&rows));
+}
+
+#[test]
+fn shard_kill_mid_run_converges_to_golden_via_failover() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let golden = golden();
+
+    let cluster = Cluster::start(&cluster_cfg(2)).expect("boot 2-shard cluster");
+    let addr = cluster.addr();
+    // Rate 1.0 + one-shot semantics: exactly one shard dies, on the
+    // first request line it reads — mid-run by construction, since the
+    // bench keeps a window of 4 in flight.
+    pra_chaos::arm(FaultPlan::new(0x8B).with_site(Site::ShardKill, 1.0, None));
+    let bench = run_bench(&bench_cfg(addr.to_string(), 8));
+    pra_chaos::disarm();
+    let (m, _) = bench.expect("bench through the kill");
+
+    assert_eq!(m.ok, 12, "every request must converge to ok (retried {})", m.retries);
+    assert_eq!((m.shed, m.errors), (0, 0), "no terminal sheds or errors");
+    assert_eq!(m.digest, golden.digest, "failed-over responses must carry golden bits");
+    assert!(
+        stat(&addr, "failovers") >= 1,
+        "the router must have re-issued the killed shard's in-flight work"
+    );
+    // Hard data-path evidence downs the shard during failover; probes
+    // can lag by a round, so poll rather than assert instantly.
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while stat(&addr, "down") != 1 {
+        assert!(Instant::now() < deadline, "the killed shard was never marked down");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cluster.shutdown().expect("drain winds the cluster down, dead shard included");
+}
+
+#[test]
+fn probe_stall_flips_health_both_ways_without_byte_changes() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    let golden = golden();
+
+    // A tight heartbeat deadline the injected stall always violates.
+    let mut cfg = cluster_cfg(2);
+    cfg.probe.deadline = Duration::from_millis(40);
+    let cluster = Cluster::start(&cfg).expect("boot 2-shard cluster");
+    let addr = cluster.addr();
+
+    // Every probe stalls past its deadline: two consecutive misses per
+    // shard must walk both shards UP → DEGRADED → DOWN, with nothing
+    // actually wrong on the data path.
+    pra_chaos::arm(FaultPlan::new(0x5A).with_site(Site::ProbeStall, 1.0, Some(120)));
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while stat(&addr, "down") < 2 {
+        assert!(Instant::now() < deadline, "shards never reached DOWN under probe-stall");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Disarmed, the next successful probe per shard recovers it.
+    pra_chaos::disarm();
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while stat(&addr, "up") < 2 {
+        assert!(Instant::now() < deadline, "shards never recovered after probe-stall");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Health flapped both ways; the bytes never moved.
+    let (m, _) = run_bench(&bench_cfg(addr.to_string(), 0)).expect("bench after recovery");
+    assert_eq!((m.ok, m.shed, m.errors), (12, 0, 0));
+    assert_eq!(m.digest, golden.digest, "health transitions must not change response bytes");
+    cluster.shutdown().expect("clean drain");
+}
+
+#[test]
+fn exhausted_replica_set_sheds_no_shard_and_still_drains() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    pra_chaos::disarm();
+
+    // Two bind-then-dropped addresses: every shard of every replica set
+    // is down before the first request.
+    let dead = |_: usize| -> String {
+        let l = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        l.local_addr().expect("addr").to_string()
+    };
+    let cfg = RouterConfig {
+        shards: vec![dead(0), dead(1)],
+        replicas: 2,
+        probe: ProbeConfig {
+            interval: Duration::from_millis(25),
+            deadline: Duration::from_millis(100),
+            seed: 0x11,
+        },
+        ..RouterConfig::default()
+    };
+    let router = Router::bind("127.0.0.1:0", cfg).expect("bind router");
+    let addr = router.local_addr().expect("addr");
+    let join = std::thread::spawn(move || router.run_once());
+
+    // No retries: the typed shed is the final outcome under test. The
+    // reason is retryable by contract — probes would bring a recovered
+    // shard back — there just is nothing to recover here.
+    let (m, responses) = run_bench(&bench_cfg(addr.to_string(), 0)).expect("bench to nowhere");
+    assert_eq!((m.ok, m.shed, m.errors), (0, 12, 0), "all requests shed, none hang or error");
+    for resp in &responses {
+        match resp {
+            pra_serve::Response::Shed { reason, .. } => {
+                assert_eq!(reason.label(), "no_shard");
+                assert!(reason.retryable(), "no_shard must invite a backed-off retry");
+            }
+            other => panic!("expected shed:no_shard, got {other:?}"),
+        }
+    }
+    assert_eq!(stat(&addr, "no_shard"), 12);
+    assert_eq!(stat(&addr, "down"), 2);
+
+    // Drain still answers and stops the router even with every shard
+    // unreachable (propagation is best-effort by design).
+    let reply = control_line(&addr, ControlRequest::Drain).expect("drain router");
+    assert!(reply.contains("\"status\": \"router_stats\""), "{reply}");
+    join_within(join, "router over dead shards");
+}

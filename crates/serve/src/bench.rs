@@ -229,6 +229,12 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
         let (resp, at) = rx
             .recv_timeout(Duration::from_secs(120))
             .map_err(|e| format!("no response within 120s ({e}); {done}/{n} done"))??;
+        // The bench only ever sends well-formed numeric ids, so a
+        // malformed-id error (string-typed id echo) is a protocol
+        // violation, not a per-request outcome.
+        if let Response::MalformedId { raw_id, message } = &resp {
+            return Err(format!("server rejected a request line (id text '{raw_id}'): {message}"));
+        }
         let id = resp.id() as usize;
         if id >= n || responses[id].is_some() {
             return Err(format!("unexpected response id {id}"));
@@ -300,6 +306,12 @@ fn summarize(
                 errors += 1;
                 fingerprint.push_str(&format!("error:{message}"));
             }
+            Response::MalformedId { message, .. } => {
+                // Unreachable through run_bench (it errors out first);
+                // counted defensively for direct callers.
+                errors += 1;
+                fingerprint.push_str(&format!("error:{message}"));
+            }
         }
         fingerprint.push('\n');
     }
@@ -358,18 +370,25 @@ pub fn serve_section(m: &ServeMetrics) -> String {
     )
 }
 
-/// Merges a serve section into a `bench.json` document: the existing
-/// sweep content (phase timings, rows) is preserved, a previous serve
-/// line is replaced. With no existing document a minimal versioned one
-/// is created. Both paths produce the section as a single line directly
-/// after the opening brace, which is also what makes replacement exact.
+/// Merges a one-line section into a `bench.json` document: the existing
+/// content (sweep phase timings, other sections) is preserved, a
+/// previous line under the *same key* is replaced. The key is whatever
+/// the section line names — `"serve":` for the single-server bench,
+/// `"cluster":` for the topology sweep — so each producer owns its own
+/// line. With no existing document a minimal versioned one is created.
+/// Both paths produce the section as a single line directly after the
+/// opening brace, which is also what makes replacement exact.
 pub fn merge_bench_json(existing: Option<&str>, section_line: &str) -> String {
+    let key = match section_line.trim_start().split_once(':') {
+        Some((k, _)) => format!("{k}:"),
+        None => "\"serve\":".to_string(),
+    };
     match existing {
         Some(body) if body.trim_start().starts_with('{') => {
             let mut out = String::with_capacity(body.len() + section_line.len() + 1);
             let mut inserted = false;
             for line in body.lines() {
-                if line.trim_start().starts_with("\"serve\":") {
+                if line.trim_start().starts_with(&key) {
                     continue; // replaced below
                 }
                 out.push_str(line);
@@ -545,5 +564,21 @@ mod tests {
         let fresh = merge_bench_json(None, &serve_section(&m));
         assert!(fresh.contains("\"schema_version\""));
         assert_eq!(fresh.matches("\"serve\":").count(), 1);
+    }
+
+    #[test]
+    fn merge_keys_sections_independently() {
+        let m = summarize(&[ok(0, "aaa")], vec![1.0], 10.0, 1, 0);
+        let with_serve = merge_bench_json(None, &serve_section(&m));
+        let cluster_line = "  \"cluster\": {\"topologies\": 3},";
+        // A cluster section lands next to the serve one…
+        let both = merge_bench_json(Some(&with_serve), cluster_line);
+        assert_eq!(both.matches("\"serve\":").count(), 1);
+        assert_eq!(both.matches("\"cluster\":").count(), 1);
+        // …and re-merging either replaces only its own line.
+        let re_cluster = merge_bench_json(Some(&both), "  \"cluster\": {\"topologies\": 4},");
+        assert_eq!(re_cluster.matches("\"cluster\":").count(), 1);
+        assert!(re_cluster.contains("\"topologies\": 4"));
+        assert_eq!(re_cluster.matches("\"serve\":").count(), 1, "serve section untouched");
     }
 }

@@ -42,6 +42,10 @@ pub enum ShedReason {
     /// answered on its behalf. Retryable — the respawned worker serves
     /// the retry.
     WorkerLost,
+    /// Every shard in the request key's replica set is down; the router
+    /// answered on the cluster's behalf. Retryable — health probes
+    /// bring recovered shards back, so a backed-off retry can land.
+    NoShard,
 }
 
 impl ShedReason {
@@ -53,6 +57,7 @@ impl ShedReason {
             ShedReason::Overloaded => "overloaded",
             ShedReason::Deadline => "deadline",
             ShedReason::WorkerLost => "worker_lost",
+            ShedReason::NoShard => "no_shard",
         }
     }
 
@@ -117,6 +122,13 @@ pub struct StatsSnapshot {
     pub worker_restarts: u64,
     /// Requests answered `shed:deadline` past their deadline.
     pub deadline_expired: u64,
+    /// This process's shard id within a cluster (0 when standalone).
+    pub shard: u64,
+    /// This process's epoch — a per-boot value (the process id by
+    /// default) that changes when the shard restarts, so the router's
+    /// health probes can tell "same shard, rebooted" from "same shard,
+    /// still up".
+    pub epoch: u64,
 }
 
 impl StatsSnapshot {
@@ -125,7 +137,8 @@ impl StatsSnapshot {
         format!(
             "{{\"status\": \"stats\", \"accepted\": {}, \"shed\": {}, \"batches\": {}, \
              \"answered\": {}, \"pool_hits\": {}, \"live_connections\": {}, \
-             \"connections_shed\": {}, \"worker_restarts\": {}, \"deadline_expired\": {}}}",
+             \"connections_shed\": {}, \"worker_restarts\": {}, \"deadline_expired\": {}, \
+             \"shard\": {}, \"epoch\": {}}}",
             self.accepted,
             self.shed,
             self.batches,
@@ -135,6 +148,8 @@ impl StatsSnapshot {
             self.connections_shed,
             self.worker_restarts,
             self.deadline_expired,
+            self.shard,
+            self.epoch,
         )
     }
 
@@ -160,6 +175,10 @@ impl StatsSnapshot {
             connections_shed: num("connections_shed")?,
             worker_restarts: num("worker_restarts")?,
             deadline_expired: num("deadline_expired")?,
+            // Added after the v1 wire format shipped: default 0 so a
+            // newer client can still read an older shard's snapshot.
+            shard: json_num_field(line, "shard").map_or(0, |v| v as u64),
+            epoch: json_num_field(line, "epoch").map_or(0, |v| v as u64),
         })
     }
 }
@@ -287,19 +306,25 @@ pub fn json_str_field(line: &str, key: &str) -> Option<String> {
 ///
 /// Returns a message naming the problem and quoting the raw id text.
 pub fn request_id(line: &str) -> Result<u64, String> {
+    let raw = raw_id_token(line).ok_or("missing numeric \"id\"")?;
+    raw.parse::<u64>().map_err(|_| format!("invalid \"id\" '{raw}' (expected an integer ≤ u64)"))
+}
+
+/// The raw token following `"id":`, exactly as it appears on the wire
+/// (up to the next delimiter) — what [`request_id`] parses, preserved
+/// verbatim so a rejected line's error response can echo the id text
+/// the client actually sent instead of fabricating a numeric id.
+/// `None` when the line has no id field at all.
+pub fn raw_id_token(line: &str) -> Option<String> {
     let needle = "\"id\":";
-    let rest = line
-        .find(needle)
-        .and_then(|at| line.get(at + needle.len()..))
-        .ok_or("missing numeric \"id\"")?
-        .trim_start();
+    let rest = line.find(needle).and_then(|at| line.get(at + needle.len()..))?.trim_start();
     let end =
         rest.find(|c: char| c.is_whitespace() || matches!(c, ',' | '}')).unwrap_or(rest.len());
     let raw = rest.get(..end).unwrap_or(rest);
     if raw.is_empty() {
-        return Err("missing numeric \"id\"".to_string());
+        return None;
     }
-    raw.parse::<u64>().map_err(|_| format!("invalid \"id\" '{raw}' (expected an integer ≤ u64)"))
+    Some(raw.to_string())
 }
 
 /// Extracts the number following `"key":` in a flat JSON object.
@@ -413,6 +438,18 @@ pub enum Response {
         /// What went wrong.
         message: String,
     },
+    /// The request line was rejected *and* carried no trustworthy
+    /// numeric id, so the raw id text is echoed back as a JSON string.
+    /// This keeps two concurrent malformed lines from colliding on a
+    /// fabricated numeric id (the pre-v1.1 behavior defaulted to 0,
+    /// which could impersonate a real request using id 0).
+    MalformedId {
+        /// The raw id token exactly as it appeared on the wire
+        /// (`"<missing>"` when the line had no id field at all).
+        raw_id: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 /// The canonical digest of a simulated response: everything the
@@ -445,10 +482,14 @@ pub fn hex(bytes: &[u8]) -> String {
 }
 
 impl Response {
-    /// The echoed request id, whatever the outcome.
+    /// The echoed request id, whatever the outcome. A
+    /// [`Response::MalformedId`] has no numeric id by definition and
+    /// answers 0 here; callers that must not conflate it with a real
+    /// id 0 should match the variant instead.
     pub fn id(&self) -> u64 {
         match self {
             Response::Ok { id, .. } | Response::Shed { id, .. } | Response::Error { id, .. } => *id,
+            Response::MalformedId { .. } => 0,
         }
     }
 
@@ -487,6 +528,16 @@ impl Response {
             }
             Response::Error { id, message } => {
                 format!("{{\"id\": {id}, \"status\": \"error\", \"message\": {}}}", js(message))
+            }
+            Response::MalformedId { raw_id, message } => {
+                // The id is a JSON *string* here — the one response
+                // shape where it is not a number — so the client can
+                // tell "your id was unusable" from "request 0 failed".
+                format!(
+                    "{{\"id\": {}, \"status\": \"error\", \"message\": {}}}",
+                    js(raw_id),
+                    js(message)
+                )
             }
         }
     }
@@ -532,14 +583,20 @@ impl Response {
                     Some("overloaded") => ShedReason::Overloaded,
                     Some("deadline") => ShedReason::Deadline,
                     Some("worker_lost") => ShedReason::WorkerLost,
+                    Some("no_shard") => ShedReason::NoShard,
                     _ => ShedReason::QueueFull,
                 };
                 Ok(Response::Shed { id, reason })
             }
-            Some("error") => Ok(Response::Error {
-                id,
-                message: json_str_field(line, "message").unwrap_or_default(),
-            }),
+            Some("error") => {
+                let message = json_str_field(line, "message").unwrap_or_default();
+                // A string-typed id marks the malformed-id shape (a
+                // numeric id never renders with quotes).
+                match json_str_field(line, "id") {
+                    Some(raw_id) => Ok(Response::MalformedId { raw_id, message }),
+                    None => Ok(Response::Error { id, message }),
+                }
+            }
             other => Err(format!("unrecognized response status {other:?} in: {line}")),
         }
     }
@@ -670,9 +727,15 @@ mod tests {
             connections_shed: 5,
             worker_restarts: 1,
             deadline_expired: 2,
+            shard: 3,
+            epoch: 4,
         };
         assert_eq!(StatsSnapshot::parse(&snap.to_json_line()).unwrap(), snap);
         assert!(StatsSnapshot::parse("{\"status\": \"ok\"}").is_err());
+        // Pre-cluster snapshots carry no shard/epoch; they parse as 0.
+        let legacy = StatsSnapshot { shard: 0, epoch: 0, ..snap };
+        let line = snap.to_json_line().replace(", \"shard\": 3, \"epoch\": 4", "");
+        assert_eq!(StatsSnapshot::parse(&line).unwrap(), legacy);
     }
 
     #[test]
@@ -683,11 +746,31 @@ mod tests {
             ShedReason::Overloaded,
             ShedReason::Deadline,
             ShedReason::WorkerLost,
+            ShedReason::NoShard,
         ] {
             let shed = Response::Shed { id: 1, reason };
             assert_eq!(Response::parse(&shed.to_json_line()).unwrap(), shed);
             assert_eq!(reason.retryable(), reason != ShedReason::ShuttingDown);
         }
+    }
+
+    #[test]
+    fn malformed_id_echoes_raw_text_and_round_trips() {
+        let resp =
+            Response::MalformedId { raw_id: "1.5".to_string(), message: "bad id".to_string() };
+        let line = resp.to_json_line();
+        assert!(line.contains("\"id\": \"1.5\""), "raw id renders as a JSON string: {line}");
+        assert_eq!(Response::parse(&line).unwrap(), resp);
+        assert_eq!(resp.id(), 0, "no numeric id to echo");
+        // A numeric-id error still parses as the plain Error variant.
+        let err = Response::Error { id: 3, message: "boom".to_string() };
+        assert_eq!(Response::parse(&err.to_json_line()).unwrap(), err);
+        // Two concurrent malformed lines stay distinguishable.
+        let other =
+            Response::MalformedId { raw_id: "-7".to_string(), message: "bad id".to_string() };
+        assert_ne!(resp.to_json_line(), other.to_json_line());
+        assert_eq!(raw_id_token("{\"id\": 1.5e3, \"x\": 1}").as_deref(), Some("1.5e3"));
+        assert_eq!(raw_id_token("{\"x\": 1}"), None);
     }
 
     #[test]

@@ -59,6 +59,14 @@ pub struct ServeConfig {
     /// treats it as wedged and spawns a supplemental worker (threads
     /// cannot be killed; the wedged batch ages out via deadlines).
     pub wedge_timeout: Duration,
+    /// This process's shard id within a cluster (reported in stats
+    /// snapshots so the router can confirm which shard answered a
+    /// probe). 0 when standalone.
+    pub shard: u64,
+    /// This process's boot epoch (reported in stats snapshots; a
+    /// change under an unchanged shard id tells the router the shard
+    /// restarted and its artifact pool is cold). 0 when standalone.
+    pub epoch: u64,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +82,8 @@ impl Default for ServeConfig {
             deadline: None,
             max_connections: 64,
             wedge_timeout: Duration::from_secs(30),
+            shard: 0,
+            epoch: 0,
         }
     }
 }
@@ -214,6 +224,23 @@ impl RequestQueue {
         self.lock().closed
     }
 
+    /// Abrupt close: discards every queued (not-yet-batched) request
+    /// *without answering it* and closes the queue. This is the
+    /// shard-kill path — the killed shard's connections were already
+    /// severed, so the dropped requests' response channels point at
+    /// nothing; the router observes the dead connection and re-issues
+    /// the work on the fallback shard. Returns how many requests were
+    /// discarded.
+    pub fn abort(&self) -> usize {
+        let mut g = self.lock();
+        g.closed = true;
+        let dropped = g.queue.len();
+        g.queue.clear();
+        drop(g);
+        self.available.notify_all();
+        dropped
+    }
+
     /// Blocks for the next batch: seeds it with the oldest request,
     /// coalesces up to `max_batch` key-compatible requests, lingering up
     /// to `linger` for stragglers when not yet full. `None` once the
@@ -306,6 +333,19 @@ mod tests {
         assert_eq!(q.submit(req(1, Network::NiN, "Stripes", 1), tx), Err(ShedReason::ShuttingDown));
         assert_eq!(q.next_batch(8, Duration::from_secs(5)).unwrap().requests.len(), 1);
         assert!(q.next_batch(8, Duration::ZERO).is_none(), "closed + drained returns None");
+    }
+
+    #[test]
+    fn abort_discards_queued_work_and_closes() {
+        let q = RequestQueue::new(8);
+        let (tx, _rx) = channel();
+        q.submit(req(0, Network::NiN, "DaDN", 1), tx.clone()).unwrap();
+        q.submit(req(1, Network::NiN, "DaDN", 1), tx.clone()).unwrap();
+        assert_eq!(q.abort(), 2, "both queued requests are discarded");
+        assert!(q.is_closed());
+        assert!(q.is_empty());
+        assert_eq!(q.submit(req(2, Network::NiN, "DaDN", 1), tx), Err(ShedReason::ShuttingDown));
+        assert!(q.next_batch(8, Duration::ZERO).is_none(), "workers see closed + empty");
     }
 
     #[test]

@@ -20,14 +20,15 @@
 //! refuses it with an error line, so a stray client cannot take the
 //! service down.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use crate::protocol::{request_id, ControlRequest, Request, Response, ShedReason};
+use crate::protocol::{raw_id_token, request_id, ControlRequest, Request, Response, ShedReason};
 use crate::queue::ServeConfig;
 use crate::service::SimService;
 
@@ -47,6 +48,34 @@ struct ServerCtl {
     /// The bound address — a drain wakes the blocking `accept` by
     /// making one throwaway connection to it.
     addr: SocketAddr,
+    /// Live connection streams by accept serial, registered by the
+    /// accept loop and deregistered by each handler on exit — the
+    /// chaos `shard-kill` site severs them all at once.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+}
+
+impl ServerCtl {
+    /// Locks the connection table, recovering from poisoning: stream
+    /// handles are plain data and the kill path must keep working
+    /// after any panic.
+    fn lock_conns(&self) -> MutexGuard<'_, BTreeMap<u64, TcpStream>> {
+        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Abrupt shard death (the chaos `shard-kill` site): stop
+    /// accepting and sever every live connection mid-stream — clients
+    /// see an EOF/reset with responses still owed, which is exactly
+    /// the signal the router's failover turns into a re-issue on the
+    /// fallback shard. The caller aborts the service queue itself.
+    fn kill(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let conns = std::mem::take(&mut *self.lock_conns());
+        for stream in conns.into_values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the blocking accept so it observes the drain flag.
+        let _ = TcpStream::connect(self.addr);
+    }
 }
 
 impl Server {
@@ -106,9 +135,11 @@ impl Server {
             draining: AtomicBool::new(false),
             once,
             addr: self.local_addr()?,
+            conns: Mutex::new(BTreeMap::new()),
         });
         let max_connections = self.svc.config().max_connections.max(1) as u64;
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        let mut conn_serial: u64 = 0;
         for stream in self.listener.incoming() {
             if ctl.draining.load(Ordering::SeqCst) {
                 // The wake-up connection (or any later one) lands here;
@@ -144,13 +175,22 @@ impl Server {
 
             // relaxed-ok: admission gauge (see the load above).
             self.svc.stats().live_connections.fetch_add(1, Ordering::Relaxed);
+            conn_serial += 1;
+            let serial = conn_serial;
+            if let Ok(clone) = stream.try_clone() {
+                ctl.lock_conns().insert(serial, clone);
+            }
             let svc = Arc::clone(&self.svc);
             let ctl = Arc::clone(&ctl);
             handles.push(std::thread::spawn(move || {
-                let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "<unknown>".to_string());
                 if let Err(e) = handle_connection(stream, &svc, &ctl) {
                     eprintln!("pra-serve: connection {peer}: {e}");
                 }
+                ctl.lock_conns().remove(&serial);
                 // relaxed-ok: admission gauge (see the load above).
                 svc.stats().live_connections.fetch_sub(1, Ordering::Relaxed);
             }));
@@ -215,6 +255,15 @@ fn handle_connection(
                 "chaos: injected socket read error (site sock-read-err)",
             ));
         }
+        if pra_chaos::fires(pra_chaos::Site::ShardKill) {
+            // Abrupt shard death: discard queued work unanswered, sever
+            // every live connection (including this one), stop
+            // accepting. The router observes the dead connections and
+            // fails the lost requests over to the fallback shard.
+            svc.abort();
+            ctl.kill();
+            return Err(std::io::Error::other("chaos: injected shard kill (site shard-kill)"));
+        }
         let line = line?;
         if line.trim().is_empty() {
             continue;
@@ -247,11 +296,17 @@ fn handle_connection(
                     Err(reason) => Response::Shed { id, reason },
                 }
             }
-            // The parse error already carries the raw id text when the
-            // id itself was the problem; a huge or missing id answers as
-            // an explicit error on id 0, never as a silently truncated
-            // id (the pre-PR-7 `as u64` bug).
-            Err(message) => Response::Error { id: request_id(&line).unwrap_or(0), message },
+            // A rejected line answers on its own id when one parses;
+            // otherwise the raw id text is echoed back as a string
+            // (`Response::MalformedId`) so two concurrent malformed
+            // lines can never collide on a fabricated id 0.
+            Err(message) => match request_id(&line) {
+                Ok(id) => Response::Error { id, message },
+                Err(_) => Response::MalformedId {
+                    raw_id: raw_id_token(&line).unwrap_or_else(|| "<missing>".to_string()),
+                    message,
+                },
+            },
         };
         if tx.send(resp).is_err() {
             break; // Writer died; no point reading further.

@@ -72,6 +72,11 @@ pub struct ServiceStats {
     /// Requests answered `shed:deadline` after their per-request
     /// deadline expired.
     pub deadline_expired: AtomicU64,
+    /// This process's shard id (copied from [`ServeConfig::shard`] at
+    /// start so the snapshot path needs no config handle).
+    pub shard: AtomicU64,
+    /// This process's boot epoch (copied from [`ServeConfig::epoch`]).
+    pub epoch: AtomicU64,
 }
 
 impl ServiceStats {
@@ -91,6 +96,8 @@ impl ServiceStats {
             connections_shed: ld(&self.connections_shed),
             worker_restarts: ld(&self.worker_restarts),
             deadline_expired: ld(&self.deadline_expired),
+            shard: ld(&self.shard),
+            epoch: ld(&self.epoch),
         }
     }
 }
@@ -123,6 +130,11 @@ impl SimService {
     pub fn start(cfg: ServeConfig) -> SimService {
         let queue = Arc::new(RequestQueue::new(cfg.queue_depth));
         let stats = Arc::new(ServiceStats::default());
+        // relaxed-ok: written once before any reader thread exists;
+        // snapshots are advisory anyway.
+        stats.shard.store(cfg.shard, Ordering::Relaxed);
+        // relaxed-ok: same — written once before any reader exists.
+        stats.epoch.store(cfg.epoch, Ordering::Relaxed);
         let pool = Arc::new(ArtifactPool::new(POOL_CAPACITY));
         let want = cfg.workers.max(1);
         let registry = Arc::new(InflightRegistry::new(want));
@@ -206,6 +218,19 @@ impl SimService {
     /// (or `Drop`) still does the joining.
     pub fn begin_shutdown(&self) {
         self.queue.close();
+    }
+
+    /// Abrupt stop of admission: discards queued (not-yet-batched)
+    /// requests *without answering them* and closes the queue — the
+    /// shard-kill path, where the clients' connections were already
+    /// severed so answers would go nowhere. Batches already in flight
+    /// still run to completion against disconnected channels;
+    /// [`SimService::shutdown`] (or `Drop`) still joins the threads.
+    pub fn abort(&self) {
+        let dropped = self.queue.abort();
+        // relaxed-ok: monotonic stat counter; nothing synchronizes
+        // through it.
+        self.stats.shed.fetch_add(dropped as u64, Ordering::Relaxed);
     }
 
     /// Drains the queue and stops the workers: queued requests still get
@@ -623,6 +648,7 @@ mod tests {
             deadline: None,
             max_connections: 64,
             wedge_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
         }
     }
 

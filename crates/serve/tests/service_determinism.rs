@@ -99,7 +99,9 @@ fn tcp_round_trip_matches_in_process_results() {
                 assert!((1..=4).contains(&batch_size));
                 oks.insert(id, (digest, cycles));
             }
-            Response::Error { .. } => errors += 1,
+            // The unparsable line answers MalformedId (raw id echoed
+            // back), the unknown engine answers a plain Error.
+            Response::Error { .. } | Response::MalformedId { .. } => errors += 1,
             Response::Shed { .. } => panic!("queue depth 64 must not shed 8 requests"),
         }
         if oks.len() == n && errors == 2 {
@@ -160,6 +162,7 @@ fn queue_full_sheds_over_tcp() {
                 shed += 1;
             }
             Response::Error { message, .. } => panic!("unexpected error: {message}"),
+            Response::MalformedId { message, .. } => panic!("unexpected malformed-id: {message}"),
         }
     }
     assert_eq!(ok + shed, burst);

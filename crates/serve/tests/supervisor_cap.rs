@@ -1,0 +1,168 @@
+//! The supplemental-worker ceiling (DESIGN.md §12): when every worker
+//! wedges, the supervisor may spawn bounded supplemental workers — at
+//! most `base_workers * 2` total slots, ever — and everything the
+//! wedged workers owe still drains as typed `shed:deadline` answers,
+//! exactly once per request.
+//!
+//! The scenario: one base worker, batch size one, and a seeded
+//! `slow-sim` stall far past the wedge timeout. The first batch wedges
+//! the base worker; the supervisor spawns the one supplemental slot the
+//! ceiling allows; the supplemental worker wedges on the next batch;
+//! and from then on the supervisor must sit on its hands no matter how
+//! many wedge windows pass. Deadlines — not thread kills — age the
+//! wedged work out.
+//!
+//! Lives in its own integration binary because the fault plan is
+//! process-global; a `static` mutex serializes the tests on top.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use pra_chaos::{FaultPlan, Site};
+use pra_core::Fidelity;
+use pra_serve::{ControlRequest, Request, Response, ServeConfig, Server, StatsSnapshot};
+use pra_workloads::{Network, Representation};
+
+/// Serializes the tests in this binary around the global fault plan.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+const SCENARIO_DEADLINE: Duration = Duration::from_secs(60);
+
+/// How long a worker must sit on one batch before it counts as wedged.
+const WEDGE_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// One-shot stats poll: connect, ask, parse, close.
+fn stats(addr: &str) -> StatsSnapshot {
+    let stream = TcpStream::connect(addr).expect("connect for stats");
+    stream.set_read_timeout(Some(SCENARIO_DEADLINE)).expect("read timeout");
+    let mut out = stream.try_clone().expect("clone stats stream");
+    out.write_all((ControlRequest::Stats.to_json_line() + "\n").as_bytes())
+        .and_then(|()| out.flush())
+        .expect("send stats");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("stats reply");
+    StatsSnapshot::parse(&reply).expect("parse stats snapshot")
+}
+
+/// Sends `{"ctl": "drain"}` and waits for the one-line reply.
+fn drain(addr: &str) {
+    let stream = TcpStream::connect(addr).expect("connect for drain");
+    let mut out = stream.try_clone().expect("clone drain stream");
+    out.write_all((ControlRequest::Drain.to_json_line() + "\n").as_bytes())
+        .and_then(|()| out.flush())
+        .expect("send drain");
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("drain reply");
+    assert!(reply.contains("\"status\": \"stats\""), "drain must answer a snapshot: {reply}");
+}
+
+#[test]
+fn supplemental_worker_ceiling_holds_and_owed_answers_drain() {
+    let _g = CHAOS.lock().unwrap_or_else(PoisonError::into_inner);
+    pra_chaos::disarm();
+
+    // One base worker ⇒ the ceiling (base * 2) allows exactly one
+    // supplemental slot; batch size one keeps every request its own
+    // batch; the deadline is what eventually answers the wedged work.
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        queue_depth: 64,
+        linger: Duration::ZERO,
+        fidelity: Fidelity::Sampled { max_pallets: 2 },
+        use_cache: false,
+        cache_dir: None,
+        deadline: Some(Duration::from_millis(150)),
+        wedge_timeout: WEDGE_TIMEOUT,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let join = std::thread::spawn(move || server.run_once());
+
+    // Every simulation stalls for longer than any phase of this test
+    // (disarming releases the stalls early): batch one wedges the base
+    // worker, batch two wedges the supplemental one.
+    pra_chaos::arm(FaultPlan::new(0xCA).with_site(Site::SlowSim, 1.0, Some(30_000)));
+
+    // Four requests with distinct workload seeds: distinct batch keys,
+    // so no coalescing — four one-request batches in admission order.
+    let stream = TcpStream::connect(&addr).expect("connect client");
+    stream.set_read_timeout(Some(SCENARIO_DEADLINE)).expect("read timeout");
+    let mut out = stream.try_clone().expect("clone client stream");
+    for id in 1..=4u64 {
+        let req = Request {
+            id,
+            network: Network::AlexNet,
+            repr: Representation::Fixed16,
+            engine: "DaDN".to_string(),
+            seed: id,
+        };
+        out.write_all((req.to_json_line() + "\n").as_bytes()).expect("send request");
+    }
+    out.flush().expect("flush requests");
+
+    // The base worker wedges on batch one; the supervisor must notice
+    // and spawn the single supplemental slot the ceiling allows.
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while stats(&addr).worker_restarts < 1 {
+        assert!(Instant::now() < deadline, "supervisor never spawned a supplemental worker");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The cap: sit through many more wedge windows with both slots
+    // wedged — the supervisor must never spawn a second supplemental
+    // worker, however long the wedge persists.
+    let hold = Instant::now() + WEDGE_TIMEOUT * 15;
+    while Instant::now() < hold {
+        assert_eq!(
+            stats(&addr).worker_restarts,
+            1,
+            "supplemental spawns must stop at base_workers * 2 total slots"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Release the stalls: the wedged batches finish into already-claimed
+    // (deadline-swept) entries and the remaining queue drains.
+    pra_chaos::disarm();
+
+    // Owed answers: all four requests aged past their deadline — the two
+    // wedged in flight are swept by the supervisor, the two still queued
+    // are swept by the worker that eventually picks them up. Exactly one
+    // answer per id, every one a retryable `shed:deadline`.
+    let mut reader = BufReader::new(stream);
+    let mut seen = BTreeSet::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        match Response::parse(&line).expect("parse response") {
+            Response::Shed { id, reason } => {
+                assert_eq!(reason.label(), "deadline", "id {id} must shed on its deadline");
+                assert!(reason.retryable(), "shed:deadline must invite a retry");
+                assert!(seen.insert(id), "id {id} answered more than once");
+            }
+            other => panic!("expected shed:deadline, got {other:?}"),
+        }
+    }
+    assert_eq!(seen, (1..=4).collect::<BTreeSet<u64>>(), "every request answered exactly once");
+
+    let snap = stats(&addr);
+    assert_eq!(snap.worker_restarts, 1, "the ceiling held to the end");
+    assert_eq!(snap.deadline_expired, 4, "all owed answers drained via the deadline sweep");
+
+    // Close the client before draining: `--once` joins every open
+    // connection handler, and ours blocks on this socket until EOF.
+    drop(out);
+    drop(reader);
+    drain(&addr);
+    let deadline = Instant::now() + SCENARIO_DEADLINE;
+    while !join.is_finished() {
+        assert!(Instant::now() < deadline, "server failed to drain after the wedge (hang)");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    join.join().expect("server thread").expect("server run");
+}

@@ -20,21 +20,36 @@
 //!                                      --gate fails on >Rx phase regressions
 //! pra serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D]
 //!           [--linger-ms L] [--sampled N] [--no-cache] [--once]
-//!           [--max-conns C] [--deadline-ms D] [--chaos SPEC]
+//!           [--max-conns C] [--deadline-ms D] [--shard N] [--epoch N]
+//!           [--chaos SPEC]
 //!                                      batched simulation service over TCP
 //!                                      JSON-lines (DESIGN.md §10); --once
 //!                                      honors the drain control request,
+//!                                      --shard/--epoch identify the process
+//!                                      inside a cluster (DESIGN.md §13),
 //!                                      --chaos (or PRA_CHAOS) arms seeded
 //!                                      fault injection (DESIGN.md §12)
+//! pra route --shard ADDR [--shard ADDR ...] [--listen A] [--replicas K]
+//!           [--probe-ms P] [--probe-deadline-ms D] [--seed S]
+//!           [--max-conns C] [--once] [--chaos SPEC]
+//!                                      consistent-hash front end over N shard
+//!                                      servers (DESIGN.md §13): health-checked
+//!                                      failover onto each key's replica set,
+//!                                      drain propagation, exactly-once answers
 //! pra ctl <stats | drain> [--addr A]   send a control request to a running
-//!                                      server and print its answer
+//!                                      server or router and print its answer
 //! pra bench-serve [--addr A] [--requests N] [--batch W] [--seed S]
 //!                 [--allow-shed] [--retries R] [--backoff-ms B]
+//!                 [--cluster T1,T2,... [--sampled N] [--no-cache] [--chaos SPEC]]
 //!                                      closed-loop load generator: p50/p95/p99
 //!                                      + throughput into bench.json, response
 //!                                      digest into serve_responses.sha256;
 //!                                      --retries re-issues retryable sheds
-//!                                      with jittered exponential backoff
+//!                                      with jittered exponential backoff;
+//!                                      --cluster boots an in-process cluster
+//!                                      per listed shard count, benches through
+//!                                      the router, and fails unless every
+//!                                      topology serves byte-identical bits
 //! ```
 
 #![forbid(unsafe_code)]
@@ -77,6 +92,7 @@ fn main() -> ExitCode {
         Some("cache") => cmd_cache(&args[1..]),
         Some("bench-delta") => cmd_bench_delta(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("ctl") => cmd_ctl(&args[1..]),
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         _ => Err(USAGE.to_string()),
@@ -90,7 +106,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--retries R] [--backoff-ms B]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--shard N] [--epoch N] [--chaos SPEC] | route --shard ADDR [--shard ADDR ...] [--listen A] [--replicas K] [--probe-ms P] [--probe-deadline-ms D] [--seed S] [--max-conns C] [--once] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--retries R] [--backoff-ms B] [--cluster T1,T2,... [--sampled N] [--no-cache] [--chaos SPEC]]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -361,6 +377,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut cfg = ServeConfig::default();
     let mut once = false;
     let mut chaos_spec: Option<String> = None;
+    let mut epoch: Option<u64> = None;
+    let mut shard_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -388,6 +406,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     flag_num(&mut it, "--deadline-ms")?.max(1) as u64,
                 ))
             }
+            "--shard" => {
+                cfg.shard = flag_num(&mut it, "--shard")? as u64;
+                shard_set = true;
+            }
+            "--epoch" => epoch = Some(flag_num(&mut it, "--epoch")? as u64),
             "--chaos" => {
                 chaos_spec = Some(
                     it.next().ok_or("--chaos needs a spec, e.g. seed=7,worker-panic=0.05")?.clone(),
@@ -395,6 +418,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             other => return Err(format!("unknown serve flag '{other}'\n{USAGE}")),
         }
+    }
+    // A cluster member needs a nonzero boot epoch so the router's
+    // restart detection is well-defined; the pid is a fine default —
+    // any value that changes across restarts works. Standalone servers
+    // keep epoch 0 unless asked otherwise.
+    if let Some(e) = epoch {
+        cfg.epoch = e;
+    } else if shard_set {
+        cfg.epoch = u64::from(std::process::id()).max(1);
     }
     // Fault injection: an explicit --chaos wins over the PRA_CHAOS
     // environment spec; with neither, the chaos layer stays a no-op.
@@ -431,10 +463,85 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `pra route`: the consistent-hash front end (DESIGN.md §13) — hashes
+/// each request's workload key onto a replica set of shard servers,
+/// health-checks the shards with seeded stats heartbeats, and fails
+/// in-flight work over to the fallback replica when a shard dies.
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    use pragmatic::router::{Router, RouterConfig};
+    let mut listen = "127.0.0.1:9200".to_string();
+    let mut cfg = RouterConfig::default();
+    let mut once = false;
+    let mut chaos_spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => listen = it.next().ok_or("--listen needs host:port")?.clone(),
+            "--shard" => cfg.shards.push(it.next().ok_or("--shard needs host:port")?.clone()),
+            "--replicas" => cfg.replicas = flag_num(&mut it, "--replicas")?.max(1),
+            "--probe-ms" => {
+                cfg.probe.interval =
+                    std::time::Duration::from_millis(flag_num(&mut it, "--probe-ms")?.max(1) as u64)
+            }
+            "--probe-deadline-ms" => {
+                cfg.probe.deadline = std::time::Duration::from_millis(
+                    flag_num(&mut it, "--probe-deadline-ms")?.max(1) as u64,
+                )
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.probe.seed = parse_seed(v)?;
+            }
+            "--max-conns" => cfg.max_connections = flag_num(&mut it, "--max-conns")?.max(1),
+            "--once" => once = true,
+            "--chaos" => {
+                chaos_spec = Some(
+                    it.next().ok_or("--chaos needs a spec, e.g. seed=7,shard-kill=0.5")?.clone(),
+                )
+            }
+            other => return Err(format!("unknown route flag '{other}'\n{USAGE}")),
+        }
+    }
+    if cfg.shards.is_empty() {
+        return Err(format!("route needs at least one --shard host:port\n{USAGE}"));
+    }
+    match &chaos_spec {
+        Some(spec) => pragmatic::chaos::arm_spec(spec).map_err(|e| format!("--chaos: {e}"))?,
+        None => {
+            pragmatic::chaos::arm_from_env().map_err(|e| format!("PRA_CHAOS: {e}"))?;
+        }
+    }
+    if let Some(plan) = pragmatic::chaos::current() {
+        println!("pra-route CHAOS ARMED: {}", plan.summary());
+    }
+    let router =
+        Router::bind(&listen, cfg.clone()).map_err(|e| format!("could not bind {listen}: {e}"))?;
+    let bound = router.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "pra-route listening on {bound} ({} shard(s), {} replica(s)/key, probe every {:?} with \
+         deadline {:?}, max conns {}, {})",
+        cfg.shards.len(),
+        cfg.replicas.min(cfg.shards.len()),
+        cfg.probe.interval,
+        cfg.probe.deadline,
+        cfg.max_connections,
+        if once { "once (drain honored)" } else { "always-on" },
+    );
+    if once {
+        router.run_once().map_err(|e| format!("route: {e}"))?;
+        println!("pra-route drained and stopped");
+        Ok(())
+    } else {
+        router.run().map_err(|e| format!("route: {e}"))
+    }
+}
+
 /// `pra ctl stats|drain [--addr A]`: send one control request over the
 /// serving wire and print the server's answer line. `drain` asks a
 /// `--once` server to stop accepting, finish open connections, and
-/// drain its queue (an always-on server refuses it).
+/// drain its queue (an always-on server refuses it). Pointed at a
+/// router, `stats` prints the router counters instead and `drain`
+/// propagates to every shard.
 fn cmd_ctl(args: &[String]) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     let verb = match args.first().map(String::as_str) {
@@ -476,7 +583,29 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
         t.row(["connections shed", &snap.connections_shed.to_string()]);
         t.row(["worker restarts", &snap.worker_restarts.to_string()]);
         t.row(["deadline expired", &snap.deadline_expired.to_string()]);
+        t.row(["shard", &snap.shard.to_string()]);
+        t.row(["epoch", &snap.epoch.to_string()]);
         t.print("Service counters");
+    } else if line.contains("\"status\": \"router_stats\"") {
+        let mut t = Table::new(["counter", "value"]);
+        for key in [
+            "shards",
+            "up",
+            "degraded",
+            "down",
+            "routed",
+            "answered",
+            "failovers",
+            "no_shard",
+            "stale_drops",
+            "restarts_seen",
+            "connections_shed",
+        ] {
+            if let Some(v) = pragmatic::serve::protocol::json_num_field(line, key) {
+                t.row([key, &format!("{}", v as u64)]);
+            }
+        }
+        t.print("Router counters");
     } else if line.contains("\"error\"") {
         return Err("control request refused (see line above)".to_string());
     }
@@ -492,6 +621,9 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     use pragmatic::serve::bench;
     let mut cfg = pragmatic::serve::BenchConfig::default();
     let mut allow_shed = false;
+    let mut topologies: Option<Vec<usize>> = None;
+    let mut serve_cfg = pragmatic::serve::ServeConfig::default();
+    let mut chaos_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -505,8 +637,39 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             "--allow-shed" => allow_shed = true,
             "--retries" => cfg.retries = flag_num(&mut it, "--retries")? as u32,
             "--backoff-ms" => cfg.backoff_ms = flag_num(&mut it, "--backoff-ms")?.max(1) as u64,
+            "--cluster" => {
+                let v = it.next().ok_or("--cluster needs a shard-count list, e.g. 1,2,4")?;
+                let tops = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("invalid --cluster '{v}': {e}"))?;
+                if tops.is_empty() || tops.contains(&0) {
+                    return Err(format!("--cluster needs nonzero shard counts, got '{v}'"));
+                }
+                topologies = Some(tops);
+            }
+            "--sampled" => {
+                serve_cfg.fidelity =
+                    Fidelity::Sampled { max_pallets: flag_num(&mut it, "--sampled")?.max(1) }
+            }
+            "--no-cache" => {
+                serve_cfg.use_cache = false;
+                cache::set_enabled(false);
+            }
+            "--chaos" => {
+                chaos_spec = Some(
+                    it.next().ok_or("--chaos needs a spec, e.g. seed=7,shard-kill=0.5")?.clone(),
+                )
+            }
             other => return Err(format!("unknown bench-serve flag '{other}'\n{USAGE}")),
         }
+    }
+    if let Some(topologies) = topologies {
+        return cmd_bench_cluster(&topologies, &cfg, serve_cfg, chaos_spec.as_deref(), allow_shed);
+    }
+    if chaos_spec.is_some() {
+        return Err("--chaos only applies to --cluster runs (arm the server instead)".to_string());
     }
     println!(
         "bench-serve: {} requests, window {}, retries {}, against {}",
@@ -528,6 +691,59 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             metrics.shed
         ));
     }
+    Ok(())
+}
+
+/// `pra bench-serve --cluster T1,T2,...`: boots an in-process cluster
+/// (router + shard servers, DESIGN.md §13) per listed shard count, runs
+/// the same closed-loop bench through the router each time, and fails
+/// unless every topology answers byte-identical response digests. With
+/// `--chaos`, the fault plan is armed for every multi-shard topology
+/// (see [`pragmatic::router::cluster::run_cluster_bench`]).
+fn cmd_bench_cluster(
+    topologies: &[usize],
+    bench_cfg: &pragmatic::serve::BenchConfig,
+    serve_cfg: pragmatic::serve::ServeConfig,
+    chaos_spec: Option<&str>,
+    allow_shed: bool,
+) -> Result<(), String> {
+    use pragmatic::router::cluster;
+    let cluster_cfg = pragmatic::router::ClusterConfig { serve: serve_cfg, ..Default::default() };
+    println!(
+        "bench-serve --cluster: {} requests, window {}, retries {}, topologies {topologies:?}{}",
+        bench_cfg.requests,
+        bench_cfg.window,
+        bench_cfg.retries,
+        chaos_spec.map_or_else(String::new, |s| format!(", chaos '{s}' on multi-shard runs")),
+    );
+    let rows = cluster::run_cluster_bench(topologies, bench_cfg, &cluster_cfg, chaos_spec)?;
+    cluster::cluster_table(&rows).print("Cluster scaling (closed loop through the router)");
+    match cluster::write_cluster_report(&rows) {
+        Some(path) => println!("cluster metrics merged into: {}", path.display()),
+        None => eprintln!("warning: cluster metrics could not be written"),
+    }
+    for r in &rows {
+        if r.metrics.errors > 0 {
+            return Err(format!(
+                "{} shard(s): {} request(s) answered with errors",
+                r.shards, r.metrics.errors
+            ));
+        }
+        if r.metrics.shed > 0 && !allow_shed {
+            return Err(format!(
+                "{} shard(s): {} request(s) shed; raise --retries or pass --allow-shed",
+                r.shards, r.metrics.shed
+            ));
+        }
+    }
+    if !cluster::digests_match(&rows) {
+        return Err(
+            "cluster digest mismatch: topologies disagree on response bytes (the router must \
+             be byte-transparent)"
+                .to_string(),
+        );
+    }
+    println!("cluster digests identical across {} topolog(ies)", rows.len());
     Ok(())
 }
 

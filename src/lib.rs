@@ -14,6 +14,7 @@
 //! | [`core`] | `pra-core` | the Pragmatic accelerator: PIPs, 2-stage shifting, synchronization |
 //! | [`energy`] | `pra-energy` | 65 nm area/power/energy model calibrated to Tables III/IV |
 //! | [`serve`] | `pra-serve` | batched simulation serving: admission queue, coalescing workers, TCP front end |
+//! | [`router`] | `pra-router` | sharded serving: consistent-hash routing, health-checked failover, replica fallback |
 //! | [`chaos`] | `pra-chaos` | deterministic fault injection (`PRA_CHAOS`) for the serving tier |
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
@@ -36,6 +37,7 @@ pub use pra_core as core;
 pub use pra_energy as energy;
 pub use pra_engines as engines;
 pub use pra_fixed as fixed;
+pub use pra_router as router;
 pub use pra_serve as serve;
 pub use pra_sim as sim;
 pub use pra_tensor as tensor;
