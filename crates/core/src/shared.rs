@@ -29,7 +29,7 @@
 //! alongside the cached workload streams and reloads it on warm runs
 //! instead of recounting every layer's dispatch.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use pra_engines::shared_traffic;
 use pra_sim::{AccessCounters, ChipConfig, Dispatcher, NeuronMemory, NmLayout};
@@ -115,36 +115,13 @@ impl SharedEncodedNetwork {
         let built: Vec<(SharedLayer, AccessCounters)> = views
             .into_par_iter()
             .map(|(idx, view)| {
-                let mut encodings: Vec<(EncodingKey, Arc<EncodedLayer>)> = Vec::new();
-                let mut schedulers = Vec::with_capacity(wanted.len());
-                for &(key, sched_cfg) in &wanted {
-                    let encoded = match encodings.iter().find(|(k, _)| *k == key) {
-                        Some((_, e)) => Arc::clone(e),
-                        None => {
-                            let e =
-                                Arc::new(EncodedLayer::with_key(key, view.window, view.neurons));
-                            encodings.push((key, Arc::clone(&e)));
-                            e
-                        }
-                    };
-                    schedulers.push((
-                        key,
-                        sched_cfg,
-                        Arc::new(LayerScheduler::with_encoded(encoded, sched_cfg)),
-                    ));
-                }
-                let traffic = match &preloaded {
-                    Some(table) => table[idx],
-                    None if share_traffic => {
-                        let nm = NeuronMemory::new(
-                            lead.nm_layout,
-                            lead.chip.nm_row_neurons(lead.repr.bits()),
-                        );
-                        shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
-                    }
-                    None => AccessCounters::new(),
-                };
-                (SharedLayer { schedulers }, traffic)
+                build_layer(
+                    &wanted,
+                    &lead,
+                    share_traffic,
+                    preloaded.as_ref().map(|t| &t[idx]),
+                    view,
+                )
             })
             .collect();
 
@@ -275,6 +252,275 @@ impl SharedEncodedNetwork {
     }
 }
 
+/// Builds one layer's shared artifacts (the pure per-layer unit both
+/// the rayon fan-out in [`SharedEncodedNetwork::build`] and the
+/// sequential [`PipelinedBuild`] thread map over): every distinct
+/// `(EncodingKey, SchedulerConfig)` pair, plus the layer's traffic
+/// counters (preloaded, counted under the lead view, or zeroed when
+/// the configuration set does not share one view).
+fn build_layer(
+    wanted: &[(EncodingKey, SchedulerConfig)],
+    lead: &PraConfig,
+    share_traffic: bool,
+    preloaded: Option<&AccessCounters>,
+    view: &LayerView<'_>,
+) -> (SharedLayer, AccessCounters) {
+    let mut encodings: Vec<(EncodingKey, Arc<EncodedLayer>)> = Vec::new();
+    let mut schedulers = Vec::with_capacity(wanted.len());
+    for &(key, sched_cfg) in wanted {
+        let encoded = match encodings.iter().find(|(k, _)| *k == key) {
+            Some((_, e)) => Arc::clone(e),
+            None => {
+                let e = Arc::new(EncodedLayer::with_key(key, view.window, view.neurons));
+                encodings.push((key, Arc::clone(&e)));
+                e
+            }
+        };
+        schedulers.push((
+            key,
+            sched_cfg,
+            Arc::new(LayerScheduler::with_encoded(encoded, sched_cfg)),
+        ));
+    }
+    let traffic = match preloaded {
+        Some(table) => *table,
+        None if share_traffic => {
+            let nm = NeuronMemory::new(lead.nm_layout, lead.chip.nm_row_neurons(lead.repr.bits()));
+            shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
+        }
+        None => AccessCounters::new(),
+    };
+    (SharedLayer { schedulers }, traffic)
+}
+
+/// Layer slots the pipelined builder fills in index order.
+struct PipeState {
+    built: Vec<Option<(SharedLayer, AccessCounters)>>,
+    /// Set (with a wakeup) when the builder stops, normally or not —
+    /// waiters must never block on a slot that will never fill.
+    finished: bool,
+}
+
+/// Wakes every [`PipelinedBuild`] waiter when the builder thread stops
+/// for *any* reason — including an unwind mid-build. Without this, a
+/// panicking builder would leave a simulation thread parked on the
+/// condvar forever; with it, the waiter observes `finished` with an
+/// unfilled slot and raises a diagnosable panic instead of hanging.
+struct NotifyOnStop(Arc<(Mutex<PipeState>, Condvar)>);
+
+impl Drop for NotifyOnStop {
+    fn drop(&mut self) {
+        let (state, cv) = &*self.0;
+        let mut g = state.lock().unwrap_or_else(PoisonError::into_inner);
+        g.finished = true;
+        drop(g);
+        cv.notify_all();
+    }
+}
+
+/// A [`SharedEncodedNetwork`] build in flight: layers are built
+/// *sequentially, in index order, on a background thread*, and each
+/// layer's artifacts become consumable the moment they are ready — so a
+/// simulation thread can run layer *n* while the builder encodes layer
+/// *n + 1* (the serving tier's streaming overlap; DESIGN.md §14). The
+/// finished artifacts are assembled into an ordinary
+/// [`SharedEncodedNetwork`] by [`PipelinedBuild::finish`], and are
+/// bit-identical to what [`SharedEncodedNetwork::from_workload`] builds
+/// — per-layer artifact construction is pure, only its schedule moves.
+pub struct PipelinedBuild {
+    state: Arc<(Mutex<PipeState>, Condvar)>,
+    builder: Option<std::thread::JoinHandle<()>>,
+    lead: PraConfig,
+    share_traffic: bool,
+    layer_count: usize,
+    /// The traffic-table cache key, kept so `finish` can publish a
+    /// cold count (`None` when uncacheable or the load already hit).
+    store_key: Option<CacheKey>,
+}
+
+impl PipelinedBuild {
+    /// How many layers the build covers.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PipeState> {
+        self.state.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until `layer`'s artifacts are built, then returns the
+    /// shared scheduler for `cfg` plus the layer's traffic counters
+    /// (`None` exactly when [`SharedEncodedNetwork::traffic_for`]
+    /// would answer `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the build does not cover `cfg` or `layer`, or if the
+    /// builder thread died before producing the layer.
+    pub fn artifacts(
+        &self,
+        layer: usize,
+        cfg: &PraConfig,
+    ) -> (Arc<LayerScheduler>, Option<AccessCounters>) {
+        assert!(layer < self.layer_count, "pipelined build has no layer {layer}");
+        let mut g = self.lock();
+        let (layer_arts, traffic) = loop {
+            if let Some((arts, traffic)) = g.built.get(layer).and_then(|slot| slot.as_ref()) {
+                break (arts, *traffic);
+            }
+            assert!(
+                !g.finished,
+                "pipelined build stopped before producing layer {layer} (builder panicked?)"
+            );
+            g = self.state.1.wait(g).unwrap_or_else(PoisonError::into_inner);
+        };
+        let (key, sched_cfg) = (cfg.encoding_key(), cfg.scheduler());
+        let sched = layer_arts
+            .schedulers
+            .iter()
+            .find(|(k, s, _)| *k == key && *s == sched_cfg)
+            .map(|(_, _, sched)| Arc::clone(sched))
+            .unwrap_or_else(|| {
+                panic!("PipelinedBuild was not started for {} (layer {layer})", cfg.label())
+            });
+        let traffic = (self.share_traffic
+            && cfg.chip == self.lead.chip
+            && cfg.nm_layout == self.lead.nm_layout
+            && cfg.repr == self.lead.repr)
+            .then_some(traffic);
+        (sched, traffic)
+    }
+
+    /// Joins the builder and assembles the completed layers into an
+    /// ordinary [`SharedEncodedNetwork`], publishing a cold traffic
+    /// count to `cache` when one was keyed at start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder thread panicked (the artifacts would be
+    /// incomplete; callers treat it like any worker panic).
+    pub fn finish(mut self, cache: Option<&Cache>) -> SharedEncodedNetwork {
+        if let Some(handle) = self.builder.take() {
+            assert!(handle.join().is_ok(), "pipelined artifact build panicked");
+        }
+        let mut g = self.lock();
+        assert!(
+            g.built.iter().all(Option::is_some),
+            "pipelined build finished with missing layers"
+        );
+        let built: Vec<(SharedLayer, AccessCounters)> = g
+            .built
+            .drain(..)
+            .map(|slot| slot.unwrap_or_else(|| unreachable!("checked above")))
+            .collect();
+        drop(g);
+        let mut layers_out = Vec::with_capacity(built.len());
+        let mut traffic_out = Vec::with_capacity(built.len());
+        for (layer, traffic) in built {
+            layers_out.push(layer);
+            traffic_out.push(traffic);
+        }
+        if let (Some(key), Some(cache)) = (self.store_key.as_ref(), cache) {
+            // Best-effort, like every cache store.
+            let _ = cache.store(TRAFFIC_KIND, TRAFFIC_VERSION, key, &encode_traffic(&traffic_out));
+        }
+        let traffic = self.share_traffic.then_some(TrafficTable {
+            chip: self.lead.chip,
+            nm_layout: self.lead.nm_layout,
+            repr: self.lead.repr,
+            per_layer: traffic_out,
+        });
+        SharedEncodedNetwork { layers: layers_out, traffic }
+    }
+}
+
+impl SharedEncodedNetwork {
+    /// Starts a pipelined (layer-at-a-time, background-thread) build of
+    /// the shared artifacts for `workload` under `configs` — the
+    /// streaming-overlap counterpart of
+    /// [`SharedEncodedNetwork::from_workload_cached_in`]. Traffic is
+    /// preloaded from `cache` when possible, exactly like the batch
+    /// build; if the build thread cannot be spawned, every layer is
+    /// built inline before this returns (slower, never wrong).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn start_pipelined(
+        configs: &[PraConfig],
+        workload: &Arc<NetworkWorkload>,
+        cache: Option<&Cache>,
+    ) -> PipelinedBuild {
+        assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
+        let mut wanted: Vec<(EncodingKey, SchedulerConfig)> = Vec::new();
+        for cfg in configs {
+            let pair = (cfg.encoding_key(), cfg.scheduler());
+            if !wanted.contains(&pair) {
+                wanted.push(pair);
+            }
+        }
+        let lead = configs[0];
+        let share_traffic = agree_on_traffic_view(configs);
+        let layer_count = workload.layers.len();
+
+        let (key, preloaded) = if share_traffic {
+            let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+            let key =
+                traffic_key(workload.network.name(), &views, &lead.chip, lead.nm_layout, lead.repr);
+            let preloaded = cache
+                .and_then(|c| c.load(TRAFFIC_KIND, TRAFFIC_VERSION, &key))
+                .and_then(|payload| decode_traffic(&payload, layer_count));
+            (Some(key), preloaded)
+        } else {
+            (None, None)
+        };
+        let hit = preloaded.is_some();
+        let store_key = if hit { None } else { key.filter(|_| cache.is_some()) };
+
+        let state = Arc::new((
+            Mutex::new(PipeState {
+                built: (0..layer_count).map(|_| None).collect(),
+                finished: false,
+            }),
+            Condvar::new(),
+        ));
+        let thread_state = Arc::clone(&state);
+        let thread_workload = Arc::clone(workload);
+        let build_all = move || {
+            let _notify = NotifyOnStop(Arc::clone(&thread_state));
+            for (idx, layer) in thread_workload.layers.iter().enumerate() {
+                let view = layer.view();
+                let built = build_layer(
+                    &wanted,
+                    &lead,
+                    share_traffic,
+                    preloaded.as_ref().map(|t| &t[idx]),
+                    &view,
+                );
+                let (state, cv) = &*thread_state;
+                let mut g = state.lock().unwrap_or_else(PoisonError::into_inner);
+                g.built[idx] = Some(built);
+                drop(g);
+                cv.notify_all();
+            }
+        };
+        let builder = std::thread::Builder::new()
+            .name("pra-pipeline-build".to_string())
+            .spawn(build_all.clone());
+        let builder = match builder {
+            Ok(handle) => Some(handle),
+            Err(_) => {
+                // Thread exhaustion: build everything inline. Consumers
+                // see every layer ready immediately — no overlap, same
+                // bytes.
+                build_all();
+                None
+            }
+        };
+        PipelinedBuild { state, builder, lead, share_traffic, layer_count, store_key }
+    }
+}
+
 /// A bounded, most-recently-used in-memory pool of build-once
 /// artifacts, keyed by workload identity (network, representation,
 /// seed) plus the exact design-point set — the *batch-to-batch* reuse
@@ -402,6 +648,30 @@ impl ArtifactPool {
         );
         entries.truncate(self.capacity);
         (workload, shared, false)
+    }
+
+    /// Pools artifacts that were built *outside* the pool — the
+    /// pipelined serve path builds its [`SharedEncodedNetwork`]
+    /// layer-by-layer via [`PipelinedBuild`] and publishes the
+    /// assembled result here, so the next batch over the same key is a
+    /// plain [`ArtifactPool::lookup`] hit. Semantics match the build
+    /// tail of [`ArtifactPool::get_or_build`]: insert most-recently-
+    /// used, evict beyond capacity, last racing insert wins.
+    pub fn insert(
+        &self,
+        network: pra_workloads::Network,
+        repr: Representation,
+        seed: u64,
+        configs: &[PraConfig],
+        workload: Arc<NetworkWorkload>,
+        shared: Arc<SharedEncodedNetwork>,
+    ) {
+        let mut entries = self.lock();
+        entries.insert(
+            0,
+            PoolEntry { network, repr, seed, configs: configs.to_vec(), workload, shared },
+        );
+        entries.truncate(self.capacity);
     }
 
     /// Drops every pooled entry for `(network, repr, seed)`, whatever

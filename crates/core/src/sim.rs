@@ -26,7 +26,7 @@ use rayon::prelude::*;
 use crate::column::{csd_mask, schedule_brick_with, ColumnSchedule};
 use crate::config::{Encoding, Fidelity, PraConfig, SyncPolicy};
 use crate::schedule::LayerScheduler;
-use crate::shared::SharedEncodedNetwork;
+use crate::shared::{PipelinedBuild, SharedEncodedNetwork};
 use crate::tile::{column_sync, pallet_sync, PalletOutcome};
 
 /// Simulates one layer on the configured Pragmatic design point.
@@ -333,6 +333,26 @@ pub fn run_shared(
     workload: &NetworkWorkload,
     shared: &SharedEncodedNetwork,
 ) -> RunResult {
+    run_shared_streaming(cfg, workload, shared, |_, _| {})
+}
+
+/// [`run_shared`] with a per-layer observer: `on_layer(idx, partial)`
+/// fires the moment layer `idx` finishes simulating, with the run
+/// result accumulated so far — the serving tier's v2 streaming hook
+/// (each call becomes one `layer_result` wire frame). The observer
+/// never changes the result: the returned [`RunResult`] is identical
+/// to [`run_shared`]'s.
+///
+/// # Panics
+///
+/// Panics if `shared` was built for a different workload shape or does
+/// not cover `cfg` (see [`SharedEncodedNetwork::scheduler`]).
+pub fn run_shared_streaming(
+    cfg: &PraConfig,
+    workload: &NetworkWorkload,
+    shared: &SharedEncodedNetwork,
+    mut on_layer: impl FnMut(usize, &RunResult),
+) -> RunResult {
     assert_eq!(cfg.repr, workload.repr, "configuration representation must match the workload");
     assert_eq!(
         shared.layer_count(),
@@ -347,6 +367,39 @@ pub fn run_shared(
             shared.scheduler(idx, cfg),
             shared.traffic_for(idx, cfg),
         ));
+        on_layer(idx, &result);
+    }
+    result
+}
+
+/// [`run_shared_streaming`] against a [`PipelinedBuild`] still in
+/// flight: layer `idx` simulates as soon as the builder thread has
+/// encoded it, so encoding of layer *n + 1* overlaps simulation of
+/// layer *n* instead of the build-everything-then-simulate sequence.
+/// Cycle-for-cycle identical to [`run_shared`] over the finished
+/// build — only the schedule moves, never the arithmetic.
+///
+/// # Panics
+///
+/// Panics if the build does not cover `cfg` or the workload shape, or
+/// if the builder thread died mid-build.
+pub fn run_pipelined(
+    cfg: &PraConfig,
+    workload: &NetworkWorkload,
+    build: &PipelinedBuild,
+    mut on_layer: impl FnMut(usize, &RunResult),
+) -> RunResult {
+    assert_eq!(cfg.repr, workload.repr, "configuration representation must match the workload");
+    assert_eq!(
+        build.layer_count(),
+        workload.layers.len(),
+        "pipelined build must cover every layer of the workload"
+    );
+    let mut result = RunResult::new(cfg.label());
+    for (idx, layer) in workload.layers.iter().enumerate() {
+        let (sched, traffic) = build.artifacts(idx, cfg);
+        result.layers.push(simulate_layer_shared(cfg, layer.view(), &sched, traffic.as_ref()));
+        on_layer(idx, &result);
     }
     result
 }

@@ -313,6 +313,8 @@ mod tests {
             mean_batch_wait_ms: 0.2,
             mean_sim_ms: 1.0,
             mean_batch: 4.0,
+            p50_first_frame_ms: 0.0,
+            frames: 0,
             elapsed_ms: 100.0,
             rps,
             window: 4,

@@ -155,6 +155,7 @@ mod tests {
             repr: pra_workloads::Representation::Fixed16,
             engine: engine.to_string(),
             seed,
+            v: 1,
         };
         let k = |engine: &str, seed: u64| workload_key(&BatchKey::of(&req(engine, seed)));
         // The value-blind baselines share the default encoding slice:

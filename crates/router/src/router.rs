@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pra_serve::protocol::{raw_id_token, request_id};
+use pra_serve::codec::{raw_id_token, request_id};
 use pra_serve::{BatchKey, ControlRequest, Request, Response, ShedReason};
 
 use crate::health::{probe_jitter, probe_once, HealthBoard, ProbeConfig};
@@ -424,6 +424,20 @@ impl ClientCtx {
                 self.shared.stats.stale_drops.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+            // v2 progress frames forward verbatim *without* claiming:
+            // the ledger entry stays live until the terminal `done`
+            // frame (which takes the claim path below), so failover
+            // still covers a stream the shard dies in the middle of.
+            Ok(Response::LayerResult { id, .. }) => {
+                let owned = self.lock_ledger().get(&id).is_some_and(|e| e.assigned == Some(shard));
+                if owned {
+                    let _ = write_line(&self.out, line);
+                } else {
+                    // relaxed-ok: monotonic stat counter.
+                    self.shared.stats.stale_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
             Ok(resp) => resp.id(),
         };
         // The claim: remove the entry iff it is still assigned to the
@@ -712,12 +726,12 @@ fn client_read_loop(
             Ok(req) => ctx.admit(&req, &line),
             // Mirror the shard server's rejection shapes so a client
             // cannot tell a router from a bare shard on the error path.
-            Err(message) => {
+            Err(e) => {
                 let resp = match request_id(&line) {
-                    Ok(id) => Response::Error { id, message },
+                    Ok(id) => Response::Error { id, message: e.to_string() },
                     Err(_) => Response::MalformedId {
                         raw_id: raw_id_token(&line).unwrap_or_else(|| "<missing>".to_string()),
-                        message,
+                        message: e.to_string(),
                     },
                 };
                 write_line(&ctx.out, &resp.to_json_line())?;

@@ -26,7 +26,7 @@ use pra_chaos::{FaultPlan, Site};
 use pra_core::Fidelity;
 use pra_router::cluster::{control_line, digests_match, run_cluster_bench};
 use pra_router::{Cluster, ClusterConfig, ProbeConfig, Router, RouterConfig};
-use pra_serve::protocol::json_num_field;
+use pra_serve::codec::json_num_field;
 use pra_serve::{run_bench, BenchConfig, ControlRequest, ServeConfig, ServeMetrics, Server};
 
 /// Serializes the tests in this binary around the global fault plan.
@@ -69,6 +69,7 @@ fn bench_cfg(addr: String, retries: u32) -> BenchConfig {
         connect_timeout: Duration::from_secs(10),
         retries,
         backoff_ms: 5,
+        v2: false,
     }
 }
 

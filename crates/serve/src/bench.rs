@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 use pra_workloads::cache::sha256;
 use pra_workloads::{Network, Representation};
 
-use crate::protocol::{engine_labels, hex, Request, Response};
+use crate::codec::hex;
+use crate::protocol::{engine_labels, Request, Response};
 
 /// What `pra bench-serve` runs.
 #[derive(Debug, Clone)]
@@ -50,6 +51,13 @@ pub struct BenchConfig {
     /// Base backoff before the first retry; doubles per attempt (capped)
     /// with deterministic jitter derived from `(seed, id, attempt)`.
     pub backoff_ms: u64,
+    /// Negotiate protocol v2 (`--v2`): requests carry `"v": 2`, the
+    /// server streams per-layer `layer_result` frames, and the bench
+    /// records time-to-first-frame alongside full-response latency.
+    /// The request *mix* is unchanged — only the version field — and
+    /// the terminal payloads are byte-identical to v1, so the golden
+    /// digest holds in both modes.
+    pub v2: bool,
 }
 
 impl Default for BenchConfig {
@@ -62,6 +70,7 @@ impl Default for BenchConfig {
             connect_timeout: Duration::from_secs(10),
             retries: 0,
             backoff_ms: 25,
+            v2: false,
         }
     }
 }
@@ -100,6 +109,7 @@ pub fn request_mix(i: usize, seed: u64) -> Request {
         repr,
         engine: labels[i % labels.len()].clone(),
         seed,
+        v: 1,
     }
 }
 
@@ -133,6 +143,11 @@ pub struct ServeMetrics {
     pub mean_sim_ms: f64,
     /// Mean batch size the requests rode in.
     pub mean_batch: f64,
+    /// Median time to the first v2 `layer_result` frame (ms); `0.0`
+    /// when the bench ran v1 (no frames to time).
+    pub p50_first_frame_ms: f64,
+    /// Total v2 `layer_result` frames observed (0 under v1).
+    pub frames: usize,
     /// Whole-run wall clock (ms).
     pub elapsed_ms: f64,
     /// Completed requests per second.
@@ -189,7 +204,9 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
         for line in lines {
             let msg = match line {
                 Ok(l) if l.trim().is_empty() => continue,
-                Ok(l) => Response::parse(&l).map(|r| (r, Instant::now())),
+                Ok(l) => Response::parse(&l)
+                    .map(|r| (r, Instant::now()))
+                    .map_err(|e| format!("parse response: {e}")),
                 Err(e) => Err(format!("read: {e}")),
             };
             if tx.send(msg).is_err() {
@@ -201,11 +218,18 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
     fn send_req(
         i: usize,
         seed: u64,
+        v2: bool,
         out: &mut TcpStream,
         send_at: &mut [Option<Instant>],
+        first_frame: &mut [Option<Instant>],
     ) -> Result<(), String> {
-        let req = request_mix(i, seed);
+        let mut req = request_mix(i, seed);
+        if v2 {
+            req.v = 2;
+        }
+        // A (re-)send restarts both latency clocks for this id.
         send_at[i] = Some(Instant::now());
+        first_frame[i] = None;
         out.write_all((req.to_json_line() + "\n").as_bytes())
             .and_then(|()| out.flush())
             .map_err(|e| format!("send request {i}: {e}"))
@@ -214,14 +238,17 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
     let mut out = stream;
     let started = Instant::now();
     let mut send_at: Vec<Option<Instant>> = vec![None; n];
+    let mut first_frame: Vec<Option<Instant>> = vec![None; n];
     let mut next = 0;
     while next < window.min(n) {
-        send_req(next, cfg.seed, &mut out, &mut send_at)?;
+        send_req(next, cfg.seed, cfg.v2, &mut out, &mut send_at, &mut first_frame)?;
         next += 1;
     }
 
     let mut responses: Vec<Option<Response>> = vec![None; n];
     let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    let mut first_latencies: Vec<f64> = Vec::new();
+    let mut frames = 0usize;
     let mut attempts: Vec<u32> = vec![0; n];
     let mut retried = 0usize;
     let mut done = 0;
@@ -229,6 +256,24 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
         let (resp, at) = rx
             .recv_timeout(Duration::from_secs(120))
             .map_err(|e| format!("no response within 120s ({e}); {done}/{n} done"))??;
+        // v2 progress frames are timing signals, not outcomes: stamp
+        // the first one per id, count them all, and keep waiting for
+        // the terminal.
+        if let Response::LayerResult { id, .. } = &resp {
+            let id = *id as usize;
+            if id < n && first_frame[id].is_none() {
+                first_frame[id] = Some(at);
+            }
+            frames += 1;
+            continue;
+        }
+        // A v2 terminal arrives wrapped in its done frame; the inner
+        // response is bytewise the v1 terminal, which is what keeps
+        // the digest fingerprint identical across protocol versions.
+        let resp = match resp {
+            Response::Done { inner, .. } => *inner,
+            other => other,
+        };
         // The bench only ever sends well-formed numeric ids, so a
         // malformed-id error (string-typed id echo) is a protocol
         // violation, not a per-request outcome.
@@ -247,16 +292,21 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
             attempts[id] += 1;
             retried += 1;
             std::thread::sleep(backoff_delay(cfg.backoff_ms, attempts[id], cfg.seed, id as u64));
-            send_req(id, cfg.seed, &mut out, &mut send_at)?;
+            send_req(id, cfg.seed, cfg.v2, &mut out, &mut send_at, &mut first_frame)?;
             continue;
         }
         if let Some(sent) = send_at[id] {
             latencies.push(at.duration_since(sent).as_secs_f64() * 1e3);
+            if let Some(ff) = first_frame[id] {
+                if let Some(d) = ff.checked_duration_since(sent) {
+                    first_latencies.push(d.as_secs_f64() * 1e3);
+                }
+            }
         }
         responses[id] = Some(resp);
         done += 1;
         if next < n {
-            send_req(next, cfg.seed, &mut out, &mut send_at)?;
+            send_req(next, cfg.seed, cfg.v2, &mut out, &mut send_at, &mut first_frame)?;
             next += 1;
         }
     }
@@ -270,13 +320,17 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<(ServeMetrics, Vec<Response>), Str
     let _ = reader.join();
 
     let responses: Vec<Response> = responses.into_iter().map(|r| r.expect("counted")).collect();
-    Ok((summarize(&responses, latencies, elapsed_ms, window, retried), responses))
+    let metrics =
+        summarize(&responses, latencies, first_latencies, frames, elapsed_ms, window, retried);
+    Ok((metrics, responses))
 }
 
 /// Folds responses + client latencies into [`ServeMetrics`].
 fn summarize(
     responses: &[Response],
     mut latencies: Vec<f64>,
+    mut first_latencies: Vec<f64>,
+    frames: usize,
     elapsed_ms: f64,
     window: usize,
     retries: usize,
@@ -289,6 +343,13 @@ fn summarize(
     // therefore always breaks the golden, loudly).
     let mut fingerprint = String::new();
     for r in responses {
+        // Defensive normalization for direct callers: run_bench already
+        // unwraps done frames and never records progress frames.
+        let r = match r {
+            Response::Done { inner, .. } => inner.as_ref(),
+            Response::LayerResult { .. } => continue,
+            other => other,
+        };
         match r {
             Response::Ok { digest, latency, batch_size, .. } => {
                 ok += 1;
@@ -312,10 +373,17 @@ fn summarize(
                 errors += 1;
                 fingerprint.push_str(&format!("error:{message}"));
             }
+            Response::LayerResult { .. } | Response::Done { .. } => {
+                // Unreachable: normalized away above, and the parser
+                // rejects nested frames. Counted defensively.
+                errors += 1;
+                fingerprint.push_str("error:unexpected frame");
+            }
         }
         fingerprint.push('\n');
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    first_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let mean = |sum: f64, k: usize| if k > 0 { sum / k as f64 } else { 0.0 };
     ServeMetrics {
         requests: n,
@@ -331,6 +399,8 @@ fn summarize(
         mean_batch_wait_ms: mean(bat, ok),
         mean_sim_ms: mean(sim, ok),
         mean_batch: mean(batch_sz, ok),
+        p50_first_frame_ms: percentile(&first_latencies, 0.50),
+        frames,
         elapsed_ms,
         rps: if elapsed_ms > 0.0 { n as f64 / (elapsed_ms / 1e3) } else { 0.0 },
         window,
@@ -348,7 +418,8 @@ pub fn serve_section(m: &ServeMetrics) -> String {
          \"retries\": {}, \
          \"window\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
          \"mean_ms\": {:.3}, \"mean_enqueue_ms\": {:.3}, \"mean_batch_wait_ms\": {:.3}, \
-         \"mean_sim_ms\": {:.3}, \"mean_batch\": {:.2}, \"elapsed_ms\": {:.3}, \"rps\": {:.2}, \
+         \"mean_sim_ms\": {:.3}, \"mean_batch\": {:.2}, \"p50_first_frame_ms\": {:.3}, \
+         \"frames\": {}, \"elapsed_ms\": {:.3}, \"rps\": {:.2}, \
          \"responses_sha256\": {}}},",
         m.requests,
         m.ok,
@@ -364,6 +435,8 @@ pub fn serve_section(m: &ServeMetrics) -> String {
         m.mean_batch_wait_ms,
         m.mean_sim_ms,
         m.mean_batch,
+        m.p50_first_frame_ms,
+        m.frames,
         m.elapsed_ms,
         m.rps,
         pra_bench::report::json_string(&m.digest),
@@ -443,6 +516,12 @@ pub fn metrics_table(m: &ServeMetrics) -> pra_bench::Table {
     ]);
     t.row(["in-flight window", &m.window.to_string()]);
     t.row(["p50 / p95 / p99", &format!("{:.1} / {:.1} / {:.1} ms", m.p50_ms, m.p95_ms, m.p99_ms)]);
+    if m.frames > 0 {
+        t.row([
+            "p50 first frame",
+            &format!("{:.1} ms ({} layer frames)", m.p50_first_frame_ms, m.frames),
+        ]);
+    }
     t.row(["mean latency", &format!("{:.1} ms", m.mean_ms)]);
     t.row([
         "mean phase split",
@@ -529,8 +608,8 @@ mod tests {
 
     #[test]
     fn summary_digest_is_order_stable_and_shed_sensitive() {
-        let a = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![1.0, 2.0], 10.0, 2, 0);
-        let b = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![2.0, 1.0], 99.0, 4, 3);
+        let a = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![1.0, 2.0], Vec::new(), 0, 10.0, 2, 0);
+        let b = summarize(&[ok(0, "aaa"), ok(1, "bbb")], vec![2.0, 1.0], Vec::new(), 0, 99.0, 4, 3);
         assert_eq!(a.digest, b.digest, "digest depends on responses only");
         let with_shed = summarize(
             &[
@@ -538,6 +617,8 @@ mod tests {
                 Response::Shed { id: 1, reason: crate::protocol::ShedReason::QueueFull },
             ],
             vec![1.0],
+            Vec::new(),
+            0,
             10.0,
             2,
             0,
@@ -550,7 +631,7 @@ mod tests {
     fn merge_preserves_sweep_content_and_replaces_serve() {
         let sweep_doc =
             "{\n  \"schema_version\": 2,\n  \"total_wall_ms\": 12.0,\n  \"jobs\": 1\n}\n";
-        let m = summarize(&[ok(0, "aaa")], vec![1.0], 10.0, 1, 0);
+        let m = summarize(&[ok(0, "aaa")], vec![1.0], Vec::new(), 0, 10.0, 1, 0);
         let merged = merge_bench_json(Some(sweep_doc), &serve_section(&m));
         assert!(merged.contains("\"total_wall_ms\": 12.0"), "sweep content intact");
         assert!(merged.contains("\"serve\": {"));
@@ -568,7 +649,7 @@ mod tests {
 
     #[test]
     fn merge_keys_sections_independently() {
-        let m = summarize(&[ok(0, "aaa")], vec![1.0], 10.0, 1, 0);
+        let m = summarize(&[ok(0, "aaa")], vec![1.0], Vec::new(), 0, 10.0, 1, 0);
         let with_serve = merge_bench_json(None, &serve_section(&m));
         let cluster_line = "  \"cluster\": {\"topologies\": 3},";
         // A cluster section lands next to the serve one…

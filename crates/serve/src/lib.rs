@@ -11,6 +11,9 @@
 //! The pipeline is **queue → coalesce → shared-artifact batch →
 //! respond**:
 //!
+//! * [`codec`] — the one JSON-lines codec (field extraction, string
+//!   escaping, typed [`ParseError`]s carrying the offending line)
+//!   shared by this crate, the router and the load generator;
 //! * [`queue`] — bounded admission with typed shedding
 //!   ([`ShedReason`]), and batch formation that coalesces requests
 //!   agreeing on [`BatchKey`] (network geometry + representation +
@@ -19,9 +22,12 @@
 //! * [`service`] — the worker pool: one workload build and one
 //!   [`pra_core::SharedEncodedNetwork`] per batch, each distinct
 //!   engine simulated exactly once, per-request latency split
-//!   (enqueue / batch-wait / sim / total);
-//! * [`server`] — a JSON-lines TCP front end (`pra serve`) with no
-//!   network dependencies, a bounded connection cap, and `stats` /
+//!   (enqueue / batch-wait / sim / total); protocol-v2 requests
+//!   stream per-layer progress frames, overlapping layer *n+1*'s
+//!   encoding with layer *n*'s simulation (DESIGN.md §14);
+//! * [`server`] — the event-driven JSON-lines TCP front end
+//!   (`pra serve`): one thread multiplexing every connection over
+//!   nonblocking sockets, a bounded connection cap, and `stats` /
 //!   `drain` control requests over the same wire;
 //! * [`supervisor`] — the degradation machinery (DESIGN.md §12): an
 //!   in-flight registry giving every admitted request exactly one
@@ -42,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod codec;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -49,6 +56,7 @@ pub mod service;
 pub mod supervisor;
 
 pub use bench::{run_bench, BenchConfig, ServeMetrics};
+pub use codec::ParseError;
 pub use protocol::{ControlRequest, Engine, Request, Response, ShedReason, StatsSnapshot};
 pub use queue::{BatchKey, RequestQueue, ServeConfig};
 pub use server::Server;

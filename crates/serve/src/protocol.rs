@@ -5,8 +5,8 @@
 //! response per line out, matched by the client-chosen `id`. Responses
 //! may arrive out of request order — batching reorders freely. The
 //! objects are deliberately flat so both ends can use the same tiny
-//! field scanner instead of a JSON dependency (the workspace builds
-//! offline; see `shims/README.md`).
+//! field scanner (the [`crate::codec`] module) instead of a JSON
+//! dependency (the workspace builds offline; see `shims/README.md`).
 //!
 //! A request names a workload (`network`, `repr`, `seed`) and an engine
 //! label from the standard evaluation set (`DaDN`, `Stripes`, and the
@@ -14,14 +14,33 @@
 //! totals, a content digest over the simulation-determined fields (the
 //! CI golden pins it), the batch size the request was coalesced into,
 //! and the per-request latency split.
+//!
+//! ## Protocol v2: streaming frames
+//!
+//! A request carrying `"v": 2` opts into *streaming*: the server may
+//! interleave any number of [`Response::LayerResult`] progress frames
+//! before the terminal [`Response::Done`] frame. The `done` frame's
+//! `payload` field holds the complete v1 response line, JSON-escaped —
+//! so the concatenation of a v2 exchange's digest-relevant payloads is
+//! byte-identical to what a v1 client receives, and the CI golden pins
+//! both at once. Requests without `"v"` (or with `"v": 1`) get exactly
+//! the monolithic v1 response, byte-identical to every prior release.
+//! Sheds are always monolithic v1 lines, even for v2 requests: a shed
+//! request never started streaming, and clients retry on the bare line.
 
 use pra_core::{EncodingKey, Fidelity, PraConfig};
 use pra_workloads::cache::sha256;
 use pra_workloads::{Network, Representation};
 
+use crate::codec::{
+    hex, json_num_field, json_str_field, json_u64_field, parse_seed, request_id, ParseError,
+};
+
 /// Version tag mixed into every response digest: bump when the digest's
 /// canonical input or the simulation semantics behind it change, so a
 /// stale golden fails loudly instead of comparing apples to oranges.
+/// (Note this is *not* the wire negotiation version: v2 streaming
+/// changes framing, not simulation semantics, so the digest tag stays.)
 pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Why the service refused a request instead of simulating it.
@@ -58,6 +77,19 @@ impl ShedReason {
             ShedReason::Deadline => "deadline",
             ShedReason::WorkerLost => "worker_lost",
             ShedReason::NoShard => "no_shard",
+        }
+    }
+
+    /// The reason for a wire label, `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<ShedReason> {
+        match label {
+            "queue_full" => Some(ShedReason::QueueFull),
+            "shutting_down" => Some(ShedReason::ShuttingDown),
+            "overloaded" => Some(ShedReason::Overloaded),
+            "deadline" => Some(ShedReason::Deadline),
+            "worker_lost" => Some(ShedReason::WorkerLost),
+            "no_shard" => Some(ShedReason::NoShard),
+            _ => None,
         }
     }
 
@@ -157,13 +189,15 @@ impl StatsSnapshot {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the missing field.
-    pub fn parse(line: &str) -> Result<StatsSnapshot, String> {
+    /// A [`ParseError`] naming the missing field and carrying the line.
+    pub fn parse(line: &str) -> Result<StatsSnapshot, ParseError> {
         if json_str_field(line, "status").as_deref() != Some("stats") {
-            return Err(format!("not a stats line: {line}"));
+            return Err(ParseError::new("not a stats line", line));
         }
         let num = |k: &str| {
-            json_num_field(line, k).map(|v| v as u64).ok_or_else(|| format!("missing \"{k}\""))
+            json_num_field(line, k)
+                .map(|v| v as u64)
+                .ok_or_else(|| ParseError::new(format!("stats missing \"{k}\""), line))
         };
         Ok(StatsSnapshot {
             accepted: num("accepted")?,
@@ -177,6 +211,8 @@ impl StatsSnapshot {
             deadline_expired: num("deadline_expired")?,
             // Added after the v1 wire format shipped: default 0 so a
             // newer client can still read an older shard's snapshot.
+            // This is a *versioned* tolerance, not a silent one — the
+            // round-trip test pins the legacy-line behavior.
             shard: json_num_field(line, "shard").map_or(0, |v| v as u64),
             epoch: json_num_field(line, "epoch").map_or(0, |v| v as u64),
         })
@@ -196,6 +232,10 @@ pub struct Request {
     pub engine: String,
     /// Workload generation seed.
     pub seed: u64,
+    /// Negotiated wire version: 1 (default) for one monolithic
+    /// response, 2 to opt into streamed `layer_result` frames and a
+    /// terminal `done` frame. Anything else is rejected at parse.
+    pub v: u32,
 }
 
 /// The engine a request resolves to.
@@ -257,86 +297,6 @@ fn parse_network(name: &str) -> Option<Network> {
     Network::ALL.into_iter().find(|n| n.name().eq_ignore_ascii_case(name))
 }
 
-/// Parses a seed written as decimal or `0x`-hex (underscores allowed).
-pub fn parse_seed(v: &str) -> Option<u64> {
-    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
-        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
-    } else {
-        v.replace('_', "").parse().ok()
-    }
-}
-
-/// Extracts the raw JSON string value following `"key":` in a flat
-/// object; handles the escapes [`pra_bench::report::json_string`]
-/// emits. `None` when the key is absent or not a string.
-pub fn json_str_field(line: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\":");
-    let rest = line.get(line.find(&needle)? + needle.len()..)?.trim_start();
-    let rest = rest.strip_prefix('"')?;
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                't' => out.push('\t'),
-                'u' => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
-                }
-                esc => out.push(esc),
-            },
-            c => out.push(c),
-        }
-    }
-    None
-}
-
-/// Extracts the request `id` as an exact `u64`, rejecting what
-/// [`json_num_field`]'s `f64` path would silently mangle: ids beyond
-/// 2⁵³ lose precision in a double, negatives and floats would
-/// truncate, and an absent field used to default to 0 — which made a
-/// malformed line impersonate whichever real request used id 0. The
-/// raw token is preserved in the error so the client can see exactly
-/// what the server rejected.
-///
-/// # Errors
-///
-/// Returns a message naming the problem and quoting the raw id text.
-pub fn request_id(line: &str) -> Result<u64, String> {
-    let raw = raw_id_token(line).ok_or("missing numeric \"id\"")?;
-    raw.parse::<u64>().map_err(|_| format!("invalid \"id\" '{raw}' (expected an integer ≤ u64)"))
-}
-
-/// The raw token following `"id":`, exactly as it appears on the wire
-/// (up to the next delimiter) — what [`request_id`] parses, preserved
-/// verbatim so a rejected line's error response can echo the id text
-/// the client actually sent instead of fabricating a numeric id.
-/// `None` when the line has no id field at all.
-pub fn raw_id_token(line: &str) -> Option<String> {
-    let needle = "\"id\":";
-    let rest = line.find(needle).and_then(|at| line.get(at + needle.len()..))?.trim_start();
-    let end =
-        rest.find(|c: char| c.is_whitespace() || matches!(c, ',' | '}')).unwrap_or(rest.len());
-    let raw = rest.get(..end).unwrap_or(rest);
-    if raw.is_empty() {
-        return None;
-    }
-    Some(raw.to_string())
-}
-
-/// Extracts the number following `"key":` in a flat JSON object.
-pub fn json_num_field(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let rest = line.get(line.find(&needle)? + needle.len()..)?.trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
-        .unwrap_or(rest.len());
-    rest.get(..end)?.parse().ok()
-}
-
 impl Request {
     /// Parses one request line. The engine label is validated against
     /// the standard set so a typo is rejected at admission, not after
@@ -344,40 +304,65 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable message naming the missing or invalid
-    /// field.
-    pub fn parse(line: &str) -> Result<Request, String> {
+    /// A [`ParseError`] naming the missing or invalid field and
+    /// carrying the offending line.
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
         let id = request_id(line)?;
-        let net_name = json_str_field(line, "network").ok_or("missing \"network\"")?;
-        let network =
-            parse_network(&net_name).ok_or_else(|| format!("unknown network '{net_name}'"))?;
-        let repr_name = json_str_field(line, "repr").ok_or("missing \"repr\"")?;
-        let repr = parse_repr(&repr_name)
-            .ok_or_else(|| format!("unknown repr '{repr_name}' (fp16 | quant8)"))?;
-        let engine = json_str_field(line, "engine").ok_or("missing \"engine\"")?;
+        let net_name = json_str_field(line, "network")
+            .ok_or_else(|| ParseError::new("missing \"network\"", line))?;
+        let network = parse_network(&net_name)
+            .ok_or_else(|| ParseError::new(format!("unknown network '{net_name}'"), line))?;
+        let repr_name = json_str_field(line, "repr")
+            .ok_or_else(|| ParseError::new("missing \"repr\"", line))?;
+        let repr = parse_repr(&repr_name).ok_or_else(|| {
+            ParseError::new(format!("unknown repr '{repr_name}' (fp16 | quant8)"), line)
+        })?;
+        let engine = json_str_field(line, "engine")
+            .ok_or_else(|| ParseError::new("missing \"engine\"", line))?;
         if Engine::from_label(&engine, repr, Fidelity::Full).is_none() {
-            return Err(format!(
-                "unknown engine '{engine}' (one of: {})",
-                engine_labels(repr).join(", ")
+            return Err(ParseError::new(
+                format!("unknown engine '{engine}' (one of: {})", engine_labels(repr).join(", ")),
+                line,
             ));
         }
         let seed = match json_str_field(line, "seed") {
-            Some(s) => parse_seed(&s).ok_or_else(|| format!("invalid seed '{s}'"))?,
+            Some(s) => parse_seed(&s)
+                .ok_or_else(|| ParseError::new(format!("invalid seed '{s}'"), line))?,
             None => pra_bench::SEED,
         };
-        Ok(Request { id, network, repr, engine, seed })
+        let v = if line.contains("\"v\":") {
+            match json_u64_field(line, "v") {
+                Some(v @ (1 | 2)) => v as u32,
+                _ => {
+                    return Err(ParseError::new(
+                        "invalid \"v\" (supported protocol versions: 1, 2)",
+                        line,
+                    ))
+                }
+            }
+        } else {
+            1
+        };
+        Ok(Request { id, network, repr, engine, seed, v })
     }
 
     /// Renders the request as one JSON line (no trailing newline).
+    /// A v1 request renders byte-identically to every prior release;
+    /// the `"v"` field appears only when the request opts into v2.
     pub fn to_json_line(&self) -> String {
-        format!(
-            "{{\"id\": {}, \"network\": {}, \"repr\": {}, \"engine\": {}, \"seed\": \"{:#x}\"}}",
+        let mut line = format!(
+            "{{\"id\": {}, \"network\": {}, \"repr\": {}, \"engine\": {}, \"seed\": \"{:#x}\"",
             self.id,
             pra_bench::report::json_string(self.network.name()),
             pra_bench::report::json_string(repr_label(self.repr)),
             pra_bench::report::json_string(&self.engine),
             self.seed,
-        )
+        );
+        if self.v == 2 {
+            line.push_str(", \"v\": 2");
+        }
+        line.push('}');
+        line
     }
 }
 
@@ -395,7 +380,7 @@ pub struct LatencySplit {
     pub total_ms: f64,
 }
 
-/// One simulation response.
+/// One simulation response (or, under protocol v2, one response frame).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The request was simulated.
@@ -450,6 +435,37 @@ pub enum Response {
         /// What went wrong.
         message: String,
     },
+    /// A v2 progress frame: the batch's lead engine finished simulating
+    /// one more layer. Progress-only — it carries *cumulative* lead
+    /// cycle/term totals for observability, but no digest-relevant
+    /// payload (the digest covers the terminal result, which the `done`
+    /// frame delivers in full).
+    LayerResult {
+        /// Echoed request id.
+        id: u64,
+        /// Zero-based index of the layer that just finished.
+        layer: usize,
+        /// Total layers in the workload (so clients can render
+        /// progress without knowing the network).
+        layers: usize,
+        /// Cumulative lead-engine cycles through this layer.
+        cycles: u64,
+        /// Cumulative lead-engine effectual terms through this layer.
+        terms: u64,
+    },
+    /// The v2 terminal frame. Its `payload` carries the complete v1
+    /// response line (JSON-escaped), so concatenating a v2 exchange's
+    /// digest-relevant payloads reproduces the v1 bytes exactly — the
+    /// golden digest gates both wire versions with one pin.
+    Done {
+        /// Echoed request id.
+        id: u64,
+        /// How many `layer_result` frames preceded this one.
+        frames: usize,
+        /// The terminal v1 response ([`Response::Ok`] or
+        /// [`Response::Error`]) the payload encodes.
+        inner: Box<Response>,
+    },
 }
 
 /// The canonical digest of a simulated response: everything the
@@ -472,15 +488,6 @@ pub fn response_digest(
     hex(&sha256(canon.as_bytes()))
 }
 
-/// Lower-case hex rendering of a digest.
-pub fn hex(bytes: &[u8]) -> String {
-    let mut out = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        out.push_str(&format!("{b:02x}"));
-    }
-    out
-}
-
 impl Response {
     /// The echoed request id, whatever the outcome. A
     /// [`Response::MalformedId`] has no numeric id by definition and
@@ -488,9 +495,21 @@ impl Response {
     /// id 0 should match the variant instead.
     pub fn id(&self) -> u64 {
         match self {
-            Response::Ok { id, .. } | Response::Shed { id, .. } | Response::Error { id, .. } => *id,
+            Response::Ok { id, .. }
+            | Response::Shed { id, .. }
+            | Response::Error { id, .. }
+            | Response::LayerResult { id, .. }
+            | Response::Done { id, .. } => *id,
             Response::MalformedId { .. } => 0,
         }
+    }
+
+    /// `true` for the per-request *terminal* frame: everything except
+    /// [`Response::LayerResult`]. The front end uses this to keep its
+    /// in-flight accounting; the router uses it to claim ledger
+    /// entries only on completion.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Response::LayerResult { .. })
     }
 
     /// Renders the response as one JSON line (no trailing newline).
@@ -539,6 +558,14 @@ impl Response {
                     js(message)
                 )
             }
+            Response::LayerResult { id, layer, layers, cycles, terms } => format!(
+                "{{\"id\": {id}, \"status\": \"layer_result\", \"layer\": {layer}, \
+                 \"layers\": {layers}, \"cycles\": {cycles}, \"terms\": {terms}}}"
+            ),
+            Response::Done { id, frames, inner } => format!(
+                "{{\"id\": {id}, \"status\": \"done\", \"frames\": {frames}, \"payload\": {}}}",
+                js(&inner.to_json_line())
+            ),
         }
     }
 
@@ -546,24 +573,31 @@ impl Response {
     ///
     /// # Errors
     ///
-    /// Returns a message when the status is missing or fields of an
-    /// `ok` response are absent.
-    pub fn parse(line: &str) -> Result<Response, String> {
-        let id = json_num_field(line, "id").unwrap_or(0.0) as u64;
-        match json_str_field(line, "status").as_deref() {
-            Some("ok") => {
+    /// A [`ParseError`] naming the missing or invalid field and
+    /// carrying the offending line — nothing is silently defaulted.
+    pub fn parse(line: &str) -> Result<Response, ParseError> {
+        let status = json_str_field(line, "status")
+            .ok_or_else(|| ParseError::new("missing response \"status\"", line))?;
+        match status.as_str() {
+            "ok" => {
+                let id = request_id(line)?;
                 let num = |k: &str| {
-                    json_num_field(line, k).ok_or_else(|| format!("ok response missing \"{k}\""))
+                    json_num_field(line, k).ok_or_else(|| {
+                        ParseError::new(format!("ok response missing \"{k}\""), line)
+                    })
                 };
                 let s = |k: &str| {
-                    json_str_field(line, k).ok_or_else(|| format!("ok response missing \"{k}\""))
+                    json_str_field(line, k).ok_or_else(|| {
+                        ParseError::new(format!("ok response missing \"{k}\""), line)
+                    })
                 };
                 Ok(Response::Ok {
                     id,
                     network: s("network")?,
                     repr: s("repr")?,
                     engine: s("engine")?,
-                    seed: parse_seed(&s("seed")?).ok_or("invalid seed in response")?,
+                    seed: parse_seed(&s("seed")?)
+                        .ok_or_else(|| ParseError::new("invalid seed in response", line))?,
                     cycles: num("cycles")? as u64,
                     terms: num("terms")? as u64,
                     speedup: num("speedup")?,
@@ -577,27 +611,59 @@ impl Response {
                     },
                 })
             }
-            Some("shed") => {
-                let reason = match json_str_field(line, "reason").as_deref() {
-                    Some("shutting_down") => ShedReason::ShuttingDown,
-                    Some("overloaded") => ShedReason::Overloaded,
-                    Some("deadline") => ShedReason::Deadline,
-                    Some("worker_lost") => ShedReason::WorkerLost,
-                    Some("no_shard") => ShedReason::NoShard,
-                    _ => ShedReason::QueueFull,
-                };
+            "shed" => {
+                let id = request_id(line)?;
+                let label = json_str_field(line, "reason")
+                    .ok_or_else(|| ParseError::new("shed response missing \"reason\"", line))?;
+                let reason = ShedReason::from_label(&label).ok_or_else(|| {
+                    ParseError::new(format!("unknown shed reason '{label}'"), line)
+                })?;
                 Ok(Response::Shed { id, reason })
             }
-            Some("error") => {
-                let message = json_str_field(line, "message").unwrap_or_default();
+            "layer_result" => {
+                let id = request_id(line)?;
+                let u = |k: &str| {
+                    json_u64_field(line, k).ok_or_else(|| {
+                        ParseError::new(format!("layer_result missing \"{k}\""), line)
+                    })
+                };
+                Ok(Response::LayerResult {
+                    id,
+                    layer: u("layer")? as usize,
+                    layers: u("layers")? as usize,
+                    cycles: u("cycles")?,
+                    terms: u("terms")?,
+                })
+            }
+            "done" => {
+                let id = request_id(line)?;
+                let frames = json_u64_field(line, "frames")
+                    .ok_or_else(|| ParseError::new("done frame missing \"frames\"", line))?
+                    as usize;
+                let payload = json_str_field(line, "payload")
+                    .ok_or_else(|| ParseError::new("done frame missing \"payload\"", line))?;
+                let inner = Response::parse(&payload)?;
+                if matches!(inner, Response::LayerResult { .. } | Response::Done { .. }) {
+                    return Err(ParseError::new(
+                        "done payload must be a terminal v1 response",
+                        line,
+                    ));
+                }
+                Ok(Response::Done { id, frames, inner: Box::new(inner) })
+            }
+            "error" => {
+                let message = json_str_field(line, "message")
+                    .ok_or_else(|| ParseError::new("error response missing \"message\"", line))?;
                 // A string-typed id marks the malformed-id shape (a
                 // numeric id never renders with quotes).
                 match json_str_field(line, "id") {
                     Some(raw_id) => Ok(Response::MalformedId { raw_id, message }),
-                    None => Ok(Response::Error { id, message }),
+                    None => Ok(Response::Error { id: request_id(line)?, message }),
                 }
             }
-            other => Err(format!("unrecognized response status {other:?} in: {line}")),
+            other => {
+                Err(ParseError::new(format!("unrecognized response status \"{other}\""), line))
+            }
         }
     }
 }
@@ -614,9 +680,53 @@ mod tests {
             repr: Representation::Quant8,
             engine: "PRA-2b-1R".to_string(),
             seed: 0xDEAD_BEEF,
+            v: 1,
         };
         let line = req.to_json_line();
         assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn v1_request_line_has_no_version_field() {
+        let req = Request {
+            id: 3,
+            network: Network::NiN,
+            repr: Representation::Fixed16,
+            engine: "DaDN".to_string(),
+            seed: 0x1,
+            v: 1,
+        };
+        let line = req.to_json_line();
+        assert!(!line.contains("\"v\""), "v1 request bytes must be unchanged: {line}");
+        assert_eq!(
+            line,
+            "{\"id\": 3, \"network\": \"NiN\", \"repr\": \"fp16\", \
+             \"engine\": \"DaDN\", \"seed\": \"0x1\"}"
+        );
+    }
+
+    #[test]
+    fn v2_negotiation_round_trips_and_rejects_unknown_versions() {
+        let req = Request {
+            id: 9,
+            network: Network::AlexNet,
+            repr: Representation::Fixed16,
+            engine: "PRA-2b".to_string(),
+            seed: 0x7,
+            v: 2,
+        };
+        let line = req.to_json_line();
+        assert!(line.ends_with(", \"v\": 2}"), "{line}");
+        assert_eq!(Request::parse(&line).unwrap(), req);
+        // Explicit v1 parses like an absent field.
+        let v1 = line.replace("\"v\": 2", "\"v\": 1");
+        assert_eq!(Request::parse(&v1).unwrap().v, 1);
+        for bad in ["\"v\": 3", "\"v\": 0", "\"v\": 1.5", "\"v\": \"two\""] {
+            let mangled = line.replace("\"v\": 2", bad);
+            let err = Request::parse(&mangled).unwrap_err();
+            assert!(err.what.contains("\"v\""), "{bad} must be rejected: {err}");
+            assert_eq!(err.line, mangled, "error carries the offending line");
+        }
     }
 
     #[test]
@@ -626,16 +736,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(req.seed, pra_bench::SEED);
+        assert_eq!(req.v, 1, "absent \"v\" negotiates the monolithic protocol");
     }
 
     #[test]
     fn request_rejects_bad_fields() {
         let base = "{\"id\": 1, \"network\": \"NiN\", \"repr\": \"fp16\", \"engine\": \"DaDN\"}";
         assert!(Request::parse(base).is_ok());
-        assert!(Request::parse(&base.replace("NiN", "LeNet")).unwrap_err().contains("network"));
-        assert!(Request::parse(&base.replace("fp16", "fp32")).unwrap_err().contains("repr"));
-        assert!(Request::parse(&base.replace("DaDN", "TPU")).unwrap_err().contains("engine"));
-        assert!(Request::parse("{\"network\": \"NiN\"}").unwrap_err().contains("id"));
+        let err = Request::parse(&base.replace("NiN", "LeNet")).unwrap_err();
+        assert!(err.to_string().contains("network"));
+        assert!(err.line.contains("LeNet"), "typed error carries the offending line");
+        assert!(Request::parse(&base.replace("fp16", "fp32"))
+            .unwrap_err()
+            .to_string()
+            .contains("repr"));
+        assert!(Request::parse(&base.replace("DaDN", "TPU"))
+            .unwrap_err()
+            .to_string()
+            .contains("engine"));
+        assert!(Request::parse("{\"network\": \"NiN\"}").unwrap_err().to_string().contains("id"));
     }
 
     #[test]
@@ -651,9 +770,8 @@ mod tests {
         assert!(Engine::from_label("PRA-9b", Representation::Fixed16, Fidelity::Full).is_none());
     }
 
-    #[test]
-    fn ok_response_round_trips() {
-        let resp = Response::Ok {
+    fn ok_response() -> Response {
+        Response::Ok {
             id: 42,
             network: "Alexnet".to_string(),
             repr: "fp16".to_string(),
@@ -670,12 +788,74 @@ mod tests {
                 sim_ms: 30.0,
                 total_ms: 31.75,
             },
-        };
+        }
+    }
+
+    #[test]
+    fn ok_response_round_trips() {
+        let resp = ok_response();
         assert_eq!(Response::parse(&resp.to_json_line()).unwrap(), resp);
         let shed = Response::Shed { id: 9, reason: ShedReason::QueueFull };
         assert_eq!(Response::parse(&shed.to_json_line()).unwrap(), shed);
         let err = Response::Error { id: 3, message: "bad \"quote\"".to_string() };
         assert_eq!(Response::parse(&err.to_json_line()).unwrap(), err);
+    }
+
+    #[test]
+    fn layer_result_frames_round_trip() {
+        let frame = Response::LayerResult { id: 7, layer: 3, layers: 11, cycles: 900, terms: 80 };
+        let line = frame.to_json_line();
+        assert!(line.contains("\"status\": \"layer_result\""), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), frame);
+        assert_eq!(frame.id(), 7);
+        assert!(!frame.is_terminal(), "progress frames never complete a request");
+        // Every field is required — no silent defaults.
+        for key in ["layer", "layers", "cycles", "terms"] {
+            let mangled = line.replace(&format!("\"{key}\":"), "\"x\":");
+            let err = Response::parse(&mangled).unwrap_err();
+            assert!(err.what.contains(key), "missing {key} must be typed: {err}");
+        }
+    }
+
+    #[test]
+    fn done_frame_payload_reproduces_the_v1_bytes() {
+        let inner = ok_response();
+        let v1_line = inner.to_json_line();
+        let done = Response::Done { id: 42, frames: 5, inner: Box::new(inner) };
+        let line = done.to_json_line();
+        assert!(line.contains("\"status\": \"done\""), "{line}");
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed, done);
+        assert!(done.is_terminal());
+        // The digest-relevant payload is byte-identical to v1.
+        let Response::Done { inner, .. } = parsed else { unreachable!("just matched done") };
+        assert_eq!(inner.to_json_line(), v1_line);
+        // A done frame can carry an error terminal, but never a frame.
+        let err_done = Response::Done {
+            id: 8,
+            frames: 0,
+            inner: Box::new(Response::Error { id: 8, message: "λ boom\n".to_string() }),
+        };
+        assert_eq!(Response::parse(&err_done.to_json_line()).unwrap(), err_done);
+        let nested = Response::Done { id: 1, frames: 1, inner: Box::new(err_done.clone()) };
+        assert!(Response::parse(&nested.to_json_line()).unwrap_err().what.contains("terminal"));
+    }
+
+    #[test]
+    fn response_parse_failures_are_typed_and_carry_the_line() {
+        // Missing id no longer defaults to 0.
+        let no_id = "{\"status\": \"shed\", \"reason\": \"queue_full\"}";
+        let err = Response::parse(no_id).unwrap_err();
+        assert!(err.what.contains("id"), "{err}");
+        assert_eq!(err.line, no_id);
+        // Unknown shed reasons no longer collapse into queue_full.
+        let bad_reason = "{\"id\": 1, \"status\": \"shed\", \"reason\": \"cosmic_rays\"}";
+        assert!(Response::parse(bad_reason).unwrap_err().what.contains("cosmic_rays"));
+        // Error responses must carry a message.
+        let no_msg = "{\"id\": 1, \"status\": \"error\"}";
+        assert!(Response::parse(no_msg).unwrap_err().what.contains("message"));
+        // And a status is required at all.
+        assert!(Response::parse("{\"id\": 1}").unwrap_err().what.contains("status"));
     }
 
     #[test]
@@ -695,12 +875,12 @@ mod tests {
         let huge = "{\"id\": 18446744073709551616, \"network\": \"NiN\", \
                     \"repr\": \"fp16\", \"engine\": \"DaDN\"}";
         let err = Request::parse(huge).unwrap_err();
-        assert!(err.contains("18446744073709551616"), "raw id text preserved: {err}");
+        assert!(err.to_string().contains("18446744073709551616"), "raw id text preserved: {err}");
         let float = huge.replace("18446744073709551616", "1.5");
-        assert!(Request::parse(&float).unwrap_err().contains("'1.5'"));
+        assert!(Request::parse(&float).unwrap_err().to_string().contains("'1.5'"));
         let neg = huge.replace("18446744073709551616", "-3");
-        assert!(Request::parse(&neg).unwrap_err().contains("'-3'"));
-        assert!(request_id("{\"network\": \"NiN\"}").unwrap_err().contains("id"));
+        assert!(Request::parse(&neg).unwrap_err().to_string().contains("'-3'"));
+        assert!(request_id("{\"network\": \"NiN\"}").unwrap_err().to_string().contains("id"));
         // u64::MAX itself is a legal id.
         assert_eq!(request_id("{\"id\": 18446744073709551615}").unwrap(), u64::MAX);
     }
@@ -731,7 +911,11 @@ mod tests {
             epoch: 4,
         };
         assert_eq!(StatsSnapshot::parse(&snap.to_json_line()).unwrap(), snap);
-        assert!(StatsSnapshot::parse("{\"status\": \"ok\"}").is_err());
+        let err = StatsSnapshot::parse("{\"status\": \"ok\"}").unwrap_err();
+        assert_eq!(err.line, "{\"status\": \"ok\"}", "typed error carries the line");
+        // A stats line missing a counter is a typed error, not a zero.
+        let truncated = snap.to_json_line().replace("\"batches\": 4, ", "");
+        assert!(StatsSnapshot::parse(&truncated).unwrap_err().what.contains("batches"));
         // Pre-cluster snapshots carry no shard/epoch; they parse as 0.
         let legacy = StatsSnapshot { shard: 0, epoch: 0, ..snap };
         let line = snap.to_json_line().replace(", \"shard\": 3, \"epoch\": 4", "");
@@ -750,6 +934,7 @@ mod tests {
         ] {
             let shed = Response::Shed { id: 1, reason };
             assert_eq!(Response::parse(&shed.to_json_line()).unwrap(), shed);
+            assert_eq!(ShedReason::from_label(reason.label()), Some(reason));
             assert_eq!(reason.retryable(), reason != ShedReason::ShuttingDown);
         }
     }
@@ -769,15 +954,5 @@ mod tests {
         let other =
             Response::MalformedId { raw_id: "-7".to_string(), message: "bad id".to_string() };
         assert_ne!(resp.to_json_line(), other.to_json_line());
-        assert_eq!(raw_id_token("{\"id\": 1.5e3, \"x\": 1}").as_deref(), Some("1.5e3"));
-        assert_eq!(raw_id_token("{\"x\": 1}"), None);
-    }
-
-    #[test]
-    fn field_scanner_handles_escapes() {
-        let line = "{\"msg\": \"a\\\"b\\\\c\\nd\", \"n\": -1.5e2}";
-        assert_eq!(json_str_field(line, "msg").unwrap(), "a\"b\\c\nd");
-        assert_eq!(json_num_field(line, "n").unwrap(), -150.0);
-        assert!(json_str_field(line, "absent").is_none());
     }
 }

@@ -305,7 +305,14 @@ mod tests {
     use std::sync::mpsc::channel;
 
     fn req(id: u64, network: Network, engine: &str, seed: u64) -> Request {
-        Request { id, network, repr: Representation::Fixed16, engine: engine.to_string(), seed }
+        Request {
+            id,
+            network,
+            repr: Representation::Fixed16,
+            engine: engine.to_string(),
+            seed,
+            v: 1,
+        }
     }
 
     #[test]

@@ -1,36 +1,65 @@
-//! The TCP front end: JSON-lines over a plain `std::net` socket.
+//! The TCP front end: JSON-lines over plain nonblocking `std::net`
+//! sockets, driven by a single event loop.
 //!
 //! No async runtime and no network dependency — consistent with the
-//! workspace's offline-shims constraint. Each connection gets a reader
-//! (its own thread) and one writer thread; the writer owns an mpsc
-//! receiver that every in-flight request's response lands on, so
-//! responses stream back as their batches complete, in completion
-//! order, while the reader keeps admitting new lines. Backpressure is
-//! the admission queue's job: a full queue answers `shed` immediately
-//! rather than letting the connection buffer grow. The accept loop is
-//! itself bounded: past [`ServeConfig::max_connections`] live
-//! connections, a new connection gets one `shed:overloaded` line and a
-//! clean close (and finished connection threads are reaped each accept,
-//! so handles never accumulate).
+//! workspace's offline-shims constraint. Instead of the original
+//! two-threads-per-connection design, one thread owns the listener and
+//! every connection, and each loop tick pumps three directions per
+//! connection:
+//!
+//! 1. **responses** — each connection holds the receiving half of its
+//!    response channel; worker threads send [`Response`]s (including
+//!    v2 `layer_result` frames) as batches progress, and the loop
+//!    drains them into the connection's output queue without blocking;
+//! 2. **writes** — queued lines move through a per-connection write
+//!    buffer; a congested client gets `WouldBlock` and simply resumes
+//!    next tick, so one slow reader cannot stall the other
+//!    connections (the chaos `sock-stall` site is the deliberate
+//!    exception: it stalls the whole loop, modeling a scheduler-level
+//!    hiccup rather than one socket's congestion);
+//! 3. **reads** — raw bytes accumulate in a per-connection buffer and
+//!    every complete line is parsed and dispatched: requests are
+//!    submitted to the [`SimService`] (backpressure is the admission
+//!    queue's job — a full queue answers `shed` immediately), control
+//!    requests are answered inline, malformed lines get typed error
+//!    responses.
+//!
+//! The accept pump is bounded: past [`ServeConfig::max_connections`]
+//! live connections, a new connection gets one `shed:overloaded` line
+//! and a clean close. A connection closes once it reaches EOF with no
+//! responses still owed and nothing left to flush — exactly the
+//! one-answer-per-request discipline the registry enforces, carried
+//! through to the socket.
 //!
 //! Control requests ride the same wire: `{"ctl": "stats"}` answers a
 //! [`StatsSnapshot`] line on any server; `{"ctl": "drain"}` stops the
-//! accept loop and drains the service, but only on a server started
+//! accept pump and drains the service, but only on a server started
 //! with [`Server::run_once`] (`pra serve --once`) — an always-on server
 //! refuses it with an error line, so a stray client cannot take the
 //! service down.
+//!
+//! [`StatsSnapshot`]: crate::protocol::StatsSnapshot
 
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Duration;
 
-use crate::protocol::{raw_id_token, request_id, ControlRequest, Request, Response, ShedReason};
+use crate::codec::{raw_id_token, request_id};
+use crate::protocol::{ControlRequest, Request, Response, ShedReason};
 use crate::queue::ServeConfig;
 use crate::service::SimService;
+
+/// Idle back-off between event-loop ticks that made no progress: long
+/// enough to keep an idle server invisible in profiles, short enough
+/// that first-frame latency stays far below a layer's simulation time.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Read chunk size for the per-connection receive buffer.
+const READ_CHUNK: usize = 4096;
 
 /// A bound, not-yet-serving TCP front end.
 pub struct Server {
@@ -38,43 +67,34 @@ pub struct Server {
     svc: Arc<SimService>,
 }
 
-/// Shared accept-loop state a connection handler can reach: the drain
-/// flag and how to wake the accept loop so it notices the flag.
-struct ServerCtl {
-    /// `true` once a drain was accepted; the accept loop exits on it.
-    draining: AtomicBool,
-    /// Whether this server honors `{"ctl": "drain"}`.
-    once: bool,
-    /// The bound address — a drain wakes the blocking `accept` by
-    /// making one throwaway connection to it.
-    addr: SocketAddr,
-    /// Live connection streams by accept serial, registered by the
-    /// accept loop and deregistered by each handler on exit — the
-    /// chaos `shard-kill` site severs them all at once.
-    conns: Mutex<BTreeMap<u64, TcpStream>>,
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    /// Raw received bytes not yet forming a complete line.
+    rbuf: Vec<u8>,
+    /// The receiving half worker threads answer into.
+    rx: Receiver<Response>,
+    /// The sending half cloned into every submission.
+    tx: Sender<Response>,
+    /// Rendered lines awaiting the write pump.
+    outq: VecDeque<String>,
+    /// The partially written current line (socket gave `WouldBlock`).
+    wbuf: Vec<u8>,
+    /// Requests admitted but not yet terminally answered. v2
+    /// `layer_result` frames do not decrement this — only terminals do.
+    in_flight: usize,
+    /// The client half-closed; drain what is owed, then close.
+    eof: bool,
+    /// Fatal per-connection error; reported and reaped next tick.
+    dead: Option<String>,
 }
 
-impl ServerCtl {
-    /// Locks the connection table, recovering from poisoning: stream
-    /// handles are plain data and the kill path must keep working
-    /// after any panic.
-    fn lock_conns(&self) -> MutexGuard<'_, BTreeMap<u64, TcpStream>> {
-        self.conns.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Abrupt shard death (the chaos `shard-kill` site): stop
-    /// accepting and sever every live connection mid-stream — clients
-    /// see an EOF/reset with responses still owed, which is exactly
-    /// the signal the router's failover turns into a re-issue on the
-    /// fallback shard. The caller aborts the service queue itself.
-    fn kill(&self) {
-        self.draining.store(true, Ordering::SeqCst);
-        let conns = std::mem::take(&mut *self.lock_conns());
-        for stream in conns.into_values() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        // Wake the blocking accept so it observes the drain flag.
-        let _ = TcpStream::connect(self.addr);
+impl Conn {
+    /// Whether every owed byte has been delivered and the client is
+    /// done sending: the graceful-close condition.
+    fn drained(&self) -> bool {
+        self.eof && self.in_flight == 0 && self.outq.is_empty() && self.wbuf.is_empty()
     }
 }
 
@@ -105,9 +125,8 @@ impl Server {
         &self.svc
     }
 
-    /// Accepts connections forever (until the process exits or the
-    /// listener errors). Each connection is served on its own thread;
-    /// `{"ctl": "drain"}` is refused.
+    /// Serves connections forever (until the process exits or the
+    /// listener errors fatally). `{"ctl": "drain"}` is refused.
     ///
     /// # Errors
     ///
@@ -118,7 +137,7 @@ impl Server {
     }
 
     /// Like [`Server::run`], but honors `{"ctl": "drain"}`: on drain
-    /// the accept loop stops, open connections finish, the service
+    /// the accept pump stops, open connections finish, the service
     /// drains its queue, and this returns — the `pra serve --once`
     /// mode CI scripts use for a start-load-stop cycle.
     ///
@@ -130,76 +149,74 @@ impl Server {
         self.serve(true)
     }
 
+    /// The event loop: accept, then pump responses → writes → reads on
+    /// every connection, reap finished ones, sleep briefly when a tick
+    /// was entirely idle.
     fn serve(self, once: bool) -> std::io::Result<()> {
-        let ctl = Arc::new(ServerCtl {
-            draining: AtomicBool::new(false),
-            once,
-            addr: self.local_addr()?,
-            conns: Mutex::new(BTreeMap::new()),
-        });
+        self.listener.set_nonblocking(true)?;
         let max_connections = self.svc.config().max_connections.max(1) as u64;
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
-        let mut conn_serial: u64 = 0;
-        for stream in self.listener.incoming() {
-            if ctl.draining.load(Ordering::SeqCst) {
-                // The wake-up connection (or any later one) lands here;
-                // it gets a clean close without a handler.
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut draining = false;
+        loop {
+            let mut progressed = false;
+            if !draining {
+                progressed |= self.accept_pump(max_connections, &mut conns)?;
+            }
+
+            let mut kill = false;
+            for c in &mut conns {
+                progressed |= pump_responses(c);
+                progressed |= pump_writes(c);
+                if c.dead.is_none() && !c.eof {
+                    let (p, k) = pump_reads(c, &self.svc, once, &mut draining);
+                    progressed |= p;
+                    kill |= k;
+                }
+                // A request or control line may have queued output:
+                // flush it this tick instead of waiting for the next.
+                progressed |= pump_writes(c);
+            }
+            if kill {
+                // Abrupt shard death (the chaos `shard-kill` site):
+                // stop accepting and sever every live connection
+                // mid-stream — clients see an EOF/reset with responses
+                // still owed, which is exactly the signal the router's
+                // failover turns into a re-issue on the fallback
+                // shard. The service queue was already aborted.
+                draining = true;
+                for c in &mut conns {
+                    if c.dead.is_none() {
+                        c.dead = Some("severed: injected shard kill".to_string());
+                    }
+                }
+            }
+
+            conns.retain_mut(|c| {
+                let done = match &c.dead {
+                    Some(msg) => {
+                        eprintln!("pra-serve: connection {}: {msg}", c.peer);
+                        true
+                    }
+                    None => c.drained(),
+                };
+                if done {
+                    let _ = c.stream.shutdown(std::net::Shutdown::Both);
+                    // relaxed-ok: admission gauge; only this loop
+                    // thread mutates it.
+                    self.svc.stats().live_connections.fetch_sub(1, Ordering::Relaxed);
+                }
+                !done
+            });
+
+            if draining && conns.is_empty() {
                 break;
             }
-            let stream = stream?;
-            // Reap finished handlers so the handle list stays bounded by
-            // the live-connection cap instead of growing per connection.
-            let mut live_handles = Vec::with_capacity(handles.len());
-            for h in handles {
-                if h.is_finished() {
-                    let _ = h.join();
-                } else {
-                    live_handles.push(h);
-                }
+            if !progressed {
+                std::thread::sleep(IDLE_SLEEP);
             }
-            handles = live_handles;
-
-            // relaxed-ok: admission gauge; the only writer that matters
-            // for the cap is this accept thread, handlers only decrement.
-            let live = self.svc.stats().live_connections.load(Ordering::Relaxed);
-            if live >= max_connections {
-                // relaxed-ok: monotonic stat counter; nothing
-                // synchronizes through it.
-                self.svc.stats().connections_shed.fetch_add(1, Ordering::Relaxed);
-                let mut stream = stream;
-                let line = Response::Shed { id: 0, reason: ShedReason::Overloaded }.to_json_line();
-                let _ = stream.write_all(line.as_bytes());
-                let _ = stream.write_all(b"\n");
-                continue; // dropping the stream closes it
-            }
-
-            // relaxed-ok: admission gauge (see the load above).
-            self.svc.stats().live_connections.fetch_add(1, Ordering::Relaxed);
-            conn_serial += 1;
-            let serial = conn_serial;
-            if let Ok(clone) = stream.try_clone() {
-                ctl.lock_conns().insert(serial, clone);
-            }
-            let svc = Arc::clone(&self.svc);
-            let ctl = Arc::clone(&ctl);
-            handles.push(std::thread::spawn(move || {
-                let peer = stream
-                    .peer_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "<unknown>".to_string());
-                if let Err(e) = handle_connection(stream, &svc, &ctl) {
-                    eprintln!("pra-serve: connection {peer}: {e}");
-                }
-                ctl.lock_conns().remove(&serial);
-                // relaxed-ok: admission gauge (see the load above).
-                svc.stats().live_connections.fetch_sub(1, Ordering::Relaxed);
-            }));
         }
-        // Draining: let open connections finish, then drain the queue so
-        // every admitted request is answered before this returns.
-        for h in handles {
-            let _ = h.join();
-        }
+        // Draining and every connection closed: drain the queue so
+        // every admitted request was answered before this returns.
         self.svc.begin_shutdown();
         match Arc::try_unwrap(self.svc) {
             Ok(svc) => svc.shutdown(),
@@ -209,75 +226,175 @@ impl Server {
         }
         Ok(())
     }
-}
 
-/// The shared write half: the writer thread streams simulation
-/// responses from the channel, while the reader interleaves whole
-/// control-response lines under the same lock.
-type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
-
-/// Writes one line (plus newline) and flushes. The chaos `sock-stall` /
-/// `sock-write-err` sites model a congested or failing client link.
-fn write_line(out: &SharedWriter, line: &str) -> std::io::Result<()> {
-    pra_chaos::stall(pra_chaos::Site::SockStall);
-    if pra_chaos::fires(pra_chaos::Site::SockWriteErr) {
-        return Err(std::io::Error::other(
-            "chaos: injected socket write error (site sock-write-err)",
-        ));
-    }
-    let mut g = out.lock().unwrap_or_else(PoisonError::into_inner);
-    g.write_all(line.as_bytes())?;
-    g.write_all(b"\n")?;
-    // Flush per response: latency beats syscall count here.
-    g.flush()
-}
-
-/// Serves one connection: reads request lines, writes response lines.
-fn handle_connection(
-    stream: TcpStream,
-    svc: &Arc<SimService>,
-    ctl: &Arc<ServerCtl>,
-) -> std::io::Result<()> {
-    let out: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream.try_clone()?)));
-    let (tx, rx) = channel::<Response>();
-    let writer_out = Arc::clone(&out);
-    let writer = std::thread::spawn(move || -> std::io::Result<()> {
-        for resp in rx {
-            write_line(&writer_out, &resp.to_json_line())?;
+    /// Accepts every connection the backlog holds. Past the
+    /// live-connection cap a connection gets one `shed:overloaded`
+    /// line and a drop (the fresh socket is still blocking, so the
+    /// single small write goes out before the close).
+    fn accept_pump(&self, max_connections: u64, conns: &mut Vec<Conn>) -> std::io::Result<bool> {
+        let mut progressed = false;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, peer)) => {
+                    progressed = true;
+                    // relaxed-ok: admission gauge; only this loop
+                    // thread mutates it.
+                    let live = self.svc.stats().live_connections.load(Ordering::Relaxed);
+                    if live >= max_connections {
+                        // relaxed-ok: monotonic stat counter; nothing
+                        // synchronizes through it.
+                        self.svc.stats().connections_shed.fetch_add(1, Ordering::Relaxed);
+                        let line =
+                            Response::Shed { id: 0, reason: ShedReason::Overloaded }.to_json_line();
+                        let _ = stream.write_all(line.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        continue; // dropping the stream closes it
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        // A socket the loop cannot drive without
+                        // blocking is not servable; drop it.
+                        continue;
+                    }
+                    // relaxed-ok: admission gauge (see the load above).
+                    self.svc.stats().live_connections.fetch_add(1, Ordering::Relaxed);
+                    let (tx, rx) = channel();
+                    conns.push(Conn {
+                        stream,
+                        peer: peer.to_string(),
+                        rbuf: Vec::new(),
+                        rx,
+                        tx,
+                        outq: VecDeque::new(),
+                        wbuf: Vec::new(),
+                        in_flight: 0,
+                        eof: false,
+                        dead: None,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
         }
-        Ok(())
-    });
+        Ok(progressed)
+    }
+}
 
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
+/// Drains the connection's response channel into its output queue.
+/// Terminal responses settle the in-flight count; v2 `layer_result`
+/// frames pass straight through — streaming is why this pump exists.
+fn pump_responses(c: &mut Conn) -> bool {
+    let mut progressed = false;
+    // Disconnected is unreachable (the conn holds a sender); either
+    // way an Err means nothing more to drain this tick.
+    while let Ok(resp) = c.rx.try_recv() {
+        progressed = true;
+        if resp.is_terminal() {
+            c.in_flight = c.in_flight.saturating_sub(1);
+        }
+        c.outq.push_back(resp.to_json_line());
+    }
+    progressed
+}
+
+/// Moves queued lines through the write buffer onto the socket,
+/// stopping cleanly on `WouldBlock`. The chaos `sock-stall` /
+/// `sock-write-err` sites model a congested or failing client link and
+/// fire once per line, as the line enters the write buffer.
+fn pump_writes(c: &mut Conn) -> bool {
+    let mut progressed = false;
+    while c.dead.is_none() && !(c.wbuf.is_empty() && c.outq.is_empty()) {
+        if c.wbuf.is_empty() {
+            let Some(line) = c.outq.pop_front() else {
+                break;
+            };
+            pra_chaos::stall(pra_chaos::Site::SockStall);
+            if pra_chaos::fires(pra_chaos::Site::SockWriteErr) {
+                c.dead =
+                    Some("chaos: injected socket write error (site sock-write-err)".to_string());
+                break;
+            }
+            c.wbuf.extend_from_slice(line.as_bytes());
+            c.wbuf.push(b'\n');
+        }
+        match c.stream.write(&c.wbuf) {
+            Ok(0) => {
+                c.dead = Some("socket accepted no bytes".to_string());
+                break;
+            }
+            Ok(n) => {
+                progressed = true;
+                c.wbuf.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                c.dead = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    progressed
+}
+
+/// Reads whatever the socket holds, then dispatches every complete
+/// line. Returns `(made_progress, shard_kill_fired)`; the caller
+/// severs the other connections on a shard kill.
+fn pump_reads(
+    c: &mut Conn,
+    svc: &Arc<SimService>,
+    once: bool,
+    draining: &mut bool,
+) -> (bool, bool) {
+    let mut progressed = false;
+    let mut buf = [0u8; READ_CHUNK];
+    loop {
+        match c.stream.read(&mut buf) {
+            Ok(0) => {
+                progressed = true;
+                c.eof = true;
+                break;
+            }
+            Ok(n) => {
+                progressed = true;
+                if let Some(chunk) = buf.get(..n) {
+                    c.rbuf.extend_from_slice(chunk);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => {
+                c.dead = Some(e.to_string());
+                return (true, false);
+            }
+        }
+    }
+    while let Some(pos) = c.rbuf.iter().position(|&b| b == b'\n') {
+        progressed = true;
+        let mut raw: Vec<u8> = c.rbuf.drain(..=pos).collect();
+        raw.pop(); // the '\n' terminator itself
+        let line = String::from_utf8_lossy(&raw);
+        let line = line.strip_suffix('\r').unwrap_or(&line);
         if pra_chaos::fires(pra_chaos::Site::SockReadErr) {
-            return Err(std::io::Error::other(
-                "chaos: injected socket read error (site sock-read-err)",
-            ));
+            c.dead = Some("chaos: injected socket read error (site sock-read-err)".to_string());
+            return (true, false);
         }
         if pra_chaos::fires(pra_chaos::Site::ShardKill) {
-            // Abrupt shard death: discard queued work unanswered, sever
-            // every live connection (including this one), stop
-            // accepting. The router observes the dead connections and
-            // fails the lost requests over to the fallback shard.
+            // Discard queued work unanswered: the clients' connections
+            // are about to be severed, so answers would go nowhere.
             svc.abort();
-            ctl.kill();
-            return Err(std::io::Error::other("chaos: injected shard kill (site shard-kill)"));
+            c.dead = Some("chaos: injected shard kill (site shard-kill)".to_string());
+            return (true, true);
         }
-        let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        if let Some(ctl_req) = ControlRequest::parse(&line) {
+        if let Some(ctl_req) = ControlRequest::parse(line) {
             let reply = match ctl_req {
                 ControlRequest::Stats => svc.stats().snapshot().to_json_line(),
-                ControlRequest::Drain if ctl.once => {
-                    ctl.draining.store(true, Ordering::SeqCst);
-                    let reply = svc.stats().snapshot().to_json_line();
-                    // Wake the blocking accept so it observes the flag;
-                    // the throwaway connection is closed unserved.
-                    let _ = TcpStream::connect(ctl.addr);
-                    reply
+                ControlRequest::Drain if once => {
+                    *draining = true;
+                    svc.stats().snapshot().to_json_line()
                 }
                 ControlRequest::Drain => Response::Error {
                     id: 0,
@@ -285,14 +402,17 @@ fn handle_connection(
                 }
                 .to_json_line(),
             };
-            write_line(&out, &reply)?;
+            c.outq.push_back(reply);
             continue;
         }
-        let resp = match Request::parse(&line) {
+        let resp = match Request::parse(line) {
             Ok(req) => {
                 let id = req.id;
-                match svc.submit(req, tx.clone()) {
-                    Ok(()) => continue,
+                match svc.submit(req, c.tx.clone()) {
+                    Ok(()) => {
+                        c.in_flight += 1;
+                        continue;
+                    }
                     Err(reason) => Response::Shed { id, reason },
                 }
             }
@@ -300,20 +420,15 @@ fn handle_connection(
             // otherwise the raw id text is echoed back as a string
             // (`Response::MalformedId`) so two concurrent malformed
             // lines can never collide on a fabricated id 0.
-            Err(message) => match request_id(&line) {
-                Ok(id) => Response::Error { id, message },
+            Err(e) => match request_id(line) {
+                Ok(id) => Response::Error { id, message: e.to_string() },
                 Err(_) => Response::MalformedId {
-                    raw_id: raw_id_token(&line).unwrap_or_else(|| "<missing>".to_string()),
-                    message,
+                    raw_id: raw_id_token(line).unwrap_or_else(|| "<missing>".to_string()),
+                    message: e.to_string(),
                 },
             },
         };
-        if tx.send(resp).is_err() {
-            break; // Writer died; no point reading further.
-        }
+        c.outq.push_back(resp.to_json_line());
     }
-    // EOF: drop our sender so the writer drains in-flight responses and
-    // exits once the last worker's clone goes away.
-    drop(tx);
-    writer.join().map_err(|_| std::io::Error::other("serve writer panicked"))?
+    (progressed, false)
 }

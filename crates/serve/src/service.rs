@@ -35,9 +35,11 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pra_core::{run_shared, ArtifactPool, PraConfig};
+use pra_core::{
+    run_pipelined, run_shared, run_shared_streaming, ArtifactPool, PraConfig, SharedEncodedNetwork,
+};
 use pra_engines::{dadn, stripes};
-use pra_sim::ChipConfig;
+use pra_sim::{ChipConfig, RunResult};
 use pra_workloads::cache::{self, Cache};
 use pra_workloads::{LayerView, NetworkWorkload};
 
@@ -452,7 +454,7 @@ fn run_batch(
     let members: Vec<_> = batch
         .requests
         .iter()
-        .map(|p| (p.req.id, p.tx.clone(), cfg.deadline.map(|d| p.submitted + d)))
+        .map(|p| (p.req.id, p.tx.clone(), cfg.deadline.map(|d| p.submitted + d), p.req.v == 2))
         .collect();
     for c in registry.begin_batch(slot, (key.network, key.repr, key.seed), members) {
         // Unreachable by construction (finish_batch drains the slot);
@@ -490,10 +492,18 @@ fn run_batch(
     if engines.is_empty() {
         for p in &batch.requests {
             if let Some(c) = registry.claim(slot, p.req.id) {
-                let _ = c.tx.send(Response::Error {
+                let resp = Response::Error {
                     id: c.id,
                     message: format!("unknown engine '{}'", p.req.engine),
-                });
+                };
+                // A v2 client still gets its terminal inside a `done`
+                // frame — zero layer frames, since nothing simulated.
+                let resp = if c.stream {
+                    Response::Done { id: c.id, frames: 0, inner: Box::new(resp) }
+                } else {
+                    resp
+                };
+                let _ = c.tx.send(resp);
             }
         }
         finish_slot(registry, slot);
@@ -511,7 +521,63 @@ fn run_batch(
         .then(|| cfg.cache_dir.clone().map(Cache::new).unwrap_or_else(Cache::at_default));
     let std_cfgs: Vec<PraConfig> = pra_bench::sweep::pra_configs(key.repr, cfg.fidelity);
     let any_pra = engines.iter().any(|(_, e)| matches!(e, Engine::Pra(_)));
-    let (workload, shared) = if any_pra {
+    // Any v2 member turns on streaming for the batch: the lead engine's
+    // per-layer progress fans out as `layer_result` frames to exactly
+    // the still-in-flight v2 members (the registry's `stream` flag
+    // keeps v1 channels byte-identical to the old wire).
+    let has_streamers = batch.requests.iter().any(|p| p.req.v == 2);
+    let mut frames_sent: BTreeMap<u64, usize> = BTreeMap::new();
+    // The lead engine is the batch's first PRA design point: its run is
+    // the one that overlaps the pipelined artifact build and drives the
+    // frame stream.
+    let lead: Option<(String, PraConfig)> = engines.iter().find_map(|(l, e)| match e {
+        Engine::Pra(c) => Some((l.clone(), *c)),
+        _ => None,
+    });
+    let streaming_lead = if has_streamers { lead } else { None };
+    let (workload, shared, lead_run) = if let Some((lead_label, lead_cfg)) = streaming_lead {
+        // Streaming batches break the strict build-then-simulate
+        // sequence on a pool miss: layer n+1 encodes on the pipeline
+        // thread while layer n simulates here, and every finished layer
+        // becomes a frame immediately.
+        match pool.lookup(&std_cfgs, key.network, key.repr, key.seed) {
+            Some((workload, shared)) => {
+                // relaxed-ok: monotonic stat counter; nothing
+                // synchronizes through it.
+                stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+                let layers = workload.layers.len();
+                let r = run_shared_streaming(&lead_cfg, &workload, &shared, |idx, partial| {
+                    emit_frames(registry, slot, cfg, &mut frames_sent, idx, layers, partial);
+                });
+                (workload, Some(shared), Some((lead_label, r)))
+            }
+            None => {
+                let workload = Arc::new(match &cache_handle {
+                    Some(c) => cache::build_cached_in(c, key.network, key.repr, key.seed).0,
+                    None => NetworkWorkload::build_uncached(key.network, key.repr, key.seed),
+                });
+                let build = SharedEncodedNetwork::start_pipelined(
+                    &std_cfgs,
+                    &workload,
+                    cache_handle.as_ref(),
+                );
+                let layers = workload.layers.len();
+                let r = run_pipelined(&lead_cfg, &workload, &build, |idx, partial| {
+                    emit_frames(registry, slot, cfg, &mut frames_sent, idx, layers, partial);
+                });
+                let shared = Arc::new(build.finish(cache_handle.as_ref()));
+                pool.insert(
+                    key.network,
+                    key.repr,
+                    key.seed,
+                    &std_cfgs,
+                    Arc::clone(&workload),
+                    Arc::clone(&shared),
+                );
+                (workload, Some(shared), Some((lead_label, r)))
+            }
+        }
+    } else if any_pra {
         let (workload, shared, pool_hit) =
             pool.get_or_build(&std_cfgs, key.network, key.repr, key.seed, cache_handle.as_ref());
         if pool_hit {
@@ -519,21 +585,21 @@ fn run_batch(
             // through it.
             stats.pool_hits.fetch_add(1, Ordering::Relaxed);
         }
-        (workload, Some(shared))
+        (workload, Some(shared), None)
     } else {
         match pool.lookup(&std_cfgs, key.network, key.repr, key.seed) {
             Some((workload, shared)) => {
                 // relaxed-ok: monotonic stat counter; nothing
                 // synchronizes through it.
                 stats.pool_hits.fetch_add(1, Ordering::Relaxed);
-                (workload, Some(shared))
+                (workload, Some(shared), None)
             }
             None => {
                 let workload = Arc::new(match &cache_handle {
                     Some(c) => cache::build_cached_in(c, key.network, key.repr, key.seed).0,
                     None => NetworkWorkload::build_uncached(key.network, key.repr, key.seed),
                 });
-                (workload, None)
+                (workload, None, None)
             }
         }
     };
@@ -544,6 +610,19 @@ fn run_batch(
     // Each distinct engine simulates exactly once; the DaDN baseline is
     // always needed for the speedup field.
     let base = dadn::run_views(&chip, &views, key.repr, traffic);
+
+    // Streaming batches with no PRA engine stream off the baseline run
+    // instead: a burst of per-layer frames as soon as it completes (the
+    // baseline engines have no incremental hook, but the client still
+    // gets layer granularity and the same done-frame terminal).
+    if has_streamers && lead_run.is_none() {
+        let mut partial = RunResult::new(base.engine.clone());
+        for (idx, layer) in base.layers.iter().enumerate() {
+            partial.layers.push(layer.clone());
+            emit_frames(registry, slot, cfg, &mut frames_sent, idx, base.layers.len(), &partial);
+        }
+    }
+
     let mut results: BTreeMap<&str, (u64, u64, f64)> = BTreeMap::new();
     for (label, engine) in &engines {
         let (cycles, terms, speedup) = match engine {
@@ -556,12 +635,19 @@ fn run_batch(
             // None here (impossible by construction) falls through to the
             // per-request unknown-engine error below instead of panicking
             // the worker.
-            Engine::Pra(pra_cfg) => match shared.as_deref() {
-                Some(s) => {
-                    let r = run_shared(pra_cfg, &workload, s);
+            Engine::Pra(pra_cfg) => match &lead_run {
+                // The streaming lead already simulated while artifacts
+                // were still building; reuse its result.
+                Some((lead_label, r)) if lead_label == label => {
                     (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
                 }
-                None => continue,
+                _ => match shared.as_deref() {
+                    Some(s) => {
+                        let r = run_shared(pra_cfg, &workload, s);
+                        (r.total_cycles(), r.total_terms(), r.speedup_over(&base))
+                    }
+                    None => continue,
+                },
             },
         };
         results.insert(label.as_str(), (cycles, terms, speedup));
@@ -616,10 +702,42 @@ fn run_batch(
                 message: format!("unknown engine '{}'", p.req.engine),
             },
         };
+        // A v2 member's terminal travels inside a `done` frame carrying
+        // the frame count; concatenating the done payload after the
+        // frames reproduces the v1 bytes (pinned by the protocol tests
+        // and the CI streaming smoke).
+        let resp = if claimed.stream {
+            let frames = frames_sent.get(&p.req.id).copied().unwrap_or(0);
+            Response::Done { id: p.req.id, frames, inner: Box::new(resp) }
+        } else {
+            resp
+        };
         // A disconnected client is not the service's problem.
         let _ = claimed.tx.send(resp);
     }
     finish_slot(registry, slot);
+}
+
+/// Fans one finished layer out as `layer_result` frames to every
+/// still-in-flight streaming (v2) member of `slot`'s batch, counting
+/// per-id frames for the terminal `done` frame. Delivering a frame also
+/// extends per-request deadlines ([`InflightRegistry::on_frame`]): a
+/// deadline under streaming bounds *inactivity*, not total latency —
+/// a client watching frames arrive is not stuck.
+fn emit_frames(
+    registry: &InflightRegistry,
+    slot: usize,
+    cfg: &ServeConfig,
+    frames_sent: &mut BTreeMap<u64, usize>,
+    layer: usize,
+    layers: usize,
+    partial: &RunResult,
+) {
+    let (cycles, terms) = (partial.total_cycles(), partial.total_terms());
+    for (id, tx) in registry.on_frame(slot, cfg.deadline) {
+        *frames_sent.entry(id).or_insert(0) += 1;
+        let _ = tx.send(Response::LayerResult { id, layer, layers, cycles, terms });
+    }
 }
 
 /// Ends `slot`'s batch, defensively answering anything the fan-out
@@ -659,6 +777,7 @@ mod tests {
             repr: Representation::Fixed16,
             engine: engine.to_string(),
             seed: 0xBEEF,
+            v: 1,
         }
     }
 
@@ -712,6 +831,79 @@ mod tests {
         let rx = svc.call(req(9, "DaDN")).unwrap();
         assert!(matches!(rx.recv_timeout(Duration::from_secs(120)), Ok(Response::Ok { .. })));
         assert_eq!(svc.stats().pool_hits.load(Ordering::Relaxed), 3);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn v2_requests_stream_layer_frames_then_done() {
+        let svc = SimService::start(fast_cfg(1, 2));
+        let mut streaming = req(5, "PRA-2b");
+        streaming.v = 2;
+        let rx = svc.call(streaming).unwrap();
+        let mut frames = 0usize;
+        let mut last_cycles = 0u64;
+        let v2_digest = loop {
+            match rx.recv_timeout(Duration::from_secs(120)).expect("frame or terminal") {
+                Response::LayerResult { id, layer, layers, cycles, .. } => {
+                    assert_eq!(id, 5);
+                    assert_eq!(layer, frames, "frames arrive in layer order");
+                    assert!(layer < layers);
+                    assert!(cycles >= last_cycles, "cycle totals are cumulative");
+                    last_cycles = cycles;
+                    frames += 1;
+                }
+                Response::Done { id, frames: reported, inner } => {
+                    assert_eq!(id, 5);
+                    assert_eq!(reported, frames, "done frame counts the frames sent");
+                    assert!(frames > 0, "a streaming run must emit layer frames");
+                    match *inner {
+                        Response::Ok { id, cycles, digest, .. } => {
+                            assert_eq!(id, 5);
+                            assert!(cycles > 0);
+                            break digest;
+                        }
+                        other => panic!("expected ok terminal, got {other:?}"),
+                    }
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        };
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err(), "done is terminal");
+        // A v1 request for the same work gets a bare ok whose digest
+        // matches the streamed terminal byte for byte.
+        let rx = svc.call(req(6, "PRA-2b")).unwrap();
+        match rx.recv_timeout(Duration::from_secs(120)).expect("response") {
+            Response::Ok { digest, .. } => {
+                assert_eq!(digest, v2_digest, "streaming must not change results");
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn v2_requests_without_pra_engines_burst_baseline_frames() {
+        let svc = SimService::start(fast_cfg(1, 2));
+        let mut streaming = req(7, "Stripes");
+        streaming.v = 2;
+        let rx = svc.call(streaming).unwrap();
+        let mut frames = 0usize;
+        loop {
+            match rx.recv_timeout(Duration::from_secs(120)).expect("frame or terminal") {
+                Response::LayerResult { id, .. } => {
+                    assert_eq!(id, 7);
+                    frames += 1;
+                }
+                Response::Done { id, frames: reported, inner } => {
+                    assert_eq!(id, 7);
+                    assert_eq!(reported, frames);
+                    assert!(frames > 0, "baseline batches still stream per-layer frames");
+                    assert!(matches!(*inner, Response::Ok { .. }));
+                    break;
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
         svc.shutdown();
     }
 

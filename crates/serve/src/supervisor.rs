@@ -38,6 +38,9 @@ struct InflightEntry {
     id: u64,
     tx: Sender<Response>,
     deadline: Option<Instant>,
+    /// Whether this request negotiated protocol v2 — the only entries
+    /// [`InflightRegistry::on_frame`] fans `layer_result` frames to.
+    stream: bool,
 }
 
 /// One worker's current batch.
@@ -63,6 +66,11 @@ pub struct Claimed {
     pub id: u64,
     /// Where the one answer goes.
     pub tx: Sender<Response>,
+    /// Whether the request negotiated protocol v2: its terminal
+    /// response must be wrapped in a `done` frame. Progress frames are
+    /// *not* the claimer's business — they go through
+    /// [`InflightRegistry::on_frame`] while the entry is still owed.
+    pub stream: bool,
 }
 
 impl InflightRegistry {
@@ -94,18 +102,18 @@ impl InflightRegistry {
         &self,
         slot: usize,
         workload: WorkloadId,
-        members: Vec<(u64, Sender<Response>, Option<Instant>)>,
+        members: Vec<(u64, Sender<Response>, Option<Instant>, bool)>,
     ) -> Vec<Claimed> {
         let mut slots = self.lock();
         let Some(s) = slots.get_mut(slot) else { return Vec::new() };
         let stale = std::mem::take(&mut s.entries);
         s.entries = members
             .into_iter()
-            .map(|(id, tx, deadline)| InflightEntry { id, tx, deadline })
+            .map(|(id, tx, deadline, stream)| InflightEntry { id, tx, deadline, stream })
             .collect();
         s.workload = Some(workload);
         s.registered = Some(Instant::now());
-        stale.into_iter().map(|e| Claimed { id: e.id, tx: e.tx }).collect()
+        stale.into_iter().map(|e| Claimed { id: e.id, tx: e.tx, stream: e.stream }).collect()
     }
 
     /// Claims the answer for `id` in `slot`. `None` means someone else
@@ -115,7 +123,32 @@ impl InflightRegistry {
         let s = slots.get_mut(slot)?;
         let at = s.entries.iter().position(|e| e.id == id)?;
         let e = s.entries.swap_remove(at);
-        Some(Claimed { id: e.id, tx: e.tx })
+        Some(Claimed { id: e.id, tx: e.tx, stream: e.stream })
+    }
+
+    /// A layer finished in `slot`'s batch: returns `(id, tx)` for
+    /// every still-owed *streaming* entry (a clone of the channel —
+    /// the entry stays registered; only the terminal answer claims
+    /// it), and pushes every still-owed deadline in the slot out to
+    /// `now + extend`. Per-frame deadline extension turns the
+    /// per-request deadline into an *inactivity* deadline for v2
+    /// batches: a stream that keeps producing frames is alive, however
+    /// long the whole network takes, while a wedged one still expires
+    /// one extension past its last frame. Entries already claimed (by
+    /// the deadline sweep or a reclaim) get no frames — exactly-once
+    /// stays with the claimer.
+    pub fn on_frame(&self, slot: usize, extend: Option<Duration>) -> Vec<(u64, Sender<Response>)> {
+        let mut slots = self.lock();
+        let Some(s) = slots.get_mut(slot) else { return Vec::new() };
+        if let Some(d) = extend {
+            let pushed = Instant::now() + d;
+            for e in s.entries.iter_mut() {
+                if e.deadline.is_some() {
+                    e.deadline = Some(pushed);
+                }
+            }
+        }
+        s.entries.iter().filter(|e| e.stream).map(|e| (e.id, e.tx.clone())).collect()
     }
 
     /// Marks `slot`'s batch finished, returning any entries nobody
@@ -126,7 +159,10 @@ impl InflightRegistry {
         let Some(s) = slots.get_mut(slot) else { return Vec::new() };
         s.workload = None;
         s.registered = None;
-        std::mem::take(&mut s.entries).into_iter().map(|e| Claimed { id: e.id, tx: e.tx }).collect()
+        std::mem::take(&mut s.entries)
+            .into_iter()
+            .map(|e| Claimed { id: e.id, tx: e.tx, stream: e.stream })
+            .collect()
     }
 
     /// Claims every entry whose deadline expired at `now`, across all
@@ -139,7 +175,7 @@ impl InflightRegistry {
             while i < s.entries.len() {
                 if s.entries.get(i).is_some_and(|e| e.deadline.is_some_and(|d| d <= now)) {
                     let e = s.entries.swap_remove(i);
-                    out.push(Claimed { id: e.id, tx: e.tx });
+                    out.push(Claimed { id: e.id, tx: e.tx, stream: e.stream });
                 } else {
                     i += 1;
                 }
@@ -157,7 +193,7 @@ impl InflightRegistry {
         s.registered = None;
         let owed = std::mem::take(&mut s.entries)
             .into_iter()
-            .map(|e| Claimed { id: e.id, tx: e.tx })
+            .map(|e| Claimed { id: e.id, tx: e.tx, stream: e.stream })
             .collect();
         (owed, workload)
     }
@@ -184,10 +220,22 @@ mod tests {
     use super::*;
     use std::sync::mpsc::channel;
 
-    fn member(id: u64, deadline: Option<Instant>) -> (u64, Sender<Response>, Option<Instant>) {
+    fn member(
+        id: u64,
+        deadline: Option<Instant>,
+    ) -> (u64, Sender<Response>, Option<Instant>, bool) {
         let (tx, rx) = channel();
         std::mem::forget(rx);
-        (id, tx, deadline)
+        (id, tx, deadline, false)
+    }
+
+    fn streamer(
+        id: u64,
+        deadline: Option<Instant>,
+    ) -> (u64, Sender<Response>, Option<Instant>, bool) {
+        let (tx, rx) = channel();
+        std::mem::forget(rx);
+        (id, tx, deadline, true)
     }
 
     const WL: WorkloadId = (Network::AlexNet, Representation::Fixed16, 7);
@@ -251,6 +299,36 @@ mod tests {
         assert!(reg.claim(3, 9).is_none(), "new slots start empty");
         let _ = reg.begin_batch(3, WL, vec![member(9, None)]);
         assert!(reg.claim(3, 9).is_some());
+    }
+
+    #[test]
+    fn frames_fan_out_to_streaming_entries_only_and_extend_deadlines() {
+        let reg = InflightRegistry::new(1);
+        let _ = reg.begin_batch(0, WL, vec![member(1, None), streamer(2, None), streamer(3, None)]);
+        let targets = reg.on_frame(0, None);
+        let ids: Vec<u64> = targets.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2, 3], "v1 members never receive frames");
+        assert_eq!(reg.owed(), 3, "frames claim nothing");
+        // A claimed entry stops receiving frames: exactly-once stays
+        // with whoever claimed the answer.
+        let claimed = reg.claim(0, 2).expect("first claim wins");
+        assert!(claimed.stream, "claim carries the negotiated version");
+        assert!(!reg.claim(0, 1).expect("v1 claim").stream);
+        assert_eq!(reg.on_frame(0, None).len(), 1, "only id 3 still streams");
+        // Per-frame extension pushes every still-owed deadline out.
+        let reg = InflightRegistry::new(1);
+        let about_to_expire = Instant::now() + Duration::from_millis(1);
+        let _ = reg.begin_batch(0, WL, vec![streamer(7, Some(about_to_expire)), member(8, None)]);
+        let _ = reg.on_frame(0, Some(Duration::from_secs(60)));
+        let late = Instant::now() + Duration::from_secs(30);
+        assert!(reg.claim_expired(late).is_empty(), "frame activity defers the deadline");
+        assert!(
+            reg.in_flight_age(0, Instant::now()).is_some(),
+            "extension leaves the wedge clock alone"
+        );
+        // Entries with no deadline stay deadline-free after extension.
+        assert_eq!(reg.claim_expired(Instant::now() + Duration::from_secs(3600)).len(), 1);
+        assert!(reg.claim(0, 8).is_some(), "deadline-free member untouched by the sweep");
     }
 
     #[test]

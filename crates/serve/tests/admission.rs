@@ -21,6 +21,7 @@ fn request(id: u64, net: usize, repr: bool, engine: usize, seed: u64) -> Request
         repr,
         engine: labels[engine % labels.len()].clone(),
         seed,
+        v: 1,
     }
 }
 

@@ -54,6 +54,7 @@ fn bench_cfg(addr: String, retries: u32) -> BenchConfig {
         connect_timeout: Duration::from_secs(10),
         retries,
         backoff_ms: 5,
+        v2: false,
     }
 }
 

@@ -1,0 +1,317 @@
+//! Protocol-v2 wire invariants (ISSUE 9 satellite): property-tested
+//! frame round-trips over random layer counts, shed interleavings and
+//! unicode in error text, plus the acceptance gate in miniature — a v2
+//! client's combined digest is byte-identical to the v1 path, and the
+//! stream delivers ordered progress frames strictly before `done`.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pra_core::Fidelity;
+use pra_serve::bench::request_mix;
+use pra_serve::{BenchConfig, Response, ServeConfig, Server, ShedReason};
+
+/// Characters the error-text generator draws from: ASCII, JSON
+/// metacharacters that must escape, a control char, and multi-byte
+/// unicode (including an astral-plane emoji).
+const PALETTE: &[char] =
+    &['a', 'Z', '0', ' ', '"', '\\', '\n', '\t', 'λ', 'ω', '层', '流', '🚀', '∞'];
+
+fn text(idx: &[usize]) -> String {
+    idx.iter().map(|&i| PALETTE[i % PALETTE.len()]).collect()
+}
+
+const REASONS: &[ShedReason] = &[
+    ShedReason::QueueFull,
+    ShedReason::ShuttingDown,
+    ShedReason::Overloaded,
+    ShedReason::Deadline,
+    ShedReason::WorkerLost,
+    ShedReason::NoShard,
+];
+
+/// The wire invariant for every frame: serialize → parse → serialize is
+/// a fixed point (floats are formatted at fixed precision, so *line*
+/// identity is the meaningful round-trip, not struct identity).
+fn assert_line_fixed_point(resp: &Response) -> Response {
+    let line = resp.to_json_line();
+    let parsed =
+        Response::parse(&line).unwrap_or_else(|e| panic!("frame must re-parse: {e}\nline: {line}"));
+    assert_eq!(parsed.to_json_line(), line, "serialize∘parse must be the identity on lines");
+    parsed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `layer_result` frames survive the wire byte-exactly for
+    /// arbitrary ids, layer counts and cumulative counters.
+    #[test]
+    fn layer_frames_roundtrip(
+        id in 0u64..,
+        layer in 0usize..64,
+        extra in 1usize..64,
+        cycles in 0u64..,
+        terms in 0u64..,
+    ) {
+        let frame = Response::LayerResult { id, layer, layers: layer + extra, cycles, terms };
+        let parsed = assert_line_fixed_point(&frame);
+        prop_assert_eq!(parsed, frame);
+        let done = Response::Done {
+            id,
+            frames: layer + 1,
+            inner: Box::new(Response::Error { id, message: "late".to_string() }),
+        };
+        prop_assert!(done.is_terminal());
+        prop_assert!(!Response::LayerResult { id, layer, layers: layer + extra, cycles, terms }
+            .is_terminal());
+    }
+
+    /// `done` frames wrapping error terminals with arbitrary unicode in
+    /// the message round-trip: the JSON-escaped payload re-parses to the
+    /// same inner response, byte for byte.
+    #[test]
+    fn done_frames_roundtrip_unicode_errors(
+        id in 0u64..,
+        frames in 0usize..64,
+        txt in prop::collection::vec(0usize..14, 0..24),
+    ) {
+        let inner = Response::Error { id, message: text(&txt) };
+        let done = Response::Done { id, frames, inner: Box::new(inner.clone()) };
+        let parsed = assert_line_fixed_point(&done);
+        match parsed {
+            Response::Done { id: pid, frames: pframes, inner: pinner } => {
+                prop_assert_eq!(pid, id);
+                prop_assert_eq!(pframes, frames);
+                prop_assert_eq!(*pinner, inner);
+            }
+            other => prop_assert!(false, "parsed to a non-done frame: {:?}", other),
+        }
+    }
+
+    /// Random multi-request exchanges — streamed requests round-robin
+    /// interleaved with monolithic sheds — replay soundly: every line
+    /// parses, each id gets exactly one terminal, a `done`'s `frames`
+    /// count matches the progress frames that preceded it, its payload
+    /// reproduces the request's v1 line byte-exactly, and progress
+    /// frames arrive in layer order with nondecreasing counters.
+    #[test]
+    fn shed_interleavings_replay_to_the_v1_byte_stream(
+        reqs in prop::collection::vec(
+            (any::<bool>(), 0usize..6, 1usize..6, prop::collection::vec(0usize..14, 0..12)),
+            1..8,
+        ),
+    ) {
+        let mut v1_lines: BTreeMap<u64, String> = BTreeMap::new();
+        let mut queues: Vec<Vec<String>> = Vec::new();
+        for (i, (shed, reason, layers, txt)) in reqs.iter().enumerate() {
+            let id = i as u64;
+            if *shed {
+                // Sheds stay monolithic v1 even on a v2 stream.
+                let s = Response::Shed { id, reason: REASONS[reason % REASONS.len()] };
+                v1_lines.insert(id, s.to_json_line());
+                queues.push(vec![s.to_json_line()]);
+            } else {
+                let mut q: Vec<String> = (0..*layers)
+                    .map(|l| {
+                        Response::LayerResult {
+                            id,
+                            layer: l,
+                            layers: *layers,
+                            cycles: (l as u64 + 1) * 7,
+                            terms: (l as u64 + 1) * 3,
+                        }
+                        .to_json_line()
+                    })
+                    .collect();
+                let inner = Response::Error { id, message: text(txt) };
+                v1_lines.insert(id, inner.to_json_line());
+                q.push(
+                    Response::Done { id, frames: *layers, inner: Box::new(inner) }.to_json_line(),
+                );
+                queues.push(q);
+            }
+        }
+        // Round-robin merge: sheds and other requests' frames land in
+        // the middle of each stream, as they do on a shared connection.
+        let mut wire: Vec<String> = Vec::new();
+        while queues.iter().any(|q| !q.is_empty()) {
+            for q in queues.iter_mut() {
+                if !q.is_empty() {
+                    wire.push(q.remove(0));
+                }
+            }
+        }
+        let mut progress_seen: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
+        let mut terminals: BTreeMap<u64, usize> = BTreeMap::new();
+        for line in &wire {
+            match Response::parse(line).expect("every wire line parses") {
+                Response::LayerResult { id, layer, layers, cycles, .. } => {
+                    prop_assert!(!terminals.contains_key(&id), "frame after terminal for {}", id);
+                    let (count, last_cycles) = progress_seen.get(&id).copied().unwrap_or((0, 0));
+                    prop_assert_eq!(layer, count, "layer frames arrive in order");
+                    prop_assert!(layer < layers);
+                    prop_assert!(cycles >= last_cycles, "cumulative counters never regress");
+                    progress_seen.insert(id, (count + 1, cycles));
+                }
+                Response::Done { id, frames, inner } => {
+                    prop_assert_eq!(
+                        frames,
+                        progress_seen.get(&id).map_or(0, |&(c, _)| c),
+                        "done.frames counts the preceding progress frames"
+                    );
+                    prop_assert_eq!(
+                        &inner.to_json_line(),
+                        v1_lines.get(&id).expect("known id"),
+                        "the done payload is the v1 line, byte for byte"
+                    );
+                    prop_assert!(terminals.insert(id, frames).is_none(), "second terminal");
+                }
+                Response::Shed { id, .. } => {
+                    prop_assert!(terminals.insert(id, 0).is_none(), "second terminal");
+                }
+                other => prop_assert!(false, "unexpected frame: {:?}", other),
+            }
+        }
+        prop_assert_eq!(terminals.len(), reqs.len(), "every request got exactly one terminal");
+    }
+}
+
+/// Nesting frames inside a `done` payload is a protocol violation: the
+/// payload must be a *terminal* v1 response.
+#[test]
+fn done_payloads_must_be_terminal() {
+    let nested_progress = Response::Done {
+        id: 1,
+        frames: 0,
+        inner: Box::new(Response::LayerResult { id: 1, layer: 0, layers: 2, cycles: 1, terms: 1 }),
+    };
+    assert!(Response::parse(&nested_progress.to_json_line()).is_err());
+    let nested_done = Response::Done {
+        id: 1,
+        frames: 0,
+        inner: Box::new(Response::Done {
+            id: 1,
+            frames: 0,
+            inner: Box::new(Response::Error { id: 1, message: "x".to_string() }),
+        }),
+    };
+    assert!(Response::parse(&nested_done.to_json_line()).is_err());
+}
+
+fn server_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        queue_depth: 64,
+        linger: Duration::from_millis(2),
+        fidelity: Fidelity::Sampled { max_pallets: 2 },
+        use_cache: false,
+        cache_dir: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn boot() -> String {
+    let server = Server::bind("127.0.0.1:0", server_cfg()).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    addr
+}
+
+/// The acceptance gate in miniature: the same bench run as a v1 client
+/// and as a v2 client produces byte-identical combined digests — the
+/// concatenated digest-relevant payloads of a v2 exchange ARE the v1
+/// bytes. CI's `streaming-smoke` job pins the same property at full
+/// fidelity against the committed golden.
+#[test]
+fn v2_bench_digest_is_byte_identical_to_v1() {
+    let addr = boot();
+    let v1 = BenchConfig {
+        addr,
+        requests: 10,
+        window: 4,
+        seed: 0x5EED,
+        connect_timeout: Duration::from_secs(10),
+        retries: 0,
+        backoff_ms: 25,
+        v2: false,
+    };
+    let (m1, _) = pra_serve::run_bench(&v1).expect("v1 bench");
+    assert_eq!(m1.frames, 0, "v1 clients never see frames");
+
+    let mut v2 = v1.clone();
+    v2.v2 = true;
+    let (m2, _) = pra_serve::run_bench(&v2).expect("v2 bench");
+    assert_eq!(m2.digest, m1.digest, "v2 streaming must not change a digest-relevant byte");
+    assert_eq!(m2.ok, m1.ok);
+    assert!(m2.frames > 0, "a v2 run streams progress frames");
+    assert!(
+        m2.p50_first_frame_ms > 0.0 && m2.p50_first_frame_ms <= m2.p50_ms,
+        "the first frame can only arrive at or before the terminal: {} vs {}",
+        m2.p50_first_frame_ms,
+        m2.p50_ms
+    );
+}
+
+/// Raw-socket v2 exchange: ordered progress frames strictly before one
+/// `done`, whose payload carries the same simulation result a v1 client
+/// gets for the identical request.
+#[test]
+fn v2_stream_orders_frames_before_done() {
+    let addr = boot();
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let mut out = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    let mut v1 = request_mix(0, 0x5EED);
+    v1.network = pra_workloads::Network::AlexNet;
+    out.write_all((v1.to_json_line() + "\n").as_bytes()).unwrap();
+    out.flush().unwrap();
+    reader.read_line(&mut line).expect("v1 answer");
+    let v1_digest = match Response::parse(line.trim()).expect("v1 response parses") {
+        Response::Ok { digest, .. } => digest,
+        other => panic!("expected ok, got {other:?}"),
+    };
+
+    let mut v2 = request_mix(0, 0x5EED);
+    v2.network = pra_workloads::Network::AlexNet;
+    v2.id = 1;
+    v2.v = 2;
+    out.write_all((v2.to_json_line() + "\n").as_bytes()).unwrap();
+    out.flush().unwrap();
+
+    let mut frames = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("stream line");
+        match Response::parse(line.trim()).expect("v2 frame parses") {
+            Response::LayerResult { id, layer, layers, .. } => {
+                assert_eq!(id, 1);
+                assert_eq!(layer, frames, "frames arrive in layer order");
+                assert!(layer < layers);
+                frames += 1;
+            }
+            Response::Done { id, frames: reported, inner } => {
+                assert_eq!(id, 1);
+                assert_eq!(reported, frames, "done.frames counts the stream");
+                assert!(frames > 0, "a v2 request streams at least one progress frame");
+                match *inner {
+                    Response::Ok { digest, .. } => {
+                        assert_eq!(digest, v1_digest, "same workload, same digest");
+                    }
+                    other => panic!("expected ok terminal, got {other:?}"),
+                }
+                break;
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+}

@@ -38,6 +38,7 @@ fn closed_loop_bench_completes_and_digest_is_window_independent() {
         connect_timeout: Duration::from_secs(10),
         retries: 0,
         backoff_ms: 25,
+        v2: false,
     };
     let (m, responses) = pra_serve::run_bench(&cfg).expect("bench must complete");
     assert_eq!(m.requests, 10);

@@ -103,6 +103,9 @@ fn tcp_round_trip_matches_in_process_results() {
             // back), the unknown engine answers a plain Error.
             Response::Error { .. } | Response::MalformedId { .. } => errors += 1,
             Response::Shed { .. } => panic!("queue depth 64 must not shed 8 requests"),
+            frame @ (Response::LayerResult { .. } | Response::Done { .. }) => {
+                panic!("v1 clients must never see v2 frames, got {frame:?}")
+            }
         }
         if oks.len() == n && errors == 2 {
             break;
@@ -163,6 +166,9 @@ fn queue_full_sheds_over_tcp() {
             }
             Response::Error { message, .. } => panic!("unexpected error: {message}"),
             Response::MalformedId { message, .. } => panic!("unexpected malformed-id: {message}"),
+            frame @ (Response::LayerResult { .. } | Response::Done { .. }) => {
+                panic!("v1 clients must never see v2 frames, got {frame:?}")
+            }
         }
     }
     assert_eq!(ok + shed, burst);

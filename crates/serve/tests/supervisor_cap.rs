@@ -100,6 +100,7 @@ fn supplemental_worker_ceiling_holds_and_owed_answers_drain() {
             repr: Representation::Fixed16,
             engine: "DaDN".to_string(),
             seed: id,
+            v: 1,
         };
         out.write_all((req.to_json_line() + "\n").as_bytes()).expect("send request");
     }

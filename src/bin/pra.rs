@@ -29,21 +29,25 @@
 //!                                      inside a cluster (DESIGN.md §13),
 //!                                      --chaos (or PRA_CHAOS) arms seeded
 //!                                      fault injection (DESIGN.md §12)
-//! pra route --shard ADDR [--shard ADDR ...] [--listen A] [--replicas K]
+//! pra route --shard ADDR [--shard ADDR ...] [--addr A] [--replicas K]
 //!           [--probe-ms P] [--probe-deadline-ms D] [--seed S]
 //!           [--max-conns C] [--once] [--chaos SPEC]
 //!                                      consistent-hash front end over N shard
 //!                                      servers (DESIGN.md §13): health-checked
 //!                                      failover onto each key's replica set,
 //!                                      drain propagation, exactly-once answers
+//!                                      (--listen is an alias for --addr)
 //! pra ctl <stats | drain> [--addr A]   send a control request to a running
 //!                                      server or router and print its answer
 //! pra bench-serve [--addr A] [--requests N] [--batch W] [--seed S]
-//!                 [--allow-shed] [--retries R] [--backoff-ms B]
-//!                 [--cluster T1,T2,... [--sampled N] [--no-cache] [--chaos SPEC]]
+//!                 [--allow-shed] [--v2] [--retries R] [--backoff-ms B]
+//!                 [--cluster T1,T2,... [--sampled N] [--no-cache]
+//!                  [--max-conns C] [--deadline-ms D] [--chaos SPEC]]
 //!                                      closed-loop load generator: p50/p95/p99
 //!                                      + throughput into bench.json, response
 //!                                      digest into serve_responses.sha256;
+//!                                      --v2 negotiates streaming protocol v2
+//!                                      and reports time-to-first-layer-frame;
 //!                                      --retries re-issues retryable sheds
 //!                                      with jittered exponential backoff;
 //!                                      --cluster boots an in-process cluster
@@ -106,7 +110,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--shard N] [--epoch N] [--chaos SPEC] | route --shard ADDR [--shard ADDR ...] [--listen A] [--replicas K] [--probe-ms P] [--probe-deadline-ms D] [--seed S] [--max-conns C] [--once] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--retries R] [--backoff-ms B] [--cluster T1,T2,... [--sampled N] [--no-cache] [--chaos SPEC]]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--shard N] [--epoch N] [--chaos SPEC] | route --shard ADDR [--shard ADDR ...] [--addr A] [--replicas K] [--probe-ms P] [--probe-deadline-ms D] [--seed S] [--max-conns C] [--once] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--v2] [--retries R] [--backoff-ms B] [--cluster T1,T2,... [--sampled N] [--no-cache] [--max-conns C] [--deadline-ms D] [--chaos SPEC]]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -177,7 +181,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 // (workload or traffic) is read or published this run.
                 cache::set_enabled(false);
             }
-            other => return Err(format!("unknown sweep flag '{other}'\n{USAGE}")),
+            other => {
+                return Err(unknown_flag(
+                    "sweep",
+                    other,
+                    &["--serial", "--full", "--sampled", "--seed", "--no-cache"],
+                ))
+            }
         }
     }
 
@@ -416,7 +426,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     it.next().ok_or("--chaos needs a spec, e.g. seed=7,worker-panic=0.05")?.clone(),
                 )
             }
-            other => return Err(format!("unknown serve flag '{other}'\n{USAGE}")),
+            other => {
+                return Err(unknown_flag(
+                    "serve",
+                    other,
+                    &[
+                        "--addr",
+                        "--workers",
+                        "--max-batch",
+                        "--queue-depth",
+                        "--linger-ms",
+                        "--sampled",
+                        "--full",
+                        "--no-cache",
+                        "--once",
+                        "--max-conns",
+                        "--deadline-ms",
+                        "--shard",
+                        "--epoch",
+                        "--chaos",
+                    ],
+                ))
+            }
         }
     }
     // A cluster member needs a nonzero boot epoch so the router's
@@ -476,7 +507,9 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--listen" => listen = it.next().ok_or("--listen needs host:port")?.clone(),
+            // `--addr` is the canonical listen-address flag shared with
+            // `serve` and `bench-serve`; `--listen` stays as an alias.
+            "--addr" | "--listen" => listen = it.next().ok_or("--addr needs host:port")?.clone(),
             "--shard" => cfg.shards.push(it.next().ok_or("--shard needs host:port")?.clone()),
             "--replicas" => cfg.replicas = flag_num(&mut it, "--replicas")?.max(1),
             "--probe-ms" => {
@@ -499,7 +532,24 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
                     it.next().ok_or("--chaos needs a spec, e.g. seed=7,shard-kill=0.5")?.clone(),
                 )
             }
-            other => return Err(format!("unknown route flag '{other}'\n{USAGE}")),
+            other => {
+                return Err(unknown_flag(
+                    "route",
+                    other,
+                    &[
+                        "--addr",
+                        "--listen",
+                        "--shard",
+                        "--replicas",
+                        "--probe-ms",
+                        "--probe-deadline-ms",
+                        "--seed",
+                        "--max-conns",
+                        "--once",
+                        "--chaos",
+                    ],
+                ))
+            }
         }
     }
     if cfg.shards.is_empty() {
@@ -554,7 +604,7 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = it.next().ok_or("--addr needs host:port")?.clone(),
-            other => return Err(format!("unknown ctl flag '{other}'\n{USAGE}")),
+            other => return Err(unknown_flag("ctl", other, &["--addr"])),
         }
     }
     let mut stream = std::net::TcpStream::connect(&addr)
@@ -601,7 +651,7 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
             "restarts_seen",
             "connections_shed",
         ] {
-            if let Some(v) = pragmatic::serve::protocol::json_num_field(line, key) {
+            if let Some(v) = pragmatic::serve::codec::json_num_field(line, key) {
                 t.row([key, &format!("{}", v as u64)]);
             }
         }
@@ -635,6 +685,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 cfg.seed = parse_seed(v)?;
             }
             "--allow-shed" => allow_shed = true,
+            "--v2" => cfg.v2 = true,
             "--retries" => cfg.retries = flag_num(&mut it, "--retries")? as u32,
             "--backoff-ms" => cfg.backoff_ms = flag_num(&mut it, "--backoff-ms")?.max(1) as u64,
             "--cluster" => {
@@ -657,12 +708,41 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                 serve_cfg.use_cache = false;
                 cache::set_enabled(false);
             }
+            // Shared serve knobs, applied to the shards a --cluster run
+            // boots; same names and parsing as `pra serve`.
+            "--max-conns" => serve_cfg.max_connections = flag_num(&mut it, "--max-conns")?.max(1),
+            "--deadline-ms" => {
+                serve_cfg.deadline = Some(std::time::Duration::from_millis(
+                    flag_num(&mut it, "--deadline-ms")?.max(1) as u64,
+                ))
+            }
             "--chaos" => {
                 chaos_spec = Some(
                     it.next().ok_or("--chaos needs a spec, e.g. seed=7,shard-kill=0.5")?.clone(),
                 )
             }
-            other => return Err(format!("unknown bench-serve flag '{other}'\n{USAGE}")),
+            other => {
+                return Err(unknown_flag(
+                    "bench-serve",
+                    other,
+                    &[
+                        "--addr",
+                        "--requests",
+                        "--batch",
+                        "--seed",
+                        "--allow-shed",
+                        "--v2",
+                        "--retries",
+                        "--backoff-ms",
+                        "--cluster",
+                        "--sampled",
+                        "--no-cache",
+                        "--max-conns",
+                        "--deadline-ms",
+                        "--chaos",
+                    ],
+                ))
+            }
         }
     }
     if let Some(topologies) = topologies {
@@ -751,6 +831,34 @@ fn cmd_bench_cluster(
 fn flag_num(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, String> {
     let v = it.next().ok_or_else(|| format!("{name} needs a value"))?;
     v.parse().map_err(|e| format!("invalid {name} '{v}': {e}"))
+}
+
+/// Plain dynamic-programming edit distance; inputs are flag names, so
+/// quadratic cost is irrelevant.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The shared unknown-flag error: names the closest valid flag when one
+/// is plausibly intended (edit distance ≤ 3), so `--deadline` points at
+/// `--deadline-ms` instead of dumping the whole usage wall alone.
+fn unknown_flag(cmd: &str, flag: &str, valid: &[&str]) -> String {
+    let best = valid.iter().map(|v| (edit_distance(flag, v), *v)).min().filter(|&(d, _)| d <= 3);
+    match best {
+        Some((_, v)) => format!("unknown {cmd} flag '{flag}' (did you mean '{v}'?)\n{USAGE}"),
+        None => format!("unknown {cmd} flag '{flag}'\n{USAGE}"),
+    }
 }
 
 fn parse_seed(v: &str) -> Result<u64, String> {
