@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -34,8 +35,8 @@ use rayon::prelude::*;
 use pra_core::{Fidelity, PraConfig, SharedEncodedNetwork};
 use pra_engines::{dadn, stripes};
 use pra_sim::{geomean, ChipConfig};
-use pra_workloads::cache::{self, Cache, CacheOutcome};
-use pra_workloads::{LayerView, Network, NetworkWorkload, Representation};
+use pra_workloads::cache::ArtifactStore;
+use pra_workloads::{LayerView, Network, Representation};
 
 use crate::report;
 
@@ -54,13 +55,12 @@ pub struct SweepConfig {
     /// Run jobs on the parallel pool (`false` forces the serial path;
     /// results are identical, only scheduling differs).
     pub parallel: bool,
-    /// Consult the content-addressed workload/artifact cache
-    /// (DESIGN.md §9). `false` (`pra sweep --no-cache`) regenerates
-    /// everything; results are byte-identical either way.
-    pub use_cache: bool,
-    /// Cache directory override for this sweep; `None` uses the default
-    /// resolution (`PRA_CACHE_DIR`, else `<target>/pra-cache`).
-    pub cache_dir: Option<PathBuf>,
+    /// The tiered artifact store every job resolves through
+    /// (DESIGN.md §9, §15): workload streams, traffic tables and
+    /// encoded masks/memos. `ArtifactStore::at_default().no_disk()`
+    /// (`pra sweep --no-cache`) regenerates everything; results are
+    /// byte-identical either way.
+    pub store: ArtifactStore,
 }
 
 impl SweepConfig {
@@ -72,8 +72,7 @@ impl SweepConfig {
             seed: crate::SEED,
             fidelity: crate::fidelity(),
             parallel: true,
-            use_cache: true,
-            cache_dir: None,
+            store: ArtifactStore::at_default(),
         }
     }
 }
@@ -120,10 +119,17 @@ pub struct JobTiming {
     /// numbers are comparable *within* a run; cross-run trends should
     /// use [`SweepOutcome::total_wall_ms`].
     pub wall_ms: f64,
-    /// Workload-cache outcome for this job: `"hit"` (loaded from the
+    /// Workload-tier outcome for this job: `"hit"` (loaded from the
     /// content-addressed store, generation skipped), `"miss"`
-    /// (generated and published) or `"off"` (cache disabled).
+    /// (generated and published) or `"off"` (tier disabled).
     pub cache: String,
+    /// Encoded-artifact-tier outcome (masks + schedule memos): `"hit"`
+    /// (encode phase replaced by a deserialize), `"miss"` (encoded
+    /// fresh, published after simulation) or `"off"`.
+    pub encoded: String,
+    /// Traffic-tier outcome: `"hit"`, `"miss"` or `"off"` (disabled, or
+    /// the configuration set does not share one traffic view).
+    pub traffic: String,
 }
 
 /// A completed sweep: the rows plus scheduling and timing telemetry.
@@ -193,11 +199,6 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
     let epoch = SWEEP_EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
     let threads_used = AtomicUsize::new(0);
 
-    // One cache handle for every job: the sweep either runs fully
-    // cached (workload streams + traffic tables) or fully regenerated.
-    let job_cache: Option<Cache> = (cfg.use_cache && cache::enabled())
-        .then(|| cfg.cache_dir.clone().map(Cache::new).unwrap_or_else(Cache::at_default));
-
     let sweep_start = Instant::now();
     let run_job = |(net, repr): (Network, Representation)| -> (Vec<SweepRow>, JobTiming) {
         COUNTED_EPOCHS.with(|c| {
@@ -212,34 +213,53 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         let chip = ChipConfig::dadn();
 
         // Phase 1 — source the workload exactly once: from the
-        // content-addressed cache when a valid entry exists (bit-
+        // content-addressed store when a valid entry exists (bit-
         // identical by the round-trip guarantee), regenerated and
         // published otherwise (parallel row jobs inside; bit-identical
         // to serial generation).
-        let (workload, cache_outcome) = match &job_cache {
-            Some(c) => cache::build_cached_in(c, net, repr, cfg.seed),
-            None => (NetworkWorkload::build_uncached(net, repr, cfg.seed), CacheOutcome::Disabled),
-        };
+        let (workload, cache_outcome) = cfg.store.workload(net, repr, cfg.seed);
         let gen_ms = ms(start);
 
-        // Phase 2 — build the shared artifacts exactly once: mask
-        // encodings, schedule memos and the engine-independent traffic
-        // counters every engine below borrows (reloaded from the cache
-        // on warm runs — traffic depends only on geometry).
+        // Phase 2 — start the pipelined shared-artifact build. The
+        // foreground cost here is key derivation plus the (small)
+        // traffic-table probe; the heavy work — mask encoding cold, the
+        // streamed decode of the persisted entry warm — rides the
+        // builder thread and overlaps Phase 3's lead simulation. A warm
+        // sweep's encode phase is therefore the probe alone: warm runs
+        // are simulation-only (DESIGN.md §15).
         let encode_start = Instant::now();
         let configs = pra_configs(repr, cfg.fidelity);
-        let shared = match &job_cache {
-            Some(c) => SharedEncodedNetwork::from_workload_cached_in(&configs, &workload, c).0,
-            None => SharedEncodedNetwork::from_workload(&configs, &workload),
-        };
-        let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+        let workload = Arc::new(workload);
+        let build =
+            SharedEncodedNetwork::start_pipelined(&configs, &workload, cfg.seed, &cfg.store);
         let encode_ms = ms(encode_start);
 
-        // Phase 3 — every engine consumes borrowed views plus the shared
-        // artifacts; nothing is re-encoded per design point. The
-        // baseline engines' dispatchers use the default NM layout; the
-        // checked view hands back counters only if that matches.
+        // Phase 3 — the lead PRA configuration consumes the build layer
+        // by layer (simulating layer n while layer n+1 encodes or
+        // decodes); the remaining configurations follow over the
+        // then-complete layers. Every PRA sim runs before `finish` so
+        // the published entry carries fully-warmed schedule memos —
+        // the next process starts simulation-only.
         let sim_start = Instant::now();
+        let pra_results: Vec<pra_sim::RunResult> = configs
+            .iter()
+            .map(|pra_cfg| pra_core::run_pipelined(pra_cfg, &workload, &build, |_, _| {}))
+            .collect();
+        let pra_ms = ms(sim_start);
+
+        // The builder has resolved both tiers by now; `finish` (untimed:
+        // publication is I/O, not simulation) publishes whatever the
+        // store missed.
+        let encoded_outcome = build.encoded_outcome();
+        let traffic_outcome = build.traffic_outcome();
+        let shared = build.finish(&cfg.store);
+
+        // Baseline engines consume borrowed views plus the shared
+        // traffic; nothing is re-encoded per design point. Their
+        // dispatchers use the default NM layout; the checked view hands
+        // back counters only if that matches.
+        let base_start = Instant::now();
+        let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
         let traffic = shared.traffic_view(&chip, Default::default(), repr);
         let base = dadn::run_views(&chip, &views, repr, traffic);
         let mut rows = Vec::with_capacity(2 + configs.len());
@@ -255,10 +275,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
         };
         push("DaDN".to_string(), &base);
         push("Stripes".to_string(), &stripes::run_views(&chip, &views, repr, traffic));
-        for pra_cfg in configs {
-            push(pra_cfg.label(), &pra_core::run_shared(&pra_cfg, &workload, &shared));
+        for (pra_cfg, result) in configs.iter().zip(&pra_results) {
+            push(pra_cfg.label(), result);
         }
-        let sim_ms = ms(sim_start);
+        let sim_ms = pra_ms + ms(base_start);
 
         let timing = JobTiming {
             network: net.name().to_string(),
@@ -268,6 +288,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepOutcome {
             sim_ms,
             wall_ms: ms(start),
             cache: cache_outcome.label().to_string(),
+            encoded: encoded_outcome.label().to_string(),
+            traffic: traffic_outcome.label().to_string(),
         };
         (rows, timing)
     };
@@ -324,8 +346,9 @@ pub fn write_report(rows: &[SweepRow]) -> Option<PathBuf> {
 /// changed record shapes) so downstream parsers — `bench_delta`
 /// included — can tell a layout drift from a perf drift. History:
 /// v1 = PR 2–3 layout (unstamped), v2 = stamped + optional `"serve"`
-/// section.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// section, v3 = per-tier `"encoded"`/`"traffic"` outcomes on job
+/// timings.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Renders the machine-readable perf report: per-job phase timings
 /// (generation / encoding / simulation), one record per job x engine
@@ -346,7 +369,7 @@ pub fn bench_json(out: &SweepOutcome) -> String {
     for (k, t) in out.timings.iter().enumerate() {
         let _ = writeln!(
             body,
-            "    {{\"job\": {}, \"repr\": {}, \"gen_ms\": {:.3}, \"encode_ms\": {:.3}, \"sim_ms\": {:.3}, \"wall_ms\": {:.3}, \"cache\": {}}}{}",
+            "    {{\"job\": {}, \"repr\": {}, \"gen_ms\": {:.3}, \"encode_ms\": {:.3}, \"sim_ms\": {:.3}, \"wall_ms\": {:.3}, \"cache\": {}, \"encoded\": {}, \"traffic\": {}}}{}",
             report::json_string(&t.network),
             report::json_string(&t.repr),
             t.gen_ms,
@@ -354,6 +377,8 @@ pub fn bench_json(out: &SweepOutcome) -> String {
             t.sim_ms,
             t.wall_ms,
             report::json_string(&t.cache),
+            report::json_string(&t.encoded),
+            report::json_string(&t.traffic),
             if k + 1 == out.timings.len() { "" } else { "," }
         );
     }
@@ -389,8 +414,11 @@ pub fn write_bench_json(out: &SweepOutcome) -> Option<PathBuf> {
 pub struct PhaseTotals {
     /// Jobs contributing to the totals.
     pub jobs: usize,
-    /// Workload cache hits among those jobs.
+    /// Workload-tier cache hits among those jobs.
     pub cache_hits: usize,
+    /// Encoded-artifact-tier hits among those jobs (0 for pre-v3
+    /// documents, which had no encoded tier).
+    pub encoded_hits: usize,
     /// Summed workload-generation milliseconds.
     pub gen_ms: f64,
     /// Summed shared-artifact encoding milliseconds.
@@ -454,6 +482,7 @@ pub fn phase_totals(body: &str) -> Option<PhaseTotals> {
     let mut t = PhaseTotals {
         jobs: 0,
         cache_hits: 0,
+        encoded_hits: 0,
         gen_ms: 0.0,
         encode_ms: 0.0,
         sim_ms: 0.0,
@@ -474,6 +503,9 @@ pub fn phase_totals(body: &str) -> Option<PhaseTotals> {
             t.wall_ms += json_number_after(line, "\"wall_ms\":").unwrap_or(0.0);
             if line.contains("\"cache\": \"hit\"") {
                 t.cache_hits += 1;
+            }
+            if line.contains("\"encoded\": \"hit\"") {
+                t.encoded_hits += 1;
             }
         }
     }
@@ -511,12 +543,14 @@ pub fn bench_delta(prev: &str, cur: &str) -> Result<String, String> {
     add("job wall (sum)", p.wall_ms, c.wall_ms);
     add("sweep total", p.total_wall_ms, c.total_wall_ms);
     Ok(format!(
-        "{}jobs: prev {} ({} cache hits), cur {} ({} cache hits)\n{}",
+        "{}jobs: prev {} ({} cache hits, {} encoded hits), cur {} ({} cache hits, {} encoded hits)\n{}",
         warnings,
         p.jobs,
         p.cache_hits,
+        p.encoded_hits,
         c.jobs,
         c.cache_hits,
+        c.encoded_hits,
         table.render()
     ))
 }
@@ -594,10 +628,13 @@ pub fn geomean_summary(rows: &[SweepRow]) -> Vec<(String, String, f64)> {
 mod tests {
     use super::*;
 
+    use pra_workloads::cache::ArtifactKind;
+
     /// A small deterministic sweep that still exercises every engine:
-    /// two networks, one representation, sampled fidelity. The cache is
-    /// off so these tests never couple to on-disk state; the dedicated
-    /// cache tests below cover the cached path with scratch dirs.
+    /// two networks, one representation, sampled fidelity. The store is
+    /// diskless so these tests never couple to on-disk state; the
+    /// dedicated cache tests below cover the tiered path with scratch
+    /// dirs.
     fn small_config(parallel: bool) -> SweepConfig {
         SweepConfig {
             networks: vec![Network::AlexNet, Network::NiN],
@@ -605,8 +642,7 @@ mod tests {
             seed: 0x00DE_C0DE,
             fidelity: Fidelity::Sampled { max_pallets: 4 },
             parallel,
-            use_cache: false,
-            cache_dir: None,
+            store: ArtifactStore::at_default().no_disk(),
         }
     }
 
@@ -616,6 +652,14 @@ mod tests {
             .duration_since(std::time::UNIX_EPOCH)
             .map_or(0, |d| d.subsec_nanos() as u64 + d.as_secs());
         std::env::temp_dir().join(format!("pra-sweep-{tag}-{}-{nanos}", std::process::id()))
+    }
+
+    /// An all-tier store over a scratch directory.
+    fn scratch_store(dir: &std::path::Path) -> ArtifactStore {
+        ArtifactStore::new(dir)
+            .tier(ArtifactKind::Workload)
+            .tier(ArtifactKind::Traffic)
+            .tier(ArtifactKind::Encoded)
     }
 
     fn sort_key(r: &SweepRow) -> (String, String, String) {
@@ -727,27 +771,33 @@ mod tests {
         assert_eq!(body.matches("\"encode_ms\"").count(), out.jobs);
         assert_eq!(body.matches("\"sim_ms\"").count(), out.jobs);
         assert_eq!(body.matches("\"cache\"").count(), out.jobs);
+        assert_eq!(body.matches("\"encoded\"").count(), out.jobs);
+        assert_eq!(body.matches("\"traffic\"").count(), out.jobs);
     }
 
     #[test]
-    fn warm_sweep_hits_the_cache_with_identical_rows() {
+    fn warm_sweep_hits_every_tier_with_identical_rows() {
         let dir = scratch_dir("warm");
         let mut cfg = small_config(true);
-        cfg.use_cache = true;
-        cfg.cache_dir = Some(dir.clone());
+        cfg.store = scratch_store(&dir);
         let cold = run_sweep(&cfg);
         assert!(
-            cold.timings.iter().all(|t| t.cache == "miss"),
-            "fresh dir must miss: {:?}",
-            cold.timings.iter().map(|t| t.cache.as_str()).collect::<Vec<_>>()
+            cold.timings.iter().all(|t| t.cache == "miss" && t.encoded == "miss"),
+            "fresh dir must miss every tier: {:?}",
+            cold.timings.iter().map(|t| (t.cache.as_str(), t.encoded.as_str())).collect::<Vec<_>>()
         );
         let warm = run_sweep(&cfg);
         assert!(
-            warm.timings.iter().all(|t| t.cache == "hit"),
-            "second sweep must hit: {:?}",
-            warm.timings.iter().map(|t| t.cache.as_str()).collect::<Vec<_>>()
+            warm.timings
+                .iter()
+                .all(|t| t.cache == "hit" && t.encoded == "hit" && t.traffic == "hit"),
+            "second sweep must hit every tier: {:?}",
+            warm.timings
+                .iter()
+                .map(|t| (t.cache.as_str(), t.encoded.as_str(), t.traffic.as_str()))
+                .collect::<Vec<_>>()
         );
-        assert_eq!(cold.rows, warm.rows, "cached workloads must be bit-identical");
+        assert_eq!(cold.rows, warm.rows, "cached artifacts must be bit-identical");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -755,13 +805,18 @@ mod tests {
     fn cached_and_uncached_sweeps_agree() {
         let dir = scratch_dir("agree");
         let mut cached_cfg = small_config(true);
-        cached_cfg.use_cache = true;
-        cached_cfg.cache_dir = Some(dir.clone());
+        cached_cfg.store = scratch_store(&dir);
         let cached = run_sweep(&cached_cfg);
+        // Run the cached config twice so the second pass consumes every
+        // tier — warm artifacts must not change a single row either.
+        let warm = run_sweep(&cached_cfg);
         let uncached = run_sweep(&small_config(true));
-        assert_eq!(cached.rows, uncached.rows, "cache must not change any result");
+        assert_eq!(cached.rows, uncached.rows, "the store must not change any result");
+        assert_eq!(warm.rows, uncached.rows, "warm tiers must not change any result");
         for t in &uncached.timings {
             assert_eq!(t.cache, "off");
+            assert_eq!(t.encoded, "off");
+            assert_eq!(t.traffic, "off");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -773,6 +828,7 @@ mod tests {
         let t = phase_totals(&body).expect("bench.json must parse");
         assert_eq!(t.jobs, out.jobs);
         assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.encoded_hits, 0);
         let sum_gen: f64 = out.timings.iter().map(|j| j.gen_ms).sum();
         assert!((t.gen_ms - sum_gen).abs() < 0.01, "{} vs {}", t.gen_ms, sum_gen);
         assert!((t.total_wall_ms - out.total_wall_ms).abs() < 0.01);

@@ -22,6 +22,9 @@
 //! * [`schedule`] — the layer-scoped scheduling pipeline: encode-once
 //!   mask buffers and the brick-schedule memo the simulator's hot path
 //!   runs on.
+//! * [`artifact`] — the persisted encoded-artifact tier: serialization
+//!   of mask buffers and warm schedule memos into the content-addressed
+//!   store, keyed over encoding inputs, shared across fidelities.
 //! * [`shared`] — build-once artifacts shared across design points:
 //!   one encoding per [`EncodingKey`], one schedule memo per
 //!   [`SchedulerConfig`], one traffic count per layer (the sweep's
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod column;
 pub mod config;
 pub mod functional;
@@ -51,11 +55,13 @@ pub mod shared;
 pub mod sim;
 pub mod tile;
 
+pub use artifact::{ENCODED_KIND, ENCODER_VERSION};
 pub use column::{ScanOrder, SchedulerConfig};
 pub use config::{Encoding, EncodingKey, Fidelity, PraConfig, SyncPolicy};
 pub use schedule::{EncodedLayer, LayerScheduler};
 pub use shared::{
-    ArtifactPool, PipelinedBuild, SharedEncodedNetwork, TRAFFIC_KIND, TRAFFIC_VERSION,
+    ArtifactPool, PipelinedBuild, PoolOutcome, SharedEncodedNetwork, StoreOutcomes, TRAFFIC_KIND,
+    TRAFFIC_VERSION,
 };
 pub use sim::{
     run, run_pipelined, run_shared, run_shared_streaming, simulate_layer, simulate_layer_raw,

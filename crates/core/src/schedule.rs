@@ -87,6 +87,29 @@ impl EncodedLayer {
         Self { dim, bricks_deep, masks }
     }
 
+    /// Rebuilds an encoded layer from deserialized parts (the persisted
+    /// encoded-artifact tier, `crate::artifact`). Returns `None` unless
+    /// `masks` has exactly the length the geometry implies — a stale or
+    /// foreign payload must fail closed, never index out of bounds.
+    pub(crate) fn from_parts(dim: Dim3, masks: Vec<u32>) -> Option<Self> {
+        let bricks_deep = dim.i.div_ceil(BRICK);
+        (masks.len() == dim.x * dim.y * bricks_deep * BRICK).then_some(Self {
+            dim,
+            bricks_deep,
+            masks,
+        })
+    }
+
+    /// The layer geometry the masks were encoded over.
+    pub(crate) fn dim(&self) -> Dim3 {
+        self.dim
+    }
+
+    /// The full flat mask buffer, brick-contiguous (serialization).
+    pub(crate) fn masks(&self) -> &[u32] {
+        &self.masks
+    }
+
     /// The encoded masks of the brick at `(x, y, i0)` (`i0` in neurons,
     /// a multiple of [`BRICK`]).
     pub fn brick_masks(&self, x: usize, y: usize, i0: usize) -> &[u32; BRICK] {
@@ -154,6 +177,34 @@ impl LayerScheduler {
         let bricks = encoded.dim.x * encoded.dim.y * encoded.bricks_deep;
         let memo = (0..bricks).map(|_| AtomicU64::new(UNSET)).collect();
         Self { encoded, memo, scheduler, per_cycle: u32::from(scheduler.per_cycle) }
+    }
+
+    /// [`LayerScheduler::with_encoded`] with a deserialized warm memo
+    /// (the persisted encoded-artifact tier): slots holding [`UNSET`]
+    /// stay lazy, everything else is an O(1) hit from the first visit.
+    /// Returns `None` unless `memo` has exactly one slot per brick —
+    /// a stale payload must fail closed. The memo's packed values are a
+    /// pure function of `(masks, scheduler)`, so a warm memo can never
+    /// change a result, only skip recomputing it.
+    pub(crate) fn with_encoded_memo(
+        encoded: Arc<EncodedLayer>,
+        scheduler: SchedulerConfig,
+        memo: Vec<u64>,
+    ) -> Option<Self> {
+        let bricks = encoded.dim.x * encoded.dim.y * encoded.bricks_deep;
+        if memo.len() != bricks {
+            return None;
+        }
+        let memo = memo.into_iter().map(AtomicU64::new).collect();
+        Some(Self { encoded, memo, scheduler, per_cycle: u32::from(scheduler.per_cycle) })
+    }
+
+    /// A plain snapshot of the memo table for serialization (unvisited
+    /// slots read as [`UNSET`] and deserialize back to lazy slots).
+    pub(crate) fn memo_snapshot(&self) -> Vec<u64> {
+        // relaxed-ok: each slot is a self-contained packed u64 filled
+        // with a deterministic value; see `brick_cycles_terms`.
+        self.memo.iter().map(|s| s.load(Ordering::Relaxed)).collect()
     }
 
     /// The shared handle to the encode-once mask buffer.

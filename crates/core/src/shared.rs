@@ -21,22 +21,30 @@
 //! construction. Results are cycle-for-cycle identical to the unshared
 //! path — pinned by the equivalence grid in `tests/memo_sim.rs`.
 //!
-//! The NM/SB traffic table additionally persists across *processes*:
-//! it depends only on layer geometry and the chip view — never on
-//! neuron values or the seed — so
-//! [`SharedEncodedNetwork::from_workload_cached`] stores it in the
-//! content-addressed cache (`pra_workloads::cache`, DESIGN.md §9)
-//! alongside the cached workload streams and reloads it on warm runs
-//! instead of recounting every layer's dispatch.
+//! Two artifact kinds additionally persist across *processes* through
+//! the tiered [`ArtifactStore`] (DESIGN.md §9, §15):
+//!
+//! * the NM/SB traffic table (`"tr"` entries) — geometry + chip view
+//!   only, never neuron values, so one entry serves every seed;
+//! * the encoded masks and schedule memos (`"en"` entries,
+//!   `crate::artifact`) — neuron-value dependent, keyed over the
+//!   workload's content address, shared across fidelities.
+//!
+//! [`SharedEncodedNetwork::from_workload_stored`] resolves both tiers
+//! (pool → disk → generate is completed by [`ArtifactPool`] above it)
+//! and [`SharedEncodedNetwork::publish_encoded`] writes the encoded
+//! entry back once the simulation has warmed the memos.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use pra_engines::shared_traffic;
 use pra_sim::{AccessCounters, ChipConfig, Dispatcher, NeuronMemory, NmLayout};
-use pra_workloads::cache::{Cache, CacheKey, KeyHasher};
+use pra_workloads::cache::{ArtifactKind, ArtifactStore, CacheKey, CacheOutcome, KeyHasher};
 use pra_workloads::{LayerView, NetworkWorkload, Representation};
 use rayon::prelude::*;
 
+use crate::artifact::{ENCODED_KIND, ENCODER_VERSION};
 use crate::column::SchedulerConfig;
 use crate::config::{EncodingKey, PraConfig};
 use crate::schedule::{EncodedLayer, LayerScheduler};
@@ -54,8 +62,9 @@ pub const TRAFFIC_KIND: &str = "tr";
 /// One layer's shared artifacts: every distinct `(EncodingKey,
 /// SchedulerConfig)` pair the configuration set needs, each holding an
 /// [`Arc`] onto its (possibly further shared) mask buffer.
-struct SharedLayer {
-    schedulers: Vec<(EncodingKey, SchedulerConfig, Arc<LayerScheduler>)>,
+#[derive(Clone)]
+pub(crate) struct SharedLayer {
+    pub(crate) schedulers: Vec<(EncodingKey, SchedulerConfig, Arc<LayerScheduler>)>,
 }
 
 /// Per-layer NM/SB traffic plus the chip view it was counted under —
@@ -69,6 +78,43 @@ struct TrafficTable {
     per_layer: Vec<AccessCounters>,
 }
 
+/// A pending encoded-artifact publication: the key a tier-enabled
+/// build missed under, carried until [`SharedEncodedNetwork::
+/// publish_encoded`] writes the (by then memo-warm) entry. The flag
+/// makes publication once-only however many batches reuse the network.
+struct EncodedPending {
+    key: CacheKey,
+    wanted: Vec<(EncodingKey, SchedulerConfig)>,
+    published: AtomicBool,
+}
+
+/// Per-tier disk outcomes of one [`SharedEncodedNetwork::
+/// from_workload_stored`] build, reported in bench.json and the serve
+/// telemetry. `Disabled` covers both a disabled tier and (for traffic)
+/// a configuration set that does not share one traffic view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOutcomes {
+    /// Encoded masks + schedule memos (`"en"`).
+    pub encoded: CacheOutcome,
+    /// NM/SB traffic table (`"tr"`).
+    pub traffic: CacheOutcome,
+}
+
+/// The distinct `(EncodingKey, SchedulerConfig)` pairs of `configs`,
+/// preserving first-appearance order — the single definition shared by
+/// every build path and the encoded-artifact key/payload, so the
+/// persisted pair set can never diverge from what a build constructs.
+pub(crate) fn wanted_pairs(configs: &[PraConfig]) -> Vec<(EncodingKey, SchedulerConfig)> {
+    let mut wanted: Vec<(EncodingKey, SchedulerConfig)> = Vec::new();
+    for cfg in configs {
+        let pair = (cfg.encoding_key(), cfg.scheduler());
+        if !wanted.contains(&pair) {
+            wanted.push(pair);
+        }
+    }
+    wanted
+}
+
 /// Encode-once, schedule-once artifacts for one workload under a set of
 /// design points (see the module docs).
 pub struct SharedEncodedNetwork {
@@ -77,6 +123,9 @@ pub struct SharedEncodedNetwork {
     /// NM layout and representation (`None` otherwise — consumers then
     /// fall back to computing their own).
     traffic: Option<TrafficTable>,
+    /// Set when a tier-enabled build missed the encoded entry; see
+    /// [`SharedEncodedNetwork::publish_encoded`].
+    encoded_pending: Option<EncodedPending>,
 }
 
 impl SharedEncodedNetwork {
@@ -99,14 +148,7 @@ impl SharedEncodedNetwork {
         preloaded_traffic: Option<Vec<AccessCounters>>,
     ) -> Self {
         assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
-        // Distinct artifacts, preserving first-appearance order.
-        let mut wanted: Vec<(EncodingKey, SchedulerConfig)> = Vec::new();
-        for cfg in configs {
-            let pair = (cfg.encoding_key(), cfg.scheduler());
-            if !wanted.contains(&pair) {
-                wanted.push(pair);
-            }
-        }
+        let wanted = wanted_pairs(configs);
         let lead = configs[0];
         let share_traffic = agree_on_traffic_view(configs);
         let preloaded = preloaded_traffic.filter(|t| share_traffic && t.len() == layers.len());
@@ -137,7 +179,7 @@ impl SharedEncodedNetwork {
             repr: lead.repr,
             per_layer: traffic_out,
         });
-        Self { layers: layers_out, traffic }
+        Self { layers: layers_out, traffic, encoded_pending: None }
     }
 
     /// [`SharedEncodedNetwork::build`] over a workload's layers.
@@ -146,56 +188,139 @@ impl SharedEncodedNetwork {
         Self::build(configs, &views)
     }
 
-    /// [`SharedEncodedNetwork::from_workload`] with the traffic table
-    /// persisted through the default content-addressed cache: when
-    /// `use_cache` is set (and the cache is enabled process-wide), the
-    /// per-layer NM/SB counters are loaded from disk on a warm run and
-    /// published after a cold count.
-    pub fn from_workload_cached(
+    /// [`SharedEncodedNetwork::from_workload`] resolved through the
+    /// tiered artifact store: the encoded tier (`"en"`) replaces the
+    /// whole mask-encode with a deserialize on a warm run and arms a
+    /// deferred publication on a miss
+    /// ([`SharedEncodedNetwork::publish_encoded`]); the traffic tier
+    /// (`"tr"`) replaces the dispatch recount and publishes a cold
+    /// count immediately (counters are complete at build time, unlike
+    /// the memos). `seed` is the workload's generator seed — it reaches
+    /// the encoded key through the workload's content address, since
+    /// masks (unlike traffic) depend on neuron values.
+    ///
+    /// Either tier falls back bit-identically to a fresh build when
+    /// disabled, missing, corrupt, truncated or version-drifted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn from_workload_stored(
         configs: &[PraConfig],
         workload: &NetworkWorkload,
-        use_cache: bool,
-    ) -> Self {
-        if !use_cache || !pra_workloads::cache::enabled() {
-            return Self::from_workload(configs, workload);
-        }
-        Self::from_workload_cached_in(configs, workload, &Cache::at_default()).0
-    }
-
-    /// [`SharedEncodedNetwork::from_workload_cached`] against an
-    /// explicit cache directory; also reports whether the traffic table
-    /// was a cache hit (`None` when the configuration set does not
-    /// share one traffic view, so nothing was cacheable).
-    pub fn from_workload_cached_in(
-        configs: &[PraConfig],
-        workload: &NetworkWorkload,
-        cache: &Cache,
-    ) -> (Self, Option<bool>) {
+        seed: u64,
+        store: &ArtifactStore,
+    ) -> (Self, StoreOutcomes) {
         assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
         let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
+        let wanted = wanted_pairs(configs);
         let lead = configs[0];
-        if !agree_on_traffic_view(configs) {
-            return (Self::build(configs, &views), None);
-        }
-        let key =
-            traffic_key(workload.network.name(), &views, &lead.chip, lead.nm_layout, lead.repr);
-        let preloaded = cache
-            .load(TRAFFIC_KIND, TRAFFIC_VERSION, &key)
-            .and_then(|payload| decode_traffic(&payload, views.len()));
-        let hit = preloaded.is_some();
-        let built = Self::build_inner(configs, &views, preloaded);
-        if !hit {
-            if let Some(table) = built.traffic.as_ref() {
-                // Best-effort, like every cache store.
-                let _ = cache.store(
-                    TRAFFIC_KIND,
-                    TRAFFIC_VERSION,
-                    &key,
-                    &encode_traffic(&table.per_layer),
-                );
+        let share_traffic = agree_on_traffic_view(configs);
+
+        // Encoded tier: probe before paying for the encode.
+        let mut encoded_outcome = CacheOutcome::Disabled;
+        let mut decoded: Option<Vec<SharedLayer>> = None;
+        let mut pending: Option<EncodedPending> = None;
+        if let Some(cache) = store.cache_for(ArtifactKind::Encoded) {
+            let key = crate::artifact::encoded_key(workload, seed, &wanted);
+            let dims: Vec<_> = views.iter().map(|v| v.neurons.dim()).collect();
+            decoded = cache
+                .load(ENCODED_KIND, ENCODER_VERSION, &key)
+                .and_then(|payload| crate::artifact::decode_layers(payload, &wanted, &dims));
+            if decoded.is_some() {
+                encoded_outcome = CacheOutcome::Hit;
+            } else {
+                encoded_outcome = CacheOutcome::Miss;
+                pending = Some(EncodedPending {
+                    key,
+                    wanted: wanted.clone(),
+                    published: AtomicBool::new(false),
+                });
             }
         }
-        (built, Some(hit))
+
+        // Traffic tier.
+        let mut traffic_outcome = CacheOutcome::Disabled;
+        let mut traffic_store_key: Option<CacheKey> = None;
+        let mut preloaded: Option<Vec<AccessCounters>> = None;
+        if share_traffic {
+            if let Some(cache) = store.cache_for(ArtifactKind::Traffic) {
+                let key = traffic_key(
+                    workload.network.name(),
+                    &views,
+                    &lead.chip,
+                    lead.nm_layout,
+                    lead.repr,
+                );
+                preloaded = cache
+                    .load(TRAFFIC_KIND, TRAFFIC_VERSION, &key)
+                    .and_then(|payload| decode_traffic(&payload, views.len()));
+                if preloaded.is_some() {
+                    traffic_outcome = CacheOutcome::Hit;
+                } else {
+                    traffic_outcome = CacheOutcome::Miss;
+                    traffic_store_key = Some(key);
+                }
+            }
+        }
+
+        let built = match decoded {
+            Some(layers) => {
+                // Masks and memos came off disk; only traffic remains.
+                let traffic = share_traffic.then(|| {
+                    let per_layer = preloaded.unwrap_or_else(|| {
+                        views.par_iter().map(|view| count_traffic(&lead, view)).collect()
+                    });
+                    TrafficTable {
+                        chip: lead.chip,
+                        nm_layout: lead.nm_layout,
+                        repr: lead.repr,
+                        per_layer,
+                    }
+                });
+                Self { layers, traffic, encoded_pending: None }
+            }
+            None => {
+                let mut built = Self::build_inner(configs, &views, preloaded);
+                built.encoded_pending = pending;
+                built
+            }
+        };
+        if let (Some(key), Some(cache), Some(table)) = (
+            traffic_store_key.as_ref(),
+            store.cache_for(ArtifactKind::Traffic),
+            built.traffic.as_ref(),
+        ) {
+            // Best-effort, like every cache store.
+            let _ =
+                cache.store(TRAFFIC_KIND, TRAFFIC_VERSION, key, &encode_traffic(&table.per_layer));
+        }
+        (built, StoreOutcomes { encoded: encoded_outcome, traffic: traffic_outcome })
+    }
+
+    /// Publishes the encoded-artifact entry this build missed under, if
+    /// any — called *after* simulation so the persisted memos carry the
+    /// brick schedules the run actually computed (publishing earlier
+    /// would be correct but cold: memo slots serialize as the lazy
+    /// sentinel and refill on load). No-op unless the build armed a
+    /// pending key, the store's encoded tier is enabled, and nothing
+    /// published this network before; returns `true` exactly when an
+    /// entry was written.
+    pub fn publish_encoded(&self, store: &ArtifactStore) -> bool {
+        let Some(pending) = self.encoded_pending.as_ref() else {
+            return false;
+        };
+        let Some(cache) = store.cache_for(ArtifactKind::Encoded) else {
+            return false;
+        };
+        // relaxed-ok: the flag only dedups publications; the entry
+        // content is independent of ordering, and a double publish
+        // would merely rewrite identical bytes.
+        if pending.published.swap(true, Ordering::Relaxed) {
+            return false;
+        }
+        let payload = crate::artifact::encode_layers(&self.layers, &pending.wanted);
+        cache.store(ENCODED_KIND, ENCODER_VERSION, &pending.key, &payload).is_ok()
     }
 
     /// Number of layers the artifacts were built for.
@@ -252,19 +377,22 @@ impl SharedEncodedNetwork {
     }
 }
 
-/// Builds one layer's shared artifacts (the pure per-layer unit both
-/// the rayon fan-out in [`SharedEncodedNetwork::build`] and the
-/// sequential [`PipelinedBuild`] thread map over): every distinct
-/// `(EncodingKey, SchedulerConfig)` pair, plus the layer's traffic
-/// counters (preloaded, counted under the lead view, or zeroed when
-/// the configuration set does not share one view).
-fn build_layer(
+/// Counts one layer's NM/SB traffic under the lead configuration's
+/// chip view — the per-layer unit of the §VI-A shared-traffic
+/// convention.
+fn count_traffic(lead: &PraConfig, view: &LayerView<'_>) -> AccessCounters {
+    let nm = NeuronMemory::new(lead.nm_layout, lead.chip.nm_row_neurons(lead.repr.bits()));
+    shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
+}
+
+/// Builds one layer's mask buffers and schedulers: every distinct
+/// `(EncodingKey, SchedulerConfig)` pair, with pairs that agree on the
+/// key sharing one mask buffer `Arc` — the sharing invariant the
+/// persisted encoded artifacts reconstruct on load.
+fn build_layer_artifacts(
     wanted: &[(EncodingKey, SchedulerConfig)],
-    lead: &PraConfig,
-    share_traffic: bool,
-    preloaded: Option<&AccessCounters>,
     view: &LayerView<'_>,
-) -> (SharedLayer, AccessCounters) {
+) -> SharedLayer {
     let mut encodings: Vec<(EncodingKey, Arc<EncodedLayer>)> = Vec::new();
     let mut schedulers = Vec::with_capacity(wanted.len());
     for &(key, sched_cfg) in wanted {
@@ -282,15 +410,28 @@ fn build_layer(
             Arc::new(LayerScheduler::with_encoded(encoded, sched_cfg)),
         ));
     }
+    SharedLayer { schedulers }
+}
+
+/// Builds one layer's shared artifacts (the pure per-layer unit both
+/// the rayon fan-out in [`SharedEncodedNetwork::build`] and the
+/// sequential [`PipelinedBuild`] thread map over): every distinct
+/// `(EncodingKey, SchedulerConfig)` pair, plus the layer's traffic
+/// counters (preloaded, counted under the lead view, or zeroed when
+/// the configuration set does not share one view).
+fn build_layer(
+    wanted: &[(EncodingKey, SchedulerConfig)],
+    lead: &PraConfig,
+    share_traffic: bool,
+    preloaded: Option<&AccessCounters>,
+    view: &LayerView<'_>,
+) -> (SharedLayer, AccessCounters) {
     let traffic = match preloaded {
         Some(table) => *table,
-        None if share_traffic => {
-            let nm = NeuronMemory::new(lead.nm_layout, lead.chip.nm_row_neurons(lead.repr.bits()));
-            shared_traffic(&lead.chip, view.spec, &Dispatcher::new(nm))
-        }
+        None if share_traffic => count_traffic(lead, view),
         None => AccessCounters::new(),
     };
-    (SharedLayer { schedulers }, traffic)
+    (build_layer_artifacts(wanted, view), traffic)
 }
 
 /// Layer slots the pipelined builder fills in index order.
@@ -299,6 +440,13 @@ struct PipeState {
     /// Set (with a wakeup) when the builder stops, normally or not —
     /// waiters must never block on a slot that will never fill.
     finished: bool,
+    /// What the encoded store tier contributed. The builder thread owns
+    /// the probe (so a warm start blocks on nothing heavier than key
+    /// derivation) and resolves this from its initial value — `Miss`
+    /// for a tier-enabled start, `Disabled` otherwise — in the same
+    /// critical section that publishes the final layer: any consumer
+    /// that has seen every layer reads a settled value.
+    encoded_outcome: CacheOutcome,
 }
 
 /// Wakes every [`PipelinedBuild`] waiter when the builder thread stops
@@ -329,19 +477,90 @@ impl Drop for NotifyOnStop {
 /// — per-layer artifact construction is pure, only its schedule moves.
 pub struct PipelinedBuild {
     state: Arc<(Mutex<PipeState>, Condvar)>,
-    builder: Option<std::thread::JoinHandle<()>>,
+    /// The builder launches *lazily*, on the first consumer
+    /// ([`PipelinedBuild::artifacts`] or [`PipelinedBuild::finish`]):
+    /// spawning inside `start_pipelined` would make a runnable thread
+    /// whose first act is heavy I/O (the encoded-entry load), and on a
+    /// single core the wakeup can preempt the caller before the start
+    /// call returns — charging overlapped background work to the
+    /// caller's blocking-phase clock. Deferring the spawn keeps the
+    /// start cost at key derivation, warm or cold.
+    launch: Mutex<Launch>,
     lead: PraConfig,
     share_traffic: bool,
     layer_count: usize,
     /// The traffic-table cache key, kept so `finish` can publish a
     /// cold count (`None` when uncacheable or the load already hit).
     store_key: Option<CacheKey>,
+    /// The encoded-artifact key a tier-enabled start armed, transferred
+    /// to the assembled network by `finish` when the builder reported a
+    /// miss (which also publishes: by then the sims that ran against
+    /// the in-flight build have warmed the memos) and dropped when the
+    /// entry streamed off disk.
+    encoded_pending: Option<EncodedPending>,
+    /// What the traffic tier contributed at start; see
+    /// [`PipelinedBuild::traffic_outcome`].
+    traffic_outcome: CacheOutcome,
+}
+
+/// Deferred builder launch state; see [`PipelinedBuild::launch`].
+enum Launch {
+    /// Not yet running: the whole-build closure, callable many times
+    /// (all captures are read-only) but called at most once.
+    Pending(Arc<dyn Fn() + Send + Sync>),
+    /// Running or done; `None` once joined (or after an inline
+    /// fallback run, which has no handle).
+    Started(Option<std::thread::JoinHandle<()>>),
 }
 
 impl PipelinedBuild {
+    /// Spawns the builder if no consumer has yet; on thread exhaustion
+    /// every layer is built inline here instead (no overlap, same
+    /// bytes) — racing consumers park on the launch lock until the
+    /// layers exist.
+    fn ensure_started(&self) {
+        let mut g = self.launch.lock().unwrap_or_else(PoisonError::into_inner);
+        let Launch::Pending(build_all) = &*g else {
+            return;
+        };
+        let build_all = Arc::clone(build_all);
+        let spawned = std::thread::Builder::new().name("pra-pipeline-build".to_string()).spawn({
+            let build_all = Arc::clone(&build_all);
+            move || build_all()
+        });
+        *g = Launch::Started(match spawned {
+            Ok(handle) => Some(handle),
+            Err(_) => {
+                build_all();
+                None
+            }
+        });
+    }
+
     /// How many layers the build covers.
     pub fn layer_count(&self) -> usize {
         self.layer_count
+    }
+
+    /// What the encoded store tier contributed: `Hit` when every mask
+    /// buffer and memo streamed off disk, `Miss` when a tier-enabled
+    /// build (re)encoded and `finish` will publish, `Disabled` when the
+    /// tier is off. The probe runs on the builder thread, so this
+    /// settles with the final layer: read it after the build completes
+    /// (all layers consumed, or [`PipelinedBuild::finish`] on the
+    /// assembled network's behalf); earlier reads see the tier's
+    /// configuration (`Disabled`/`Miss`), not the disk's answer.
+    pub fn encoded_outcome(&self) -> CacheOutcome {
+        self.lock().encoded_outcome
+    }
+
+    /// What the traffic store tier contributed at start (that probe is
+    /// cheap — counters, not masks — and stays synchronous): `Hit` when
+    /// the table loaded, `Miss` when `finish` will publish a cold
+    /// count, `Disabled` when the tier is off or the configuration set
+    /// does not share one traffic view.
+    pub fn traffic_outcome(&self) -> CacheOutcome {
+        self.traffic_outcome
     }
 
     fn lock(&self) -> MutexGuard<'_, PipeState> {
@@ -363,6 +582,7 @@ impl PipelinedBuild {
         cfg: &PraConfig,
     ) -> (Arc<LayerScheduler>, Option<AccessCounters>) {
         assert!(layer < self.layer_count, "pipelined build has no layer {layer}");
+        self.ensure_started();
         let mut g = self.lock();
         let (layer_arts, traffic) = loop {
             if let Some((arts, traffic)) = g.built.get(layer).and_then(|slot| slot.as_ref()) {
@@ -392,15 +612,22 @@ impl PipelinedBuild {
     }
 
     /// Joins the builder and assembles the completed layers into an
-    /// ordinary [`SharedEncodedNetwork`], publishing a cold traffic
-    /// count to `cache` when one was keyed at start.
+    /// ordinary [`SharedEncodedNetwork`], publishing through `store`
+    /// whatever the start missed: a cold traffic count when one was
+    /// keyed, and the encoded artifacts (memo-warm — the sims that ran
+    /// against the in-flight build filled them in place).
     ///
     /// # Panics
     ///
     /// Panics if the builder thread panicked (the artifacts would be
     /// incomplete; callers treat it like any worker panic).
-    pub fn finish(mut self, cache: Option<&Cache>) -> SharedEncodedNetwork {
-        if let Some(handle) = self.builder.take() {
+    pub fn finish(mut self, store: &ArtifactStore) -> SharedEncodedNetwork {
+        self.ensure_started();
+        let handle = match &mut *self.launch.lock().unwrap_or_else(PoisonError::into_inner) {
+            Launch::Started(handle) => handle.take(),
+            Launch::Pending(_) => unreachable!("ensure_started leaves no Pending launch"),
+        };
+        if let Some(handle) = handle {
             assert!(handle.join().is_ok(), "pipelined artifact build panicked");
         }
         let mut g = self.lock();
@@ -413,6 +640,7 @@ impl PipelinedBuild {
             .drain(..)
             .map(|slot| slot.unwrap_or_else(|| unreachable!("checked above")))
             .collect();
+        let encoded_outcome = g.encoded_outcome;
         drop(g);
         let mut layers_out = Vec::with_capacity(built.len());
         let mut traffic_out = Vec::with_capacity(built.len());
@@ -420,7 +648,9 @@ impl PipelinedBuild {
             layers_out.push(layer);
             traffic_out.push(traffic);
         }
-        if let (Some(key), Some(cache)) = (self.store_key.as_ref(), cache) {
+        if let (Some(key), Some(cache)) =
+            (self.store_key.as_ref(), store.cache_for(ArtifactKind::Traffic))
+        {
             // Best-effort, like every cache store.
             let _ = cache.store(TRAFFIC_KIND, TRAFFIC_VERSION, key, &encode_traffic(&traffic_out));
         }
@@ -430,7 +660,18 @@ impl PipelinedBuild {
             repr: self.lead.repr,
             per_layer: traffic_out,
         });
-        SharedEncodedNetwork { layers: layers_out, traffic }
+        let network = SharedEncodedNetwork {
+            layers: layers_out,
+            traffic,
+            // The entry streamed off disk intact: nothing to publish.
+            // Anything less (miss, corrupt, partial) keeps the armed
+            // key so the publish below repairs or creates the entry.
+            encoded_pending: (encoded_outcome != CacheOutcome::Hit)
+                .then(|| self.encoded_pending.take())
+                .flatten(),
+        };
+        network.publish_encoded(store);
+        network
     }
 }
 
@@ -438,9 +679,14 @@ impl SharedEncodedNetwork {
     /// Starts a pipelined (layer-at-a-time, background-thread) build of
     /// the shared artifacts for `workload` under `configs` — the
     /// streaming-overlap counterpart of
-    /// [`SharedEncodedNetwork::from_workload_cached_in`]. Traffic is
-    /// preloaded from `cache` when possible, exactly like the batch
-    /// build; if the build thread cannot be spawned, every layer is
+    /// [`SharedEncodedNetwork::from_workload_stored`]. The traffic tier
+    /// is probed synchronously like the batch build (counters are
+    /// small); the *encoded* tier's probe — the entry load and its
+    /// streamed decode — rides the builder thread, so this call blocks
+    /// on nothing heavier than key derivation and a warm start's layers
+    /// become consumable one by one, exactly as a cold encode streams
+    /// them: warm or cold, the caller's foreground cost is simulation
+    /// only. If the build thread cannot be spawned, every layer is
     /// built inline before this returns (slower, never wrong).
     ///
     /// # Panics
@@ -449,25 +695,34 @@ impl SharedEncodedNetwork {
     pub fn start_pipelined(
         configs: &[PraConfig],
         workload: &Arc<NetworkWorkload>,
-        cache: Option<&Cache>,
+        seed: u64,
+        store: &ArtifactStore,
     ) -> PipelinedBuild {
         assert!(!configs.is_empty(), "SharedEncodedNetwork needs at least one configuration");
-        let mut wanted: Vec<(EncodingKey, SchedulerConfig)> = Vec::new();
-        for cfg in configs {
-            let pair = (cfg.encoding_key(), cfg.scheduler());
-            if !wanted.contains(&pair) {
-                wanted.push(pair);
-            }
-        }
+        let wanted = wanted_pairs(configs);
         let lead = configs[0];
         let share_traffic = agree_on_traffic_view(configs);
         let layer_count = workload.layers.len();
+
+        // Encoded tier: derive the key now (cheap — it hashes
+        // generation inputs, not tensors), hand the cache handle to the
+        // builder, and arm the publish unconditionally; `finish` drops
+        // it when the builder reports the entry streamed intact.
+        let encoded_probe = store
+            .cache_for(ArtifactKind::Encoded)
+            .map(|cache| (cache.clone(), crate::artifact::encoded_key(workload, seed, &wanted)));
+        let encoded_pending = encoded_probe.as_ref().map(|(_, key)| EncodedPending {
+            key: key.clone(),
+            wanted: wanted.clone(),
+            published: AtomicBool::new(false),
+        });
 
         let (key, preloaded) = if share_traffic {
             let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
             let key =
                 traffic_key(workload.network.name(), &views, &lead.chip, lead.nm_layout, lead.repr);
-            let preloaded = cache
+            let preloaded = store
+                .cache_for(ArtifactKind::Traffic)
                 .and_then(|c| c.load(TRAFFIC_KIND, TRAFFIC_VERSION, &key))
                 .and_then(|payload| decode_traffic(&payload, layer_count));
             (Some(key), preloaded)
@@ -475,60 +730,117 @@ impl SharedEncodedNetwork {
             (None, None)
         };
         let hit = preloaded.is_some();
-        let store_key = if hit { None } else { key.filter(|_| cache.is_some()) };
+        let traffic_outcome = if !share_traffic || store.cache_for(ArtifactKind::Traffic).is_none()
+        {
+            CacheOutcome::Disabled
+        } else if hit {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        let store_key = if hit {
+            None
+        } else {
+            key.filter(|_| store.cache_for(ArtifactKind::Traffic).is_some())
+        };
 
         let state = Arc::new((
             Mutex::new(PipeState {
                 built: (0..layer_count).map(|_| None).collect(),
                 finished: false,
+                encoded_outcome: if encoded_probe.is_some() {
+                    CacheOutcome::Miss
+                } else {
+                    CacheOutcome::Disabled
+                },
             }),
             Condvar::new(),
         ));
         let thread_state = Arc::clone(&state);
         let thread_workload = Arc::clone(workload);
         let build_all = move || {
+            use crate::artifact::LayerDecoder;
             let _notify = NotifyOnStop(Arc::clone(&thread_state));
+            let last = thread_workload.layers.len().checked_sub(1);
+            let mut decoder = encoded_probe.as_ref().and_then(|(cache, key)| {
+                let payload = cache.load(ENCODED_KIND, ENCODER_VERSION, key)?;
+                let dims: Vec<_> = thread_workload.layers.iter().map(|l| l.neurons.dim()).collect();
+                LayerDecoder::new(payload, &wanted, &dims)
+            });
             for (idx, layer) in thread_workload.layers.iter().enumerate() {
                 let view = layer.view();
-                let built = build_layer(
-                    &wanted,
-                    &lead,
-                    share_traffic,
-                    preloaded.as_ref().map(|t| &t[idx]),
-                    &view,
-                );
+                let arts = match decoder.as_mut().and_then(LayerDecoder::next_layer) {
+                    Some(arts) => arts,
+                    None => {
+                        // No usable entry, or a mid-stream decode
+                        // failure: drop the decoder (a failed stream
+                        // must not misalign later layers) and encode
+                        // fresh — bit-identical either way.
+                        decoder = None;
+                        build_layer_artifacts(&wanted, &view)
+                    }
+                };
+                let traffic = match preloaded.as_ref().map(|t| &t[idx]) {
+                    Some(table) => *table,
+                    None if share_traffic => count_traffic(&lead, &view),
+                    None => AccessCounters::new(),
+                };
+                let streamed = decoder.as_ref().is_some_and(LayerDecoder::fully_consumed);
                 let (state, cv) = &*thread_state;
                 let mut g = state.lock().unwrap_or_else(PoisonError::into_inner);
-                g.built[idx] = Some(built);
+                g.built[idx] = Some((arts, traffic));
+                if Some(idx) == last && encoded_probe.is_some() {
+                    // Settled in the same critical section as the final
+                    // layer: consumers that saw every layer read the
+                    // disk's true answer, never a racing placeholder.
+                    g.encoded_outcome =
+                        if streamed { CacheOutcome::Hit } else { CacheOutcome::Miss };
+                }
                 drop(g);
                 cv.notify_all();
             }
         };
-        let builder = std::thread::Builder::new()
-            .name("pra-pipeline-build".to_string())
-            .spawn(build_all.clone());
-        let builder = match builder {
-            Ok(handle) => Some(handle),
-            Err(_) => {
-                // Thread exhaustion: build everything inline. Consumers
-                // see every layer ready immediately — no overlap, same
-                // bytes.
-                build_all();
-                None
-            }
-        };
-        PipelinedBuild { state, builder, lead, share_traffic, layer_count, store_key }
+        PipelinedBuild {
+            state,
+            // Deferred: the first consumer spawns the builder (see the
+            // field's doc) — this call stays free of a runnable thread.
+            launch: Mutex::new(Launch::Pending(Arc::new(build_all))),
+            lead,
+            share_traffic,
+            layer_count,
+            store_key,
+            encoded_pending,
+            traffic_outcome,
+        }
+    }
+}
+
+/// Whether an [`ArtifactPool::get_or_build`] answered from memory or
+/// had to build — and, when it built, what each disk tier contributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolOutcome {
+    /// Served from the in-memory pool; no disk access, no build.
+    Pooled,
+    /// Built this call, resolving through the store's tiers.
+    Built(StoreOutcomes),
+}
+
+impl PoolOutcome {
+    /// `true` exactly when the answer came from the in-memory pool.
+    pub fn pool_hit(&self) -> bool {
+        matches!(self, PoolOutcome::Pooled)
     }
 }
 
 /// A bounded, most-recently-used in-memory pool of build-once
 /// artifacts, keyed by workload identity (network, representation,
 /// seed) plus the exact design-point set — the *batch-to-batch* reuse
-/// layer of the serving path (DESIGN.md §10). The on-disk cache (§9)
-/// makes warm *processes* generation-free; this pool makes consecutive
-/// batches over the same workload encode-free too: the workload tensor
-/// and every mask/schedule/traffic artifact are handed out as shared
-/// [`Arc`]s, so a hit costs two pointer clones instead of a rebuild.
+/// layer of the serving path (DESIGN.md §10), and the top tier of the
+/// pool → disk → generate resolution order: a miss here falls through
+/// to the [`ArtifactStore`]'s on-disk tiers (§9, §15) before any
+/// generation or encoding is paid for. The workload tensor and every
+/// mask/schedule/traffic artifact are handed out as shared [`Arc`]s,
+/// so a hit costs two pointer clones instead of a rebuild.
 ///
 /// The pool is deliberately small (serving traffic concentrates on few
 /// hot workloads; all six networks × both representations are 12
@@ -601,11 +913,11 @@ impl ArtifactPool {
     }
 
     /// Returns the workload and shared artifacts for `(network, repr,
-    /// seed)` under exactly `configs`: from the pool when present
-    /// (marking the entry most-recently-used), otherwise built — the
-    /// workload through `cache` when given (the §9 on-disk path), the
-    /// artifacts via [`SharedEncodedNetwork::from_workload_cached_in`]
-    /// likewise — and pooled. The returned flag is `true` on a pool hit.
+    /// seed)` under exactly `configs`, resolving pool → disk →
+    /// generate: from the pool when present (marking the entry
+    /// most-recently-used), otherwise built through `store` — the
+    /// workload via [`ArtifactStore::workload`], the artifacts via
+    /// [`SharedEncodedNetwork::from_workload_stored`] — and pooled.
     ///
     /// # Panics
     ///
@@ -617,23 +929,20 @@ impl ArtifactPool {
         network: pra_workloads::Network,
         repr: Representation,
         seed: u64,
-        cache: Option<&Cache>,
-    ) -> (Arc<NetworkWorkload>, Arc<SharedEncodedNetwork>, bool) {
+        store: &ArtifactStore,
+    ) -> (Arc<NetworkWorkload>, Arc<SharedEncodedNetwork>, PoolOutcome) {
         assert!(!configs.is_empty(), "ArtifactPool needs at least one configuration");
         if let Some((workload, shared)) = self.lookup(configs, network, repr, seed) {
-            return (workload, shared, true);
+            return (workload, shared, PoolOutcome::Pooled);
         }
         // Build outside the lock: a slow build must not serialize other
         // workers' pool hits (two racing builders of one key waste one
         // build, which is benign — last insert wins).
-        let workload = Arc::new(match cache {
-            Some(c) => pra_workloads::cache::build_cached_in(c, network, repr, seed).0,
-            None => NetworkWorkload::build_uncached(network, repr, seed),
-        });
-        let shared = Arc::new(match cache {
-            Some(c) => SharedEncodedNetwork::from_workload_cached_in(configs, &workload, c).0,
-            None => SharedEncodedNetwork::from_workload(configs, &workload),
-        });
+        let (workload, _) = store.workload(network, repr, seed);
+        let workload = Arc::new(workload);
+        let (shared, outcomes) =
+            SharedEncodedNetwork::from_workload_stored(configs, &workload, seed, store);
+        let shared = Arc::new(shared);
         let mut entries = self.lock();
         entries.insert(
             0,
@@ -647,7 +956,7 @@ impl ArtifactPool {
             },
         );
         entries.truncate(self.capacity);
-        (workload, shared, false)
+        (workload, shared, PoolOutcome::Built(outcomes))
     }
 
     /// Pools artifacts that were built *outside* the pool — the
@@ -811,6 +1120,37 @@ fn decode_traffic(payload: &[u8], expected_layers: usize) -> Option<Vec<AccessCo
     Some(out)
 }
 
+/// A two-layer toy workload for artifact tests (shared with
+/// `crate::artifact`) — deterministic content, real geometry, no
+/// generator run.
+#[cfg(test)]
+pub(crate) fn test_toy_workload() -> NetworkWorkload {
+    use pra_fixed::PrecisionWindow;
+    use pra_tensor::{ConvLayerSpec, Tensor3};
+    let toy_layer = || {
+        let spec = ConvLayerSpec::new("toy", (12, 6, 32), (3, 3), 32, 1, 1).unwrap();
+        pra_workloads::LayerWorkload {
+            neurons: Tensor3::from_fn(spec.input, |x, y, i| ((x * 31 + y * 7 + i) % 777) as u16),
+            spec,
+            window: PrecisionWindow::with_width(9, 2),
+            stripes_precision: 9,
+        }
+    };
+    NetworkWorkload {
+        network: pra_workloads::Network::AlexNet,
+        repr: Representation::Fixed16,
+        model: pra_workloads::ActivationModel {
+            zero_frac: 0.5,
+            sigma: 0.1,
+            suffix_density: 0.3,
+            outlier_prob: 0.0,
+            dense_prob: 0.05,
+            heavy_share: 0.5,
+        },
+        layers: vec![toy_layer(), toy_layer()],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -827,6 +1167,26 @@ mod tests {
             window: PrecisionWindow::with_width(9, 2),
             stripes_precision: 9,
         }
+    }
+
+    fn toy_workload() -> NetworkWorkload {
+        test_toy_workload()
+    }
+
+    /// A store over a fresh scratch directory (removed on drop misuse
+    /// is fine: the names are per-test and per-process).
+    fn scratch_store(tag: &str, kinds: &[ArtifactKind]) -> (std::path::PathBuf, ArtifactStore) {
+        let dir = std::env::temp_dir().join(format!("pra-shared-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ArtifactStore::new(&dir);
+        for &kind in kinds {
+            store = store.tier(kind);
+        }
+        (dir, store)
+    }
+
+    fn memless() -> ArtifactStore {
+        ArtifactStore::at_default().no_disk()
     }
 
     #[test]
@@ -884,22 +1244,6 @@ mod tests {
         );
     }
 
-    fn toy_workload() -> pra_workloads::NetworkWorkload {
-        pra_workloads::NetworkWorkload {
-            network: pra_workloads::Network::AlexNet,
-            repr: Representation::Fixed16,
-            model: pra_workloads::ActivationModel {
-                zero_frac: 0.5,
-                sigma: 0.1,
-                suffix_density: 0.3,
-                outlier_prob: 0.0,
-                dense_prob: 0.05,
-                heavy_share: 0.5,
-            },
-            layers: vec![toy_layer(), toy_layer()],
-        }
-    }
-
     #[test]
     fn traffic_round_trips_and_serves_warm_builds() {
         let table = vec![
@@ -911,18 +1255,16 @@ mod tests {
         assert!(decode_traffic(&encode_traffic(&table), 3).is_none(), "layer count checked");
         assert!(decode_traffic(&encode_traffic(&table)[..10], 2).is_none(), "truncation rejected");
 
-        let dir =
-            std::env::temp_dir().join(format!("pra-shared-traffic-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let cache = Cache::new(&dir);
+        let (dir, store) = scratch_store("traffic", &[ArtifactKind::Traffic]);
         let workload = toy_workload();
         let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
-        let (cold, cold_hit) =
-            SharedEncodedNetwork::from_workload_cached_in(&configs, &workload, &cache);
-        assert_eq!(cold_hit, Some(false), "first build must count traffic");
-        let (warm, warm_hit) =
-            SharedEncodedNetwork::from_workload_cached_in(&configs, &workload, &cache);
-        assert_eq!(warm_hit, Some(true), "second build must load the table");
+        let (cold, cold_out) =
+            SharedEncodedNetwork::from_workload_stored(&configs, &workload, 0xA, &store);
+        assert_eq!(cold_out.traffic, CacheOutcome::Miss, "first build must count traffic");
+        assert_eq!(cold_out.encoded, CacheOutcome::Disabled, "encoded tier not enabled here");
+        let (warm, warm_out) =
+            SharedEncodedNetwork::from_workload_stored(&configs, &workload, 0xA, &store);
+        assert_eq!(warm_out.traffic, CacheOutcome::Hit, "second build must load the table");
         let plain = SharedEncodedNetwork::from_workload(&configs, &workload);
         let chip = configs[0].chip;
         let (layout, repr) = (configs[0].nm_layout, configs[0].repr);
@@ -940,35 +1282,118 @@ mod tests {
 
     #[test]
     fn mixed_chip_views_skip_the_traffic_cache() {
-        let dir =
-            std::env::temp_dir().join(format!("pra-shared-traffic-mixed-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let cache = Cache::new(&dir);
+        let (dir, store) = scratch_store("traffic-mixed", &[ArtifactKind::Traffic]);
         let workload = toy_workload();
         let one = PraConfig::two_stage(2, Representation::Fixed16);
         let row_major = PraConfig { nm_layout: NmLayout::RowMajor, ..one };
-        let (built, hit) =
-            SharedEncodedNetwork::from_workload_cached_in(&[one, row_major], &workload, &cache);
-        assert_eq!(hit, None, "disagreeing chip views have no shared table to cache");
+        let (built, out) =
+            SharedEncodedNetwork::from_workload_stored(&[one, row_major], &workload, 0xA, &store);
+        assert_eq!(
+            out.traffic,
+            CacheOutcome::Disabled,
+            "disagreeing chip views have no shared table to cache"
+        );
         assert!(built.traffic_for(0, &one).is_none());
         assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().next().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
+    fn encoded_artifacts_round_trip_through_the_store() {
+        let (dir, store) =
+            scratch_store("encoded", &[ArtifactKind::Encoded, ArtifactKind::Traffic]);
+        let workload = toy_workload();
+        // Three design points, two distinct scheduler configs, one
+        // encoding key — the real sweep's sharing shape.
+        let configs = [
+            PraConfig::two_stage(2, Representation::Fixed16),
+            PraConfig::single_stage(Representation::Fixed16),
+            PraConfig::per_column(1, Representation::Fixed16),
+        ];
+        let (cold, cold_out) =
+            SharedEncodedNetwork::from_workload_stored(&configs, &workload, 0xE, &store);
+        assert_eq!(cold_out.encoded, CacheOutcome::Miss);
+        // Warm the memos the way a real run would, then publish.
+        let cold_results: Vec<_> =
+            configs.iter().map(|c| crate::run_shared(c, &workload, &cold)).collect();
+        assert!(cold.publish_encoded(&store), "a missed build must publish");
+        assert!(!cold.publish_encoded(&store), "publication is once-only");
+        let (warm, warm_out) =
+            SharedEncodedNetwork::from_workload_stored(&configs, &workload, 0xE, &store);
+        assert_eq!(warm_out.encoded, CacheOutcome::Hit, "second build must load the entry");
+        assert!(!warm.publish_encoded(&store), "a hit has nothing to publish");
+        // The loaded artifacts reconstruct the sharing invariant …
+        let a = warm.scheduler(0, &configs[0]);
+        let b = warm.scheduler(0, &configs[2]);
+        assert!(Arc::ptr_eq(a, b), "equal scheduler configs must share the memo after a load");
+        let c = warm.scheduler(0, &configs[1]);
+        assert!(Arc::ptr_eq(a.encoded_arc(), c.encoded_arc()), "same key must share masks");
+        // … and produce bit-identical results.
+        for (cfg, cold_result) in configs.iter().zip(&cold_results) {
+            assert_eq!(
+                &crate::run_shared(cfg, &workload, &warm),
+                cold_result,
+                "warm artifacts must be invisible in the results"
+            );
+        }
+        // A different seed is a different entry (masks depend on values).
+        let (_, other_seed) =
+            SharedEncodedNetwork::from_workload_stored(&configs, &workload, 0xF, &store);
+        assert_eq!(other_seed.encoded, CacheOutcome::Miss, "seed must separate encoded entries");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_build_loads_and_publishes_the_encoded_entry() {
+        let (dir, store) =
+            scratch_store("encoded-pipe", &[ArtifactKind::Encoded, ArtifactKind::Traffic]);
+        let workload = Arc::new(toy_workload());
+        let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
+        let pipe = SharedEncodedNetwork::start_pipelined(&configs, &workload, 0xE, &store);
+        let cold = pipe.finish(&store);
+        // finish() published even with cold memos: the entry is valid,
+        // its memo slots simply stay lazy.
+        let (warm, out) =
+            SharedEncodedNetwork::from_workload_stored(&configs, &workload, 0xE, &store);
+        assert_eq!(out.encoded, CacheOutcome::Hit, "finish must have published");
+        assert_eq!(out.traffic, CacheOutcome::Hit, "finish must have published traffic too");
+        assert_eq!(
+            crate::run_shared(&configs[0], &workload, &warm),
+            crate::run_shared(&configs[0], &workload, &cold),
+            "pipelined-published artifacts must be invisible in the results"
+        );
+        // And a warm pipelined start consumes the entry.
+        let pipe = SharedEncodedNetwork::start_pipelined(&configs, &workload, 0xE, &store);
+        let (sched, traffic) = pipe.artifacts(0, &configs[0]);
+        assert!(traffic.is_some());
+        let reloaded = pipe.finish(&store);
+        assert!(Arc::ptr_eq(&sched, reloaded.scheduler(0, &configs[0])));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn artifact_pool_reuses_handles_across_batches() {
         let pool = ArtifactPool::new(2);
+        let store = memless();
         let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
         let net = pra_workloads::Network::AlexNet;
-        let (w1, s1, hit1) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
-        assert!(!hit1, "first batch builds");
-        let (w2, s2, hit2) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
-        assert!(hit2, "second batch reuses");
+        let (w1, s1, out1) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, &store);
+        assert!(!out1.pool_hit(), "first batch builds");
+        assert_eq!(
+            out1,
+            PoolOutcome::Built(StoreOutcomes {
+                encoded: CacheOutcome::Disabled,
+                traffic: CacheOutcome::Disabled,
+            }),
+            "a diskless store reports both tiers off"
+        );
+        let (w2, s2, out2) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, &store);
+        assert!(out2.pool_hit(), "second batch reuses");
         assert!(Arc::ptr_eq(&w1, &w2), "the workload handle is shared, not rebuilt");
         assert!(Arc::ptr_eq(&s1, &s2), "the artifact handle is shared, not rebuilt");
         // A different seed is a different workload: no reuse.
-        let (_, s3, hit3) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xB, None);
-        assert!(!hit3);
+        let (_, s3, out3) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xB, &store);
+        assert!(!out3.pool_hit());
         assert!(!Arc::ptr_eq(&s1, &s3));
         // A different design-point set never borrows mismatched artifacts.
         let other = [PraConfig::single_stage(Representation::Fixed16)];
@@ -979,11 +1404,13 @@ mod tests {
     #[test]
     fn artifact_pool_evicts_least_recently_used() {
         let pool = ArtifactPool::new(2);
+        let store = memless();
         let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
         let net = pra_workloads::Network::AlexNet;
         for seed in [1u64, 2, 3] {
-            let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, seed, None);
-            assert!(!hit);
+            let (_, _, out) =
+                pool.get_or_build(&configs, net, Representation::Fixed16, seed, &store);
+            assert!(!out.pool_hit());
         }
         assert_eq!(pool.len(), 2, "capacity binds");
         // Seed 1 was least recently used and fell out; 2 and 3 remain.
@@ -993,8 +1420,8 @@ mod tests {
         // The lookup refreshed seed 2: inserting a fourth entry now
         // evicts 3, not 2.
         assert!(pool.lookup(&configs, net, Representation::Fixed16, 2).is_some());
-        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 4, None);
-        assert!(!hit);
+        let (_, _, out) = pool.get_or_build(&configs, net, Representation::Fixed16, 4, &store);
+        assert!(!out.pool_hit());
         assert!(pool.lookup(&configs, net, Representation::Fixed16, 2).is_some());
         assert!(pool.lookup(&configs, net, Representation::Fixed16, 3).is_none());
     }
@@ -1002,25 +1429,25 @@ mod tests {
     #[test]
     fn pooled_artifacts_produce_identical_results() {
         let pool = ArtifactPool::new(4);
+        let store = memless();
         let configs = [PraConfig::two_stage(2, Representation::Fixed16)
             .with_fidelity(crate::Fidelity::Sampled { max_pallets: 2 })];
         let net = pra_workloads::Network::AlexNet;
-        let (w, s, _) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xC, None);
+        let (w, s, _) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xC, &store);
         let pooled = crate::run_shared(&configs[0], &w, &s);
-        let direct = crate::run(
-            &configs[0],
-            &NetworkWorkload::build_uncached(net, Representation::Fixed16, 0xC),
-        );
+        let direct =
+            crate::run(&configs[0], &NetworkWorkload::build(net, Representation::Fixed16, 0xC));
         assert_eq!(pooled, direct, "pool reuse must be invisible in the results");
     }
 
     #[test]
     fn artifact_pool_survives_a_poisoned_lock_and_evicts_on_demand() {
         let pool = Arc::new(ArtifactPool::new(4));
+        let store = memless();
         let configs = [PraConfig::two_stage(2, Representation::Fixed16)];
         let net = pra_workloads::Network::AlexNet;
-        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
-        assert!(!hit);
+        let (_, _, out) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, &store);
+        assert!(!out.pool_hit());
         // Poison the pool mutex the way a panicking worker would: die
         // while holding it mid-operation.
         let p2 = Arc::clone(&pool);
@@ -1034,17 +1461,17 @@ mod tests {
         // Every pool operation keeps working on the recovered state.
         assert_eq!(pool.len(), 1);
         assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xA).is_some());
-        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
-        assert!(hit, "the surviving entry still serves hits after recovery");
+        let (_, _, out) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, &store);
+        assert!(out.pool_hit(), "the surviving entry still serves hits after recovery");
         // Supervisor-style eviction drops the suspect workload's entry
         // (and only that one), forcing the next batch to rebuild.
-        let (_, _, _) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xB, None);
+        let (_, _, _) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xB, &store);
         assert_eq!(pool.evict(net, Representation::Fixed16, 0xA), 1);
         assert_eq!(pool.evict(net, Representation::Fixed16, 0xA), 0, "evict is idempotent");
         assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xA).is_none());
         assert!(pool.lookup(&configs, net, Representation::Fixed16, 0xB).is_some());
-        let (_, _, hit) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, None);
-        assert!(!hit, "an evicted entry rebuilds");
+        let (_, _, out) = pool.get_or_build(&configs, net, Representation::Fixed16, 0xA, &store);
+        assert!(!out.pool_hit(), "an evicted entry rebuilds");
     }
 
     #[test]

@@ -278,6 +278,10 @@ mod tests {
         assert!(!cfg.rule("no-wall-clock").applies_to("crates/router/src/health.rs"));
         assert!(cfg.rule("deterministic-iteration").applies_to("crates/bench/src/sweep.rs"));
         assert!(cfg.rule("deterministic-iteration").applies_to("crates/router/src/router.rs"));
+        // The artifact serializer feeds content-addressed cache payloads:
+        // iteration order there IS the byte stream, so it must stay in
+        // scope (pra-lint.toml carries the same `crates/core/src` prefix).
+        assert!(cfg.rule("deterministic-iteration").applies_to("crates/core/src/artifact.rs"));
         assert!(cfg.rule("unsafe-safety-comment").applies_to("anything/at/all.rs"));
     }
 

@@ -659,5 +659,13 @@ mod tests {
             .iter()
             .any(|f| f.rule == "serve-no-panic"));
         assert!(lint_source(&cfg, "crates/core/src/schedule.rs", src).findings.is_empty());
+        // The artifact serializer writes content-addressed payloads, so
+        // hash-order iteration there is a byte-stream hazard: it must
+        // sit inside the deterministic-iteration scope.
+        let hashed = "fn t() { let m: HashMap<u8, u8> = HashMap::new(); let _ = m; }\n";
+        assert!(lint_source(&cfg, "crates/core/src/artifact.rs", hashed)
+            .findings
+            .iter()
+            .any(|f| f.rule == "deterministic-iteration"));
     }
 }

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use pra_serve::bench::{merge_bench_json, run_bench, BenchConfig, ServeMetrics};
 use pra_serve::{ControlRequest, ServeConfig, Server};
+use pra_workloads::cache::{ArtifactKind, ArtifactStore};
 
 use crate::health::ProbeConfig;
 use crate::router::{Router, RouterConfig};
@@ -74,6 +75,7 @@ impl Cluster {
                 // Nonzero so the router's restart detection (epoch
                 // change on probe) is well-defined from the first probe.
                 epoch: s as u64 + 1,
+                store: shard_store(&cfg.serve.store, s),
                 ..cfg.serve.clone()
             };
             let server = Server::bind("127.0.0.1:0", serve_cfg)?;
@@ -118,6 +120,30 @@ impl Cluster {
         }
         Ok(())
     }
+}
+
+/// Derives shard `s`'s private artifact store from the cluster-wide
+/// one: the same tier set, rooted at `<dir>/shard-<s>` and pre-seeded
+/// with a file copy of every entry the donor directory already holds
+/// ([`ArtifactStore::seed_entries_from`]). Per-shard directories keep
+/// one shard's corruption or stale entries from poisoning siblings,
+/// while the seeding still makes every boot after the first one warm —
+/// a shard whose copy fails just starts cold. A diskless store stays
+/// diskless.
+fn shard_store(parent: &ArtifactStore, s: usize) -> ArtifactStore {
+    let Some(dir) = parent.dir() else {
+        return parent.clone();
+    };
+    let mut store = ArtifactStore::new(dir.join(format!("shard-{s}")));
+    for kind in ArtifactKind::ALL {
+        if parent.tier_enabled(kind) {
+            store = store.tier(kind);
+        }
+    }
+    if let Err(e) = store.seed_entries_from(parent) {
+        eprintln!("pra-router: shard {s} cache warm-up failed (starting cold): {e}");
+    }
+    store
 }
 
 /// Sends one control request and returns the raw reply line — how the
@@ -341,6 +367,34 @@ mod tests {
         ];
         assert!(!digests_match(&split));
         assert!(cluster_section(&split).contains("\"digests_match\": false"));
+    }
+
+    #[test]
+    fn shard_stores_are_isolated_and_pre_seeded() {
+        let dir =
+            std::env::temp_dir().join(format!("pra-router-shard-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let parent = ArtifactStore::new(&dir).tier(ArtifactKind::Workload);
+        let key = pra_workloads::cache::KeyHasher::new("test-shard-seed").finish();
+        // `cache_for` is `None` only under a process-wide PRA_NO_CACHE;
+        // the derivation below must behave either way.
+        if let Some(cache) = parent.cache_for(ArtifactKind::Workload) {
+            cache.store("wl", 1, &key, b"seed-me").expect("publish donor entry");
+            let s0 = shard_store(&parent, 0);
+            assert_eq!(s0.dir().unwrap(), dir.join("shard-0"));
+            assert!(s0.tier_enabled(ArtifactKind::Workload));
+            assert!(!s0.tier_enabled(ArtifactKind::Encoded), "tier set copies, not widens");
+            assert_eq!(
+                s0.cache_for(ArtifactKind::Workload).unwrap().load("wl", 1, &key).as_deref(),
+                Some(b"seed-me".as_slice()),
+                "shard store must inherit the donor's entries"
+            );
+        }
+        assert!(
+            shard_store(&parent.clone().no_disk(), 1).dir().is_none(),
+            "a diskless cluster store derives diskless shard stores"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

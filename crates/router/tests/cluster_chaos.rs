@@ -41,8 +41,7 @@ fn server_cfg() -> ServeConfig {
         queue_depth: 64,
         linger: Duration::from_millis(2),
         fidelity: Fidelity::Sampled { max_pallets: 2 },
-        use_cache: false,
-        cache_dir: None,
+        store: pra_workloads::cache::ArtifactStore::at_default().no_disk(),
         ..ServeConfig::default()
     }
 }

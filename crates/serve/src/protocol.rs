@@ -154,6 +154,14 @@ pub struct StatsSnapshot {
     pub worker_restarts: u64,
     /// Requests answered `shed:deadline` past their deadline.
     pub deadline_expired: u64,
+    /// Milliseconds of blocking artifact work (workload sourcing,
+    /// shared-artifact build or decode, entry publication) paid by
+    /// batch workers since boot. The CI warm-start smoke compares this
+    /// across a cold and a warm boot of the same cache directory.
+    pub encode_ms: u64,
+    /// Batches whose shared encoded artifacts loaded from the store's
+    /// disk tier instead of being rebuilt.
+    pub encoded_hits: u64,
     /// This process's shard id within a cluster (0 when standalone).
     pub shard: u64,
     /// This process's epoch — a per-boot value (the process id by
@@ -170,7 +178,7 @@ impl StatsSnapshot {
             "{{\"status\": \"stats\", \"accepted\": {}, \"shed\": {}, \"batches\": {}, \
              \"answered\": {}, \"pool_hits\": {}, \"live_connections\": {}, \
              \"connections_shed\": {}, \"worker_restarts\": {}, \"deadline_expired\": {}, \
-             \"shard\": {}, \"epoch\": {}}}",
+             \"encode_ms\": {}, \"encoded_hits\": {}, \"shard\": {}, \"epoch\": {}}}",
             self.accepted,
             self.shed,
             self.batches,
@@ -180,6 +188,8 @@ impl StatsSnapshot {
             self.connections_shed,
             self.worker_restarts,
             self.deadline_expired,
+            self.encode_ms,
+            self.encoded_hits,
             self.shard,
             self.epoch,
         )
@@ -213,6 +223,8 @@ impl StatsSnapshot {
             // newer client can still read an older shard's snapshot.
             // This is a *versioned* tolerance, not a silent one — the
             // round-trip test pins the legacy-line behavior.
+            encode_ms: json_num_field(line, "encode_ms").map_or(0, |v| v as u64),
+            encoded_hits: json_num_field(line, "encoded_hits").map_or(0, |v| v as u64),
             shard: json_num_field(line, "shard").map_or(0, |v| v as u64),
             epoch: json_num_field(line, "epoch").map_or(0, |v| v as u64),
         })
@@ -907,6 +919,8 @@ mod tests {
             connections_shed: 5,
             worker_restarts: 1,
             deadline_expired: 2,
+            encode_ms: 120,
+            encoded_hits: 6,
             shard: 3,
             epoch: 4,
         };
@@ -916,9 +930,14 @@ mod tests {
         // A stats line missing a counter is a typed error, not a zero.
         let truncated = snap.to_json_line().replace("\"batches\": 4, ", "");
         assert!(StatsSnapshot::parse(&truncated).unwrap_err().what.contains("batches"));
-        // Pre-cluster snapshots carry no shard/epoch; they parse as 0.
-        let legacy = StatsSnapshot { shard: 0, epoch: 0, ..snap };
-        let line = snap.to_json_line().replace(", \"shard\": 3, \"epoch\": 4", "");
+        // Snapshots from before a counter shipped parse it as 0 —
+        // shard/epoch (pre-cluster) and the encode-phase counters
+        // (pre-tiered-store) alike.
+        let legacy = StatsSnapshot { encode_ms: 0, encoded_hits: 0, shard: 0, epoch: 0, ..snap };
+        let line = snap
+            .to_json_line()
+            .replace(", \"encode_ms\": 120, \"encoded_hits\": 6", "")
+            .replace(", \"shard\": 3, \"epoch\": 4", "");
         assert_eq!(StatsSnapshot::parse(&line).unwrap(), legacy);
     }
 

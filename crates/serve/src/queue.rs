@@ -41,12 +41,11 @@ pub struct ServeConfig {
     /// Simulation fidelity for the cycle-level engines (full by
     /// default: responses are the paper-comparable numbers).
     pub fidelity: Fidelity,
-    /// Source workloads and traffic tables from the content-addressed
-    /// cache (DESIGN.md §9); `false` regenerates everything per batch.
-    pub use_cache: bool,
-    /// Cache directory override; `None` resolves the default
-    /// (`PRA_CACHE_DIR`, else `<target>/pra-cache`).
-    pub cache_dir: Option<std::path::PathBuf>,
+    /// The tiered artifact store batches resolve through (DESIGN.md
+    /// §9, §15): workload streams, traffic tables and encoded
+    /// masks/memos. `ArtifactStore::at_default().no_disk()` regenerates
+    /// everything per process; results are byte-identical either way.
+    pub store: pra_workloads::cache::ArtifactStore,
     /// Per-request deadline, measured from admission. Requests still
     /// unanswered when it expires are shed with
     /// [`ShedReason::Deadline`] instead of simulated; `None` disables
@@ -77,8 +76,7 @@ impl Default for ServeConfig {
             queue_depth: 128,
             linger: Duration::from_millis(2),
             fidelity: Fidelity::Full,
-            use_cache: true,
-            cache_dir: None,
+            store: pra_workloads::cache::ArtifactStore::at_default(),
             deadline: None,
             max_connections: 64,
             wedge_timeout: Duration::from_secs(30),

@@ -36,12 +36,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pra_core::{
-    run_pipelined, run_shared, run_shared_streaming, ArtifactPool, PraConfig, SharedEncodedNetwork,
+    run_pipelined, run_shared, run_shared_streaming, ArtifactPool, PoolOutcome, PraConfig,
+    SharedEncodedNetwork,
 };
 use pra_engines::{dadn, stripes};
 use pra_sim::{ChipConfig, RunResult};
-use pra_workloads::cache::{self, Cache};
-use pra_workloads::{LayerView, NetworkWorkload};
+use pra_workloads::cache::CacheOutcome;
+use pra_workloads::LayerView;
 
 use crate::protocol::{
     repr_label, response_digest, Engine, LatencySplit, Request, Response, ShedReason, StatsSnapshot,
@@ -74,6 +75,14 @@ pub struct ServiceStats {
     /// Requests answered `shed:deadline` after their per-request
     /// deadline expired.
     pub deadline_expired: AtomicU64,
+    /// Milliseconds of blocking artifact work paid by batch workers:
+    /// workload sourcing, shared-artifact build or decode, and entry
+    /// publication. A warm disk store collapses this to decode time —
+    /// the CI `warm-start-smoke` gate pins that collapse.
+    pub encode_ms: AtomicU64,
+    /// Batches whose shared encoded artifacts loaded from the store's
+    /// disk tier instead of being rebuilt from the workload.
+    pub encoded_hits: AtomicU64,
     /// This process's shard id (copied from [`ServeConfig::shard`] at
     /// start so the snapshot path needs no config handle).
     pub shard: AtomicU64,
@@ -98,6 +107,8 @@ impl ServiceStats {
             connections_shed: ld(&self.connections_shed),
             worker_restarts: ld(&self.worker_restarts),
             deadline_expired: ld(&self.deadline_expired),
+            encode_ms: ld(&self.encode_ms),
+            encoded_hits: ld(&self.encoded_hits),
             shard: ld(&self.shard),
             epoch: ld(&self.epoch),
         }
@@ -514,11 +525,13 @@ fn run_batch(
     // the [`ArtifactPool`] — per *run of batches*: the pool is always
     // keyed on the full standard design-point set, so the first batch
     // of a workload builds artifacts every later batch reuses whatever
-    // engine mix it carries. The on-disk cache (PR 4) still backs the
-    // first build; baselines-only batches never pay for an encode —
-    // they probe the pool and fall back to the bare workload.
-    let cache_handle: Option<Cache> = (cfg.use_cache && cache::enabled())
-        .then(|| cfg.cache_dir.clone().map(Cache::new).unwrap_or_else(Cache::at_default));
+    // engine mix it carries. The tiered [`ArtifactStore`] backs the
+    // first build (workload *and* encoded artifacts, so a warm boot
+    // deserializes instead of re-encoding); baselines-only batches
+    // never pay for an encode — they probe the pool and fall back to
+    // the bare workload.
+    //
+    // [`ArtifactStore`]: pra_workloads::cache::ArtifactStore
     let std_cfgs: Vec<PraConfig> = pra_bench::sweep::pra_configs(key.repr, cfg.fidelity);
     let any_pra = engines.iter().any(|(_, e)| matches!(e, Engine::Pra(_)));
     // Any v2 member turns on streaming for the batch: the lead engine's
@@ -535,6 +548,12 @@ fn run_batch(
         _ => None,
     });
     let streaming_lead = if has_streamers { lead } else { None };
+    // Blocking artifact work (everything that is not simulation) is
+    // accumulated into `encode_ms`; the overlapped portion of a
+    // pipelined build is deliberately excluded — it costs no latency.
+    let ms_since = |t: Instant| t.elapsed().as_millis() as u64;
+    let mut build_ms: u64 = 0;
+    let mut encoded_hit = false;
     let (workload, shared, lead_run) = if let Some((lead_label, lead_cfg)) = streaming_lead {
         // Streaming batches break the strict build-then-simulate
         // sequence on a pool miss: layer n+1 encodes on the pipeline
@@ -552,20 +571,26 @@ fn run_batch(
                 (workload, Some(shared), Some((lead_label, r)))
             }
             None => {
-                let workload = Arc::new(match &cache_handle {
-                    Some(c) => cache::build_cached_in(c, key.network, key.repr, key.seed).0,
-                    None => NetworkWorkload::build_uncached(key.network, key.repr, key.seed),
-                });
+                let t = Instant::now();
+                let (workload, _) = cfg.store.workload(key.network, key.repr, key.seed);
+                let workload = Arc::new(workload);
                 let build = SharedEncodedNetwork::start_pipelined(
-                    &std_cfgs,
-                    &workload,
-                    cache_handle.as_ref(),
+                    &std_cfgs, &workload, key.seed, &cfg.store,
                 );
+                build_ms += ms_since(t);
                 let layers = workload.layers.len();
                 let r = run_pipelined(&lead_cfg, &workload, &build, |idx, partial| {
                     emit_frames(registry, slot, cfg, &mut frames_sent, idx, layers, partial);
                 });
-                let shared = Arc::new(build.finish(cache_handle.as_ref()));
+                // The encoded probe rides the builder thread and
+                // settles with the final layer — which the lead sim
+                // just consumed, so this read is authoritative.
+                encoded_hit = matches!(build.encoded_outcome(), CacheOutcome::Hit);
+                // `finish` also publishes a missed encoded entry — by
+                // now the lead sim warmed its memos in place.
+                let t = Instant::now();
+                let shared = Arc::new(build.finish(&cfg.store));
+                build_ms += ms_since(t);
                 pool.insert(
                     key.network,
                     key.repr,
@@ -578,12 +603,19 @@ fn run_batch(
             }
         }
     } else if any_pra {
-        let (workload, shared, pool_hit) =
-            pool.get_or_build(&std_cfgs, key.network, key.repr, key.seed, cache_handle.as_ref());
-        if pool_hit {
-            // relaxed-ok: monotonic stat counter; nothing synchronizes
-            // through it.
-            stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let (workload, shared, outcome) =
+            pool.get_or_build(&std_cfgs, key.network, key.repr, key.seed, &cfg.store);
+        build_ms += ms_since(t);
+        match outcome {
+            PoolOutcome::Pooled => {
+                // relaxed-ok: monotonic stat counter; nothing
+                // synchronizes through it.
+                stats.pool_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            PoolOutcome::Built(out) => {
+                encoded_hit = matches!(out.encoded, CacheOutcome::Hit);
+            }
         }
         (workload, Some(shared), None)
     } else {
@@ -595,14 +627,21 @@ fn run_batch(
                 (workload, Some(shared), None)
             }
             None => {
-                let workload = Arc::new(match &cache_handle {
-                    Some(c) => cache::build_cached_in(c, key.network, key.repr, key.seed).0,
-                    None => NetworkWorkload::build_uncached(key.network, key.repr, key.seed),
-                });
-                (workload, None, None)
+                let t = Instant::now();
+                let (workload, _) = cfg.store.workload(key.network, key.repr, key.seed);
+                build_ms += ms_since(t);
+                (Arc::new(workload), None, None)
             }
         }
     };
+    // relaxed-ok: monotonic stat counters; nothing synchronizes
+    // through them.
+    stats.encode_ms.fetch_add(build_ms, Ordering::Relaxed);
+    if encoded_hit {
+        // relaxed-ok: monotonic stat counter; nothing synchronizes
+        // through it.
+        stats.encoded_hits.fetch_add(1, Ordering::Relaxed);
+    }
     let views: Vec<LayerView<'_>> = workload.layers.iter().map(|l| l.view()).collect();
     let chip = ChipConfig::dadn();
     let traffic = shared.as_ref().and_then(|s| s.traffic_view(&chip, Default::default(), key.repr));
@@ -651,6 +690,17 @@ fn run_batch(
             },
         };
         results.insert(label.as_str(), (cycles, terms, speedup));
+    }
+
+    // Publish a missed encoded entry now that the batch's sims warmed
+    // the schedule memos (no-op on a streaming build — `finish` already
+    // published — and on pool hits or warm loads, which armed nothing).
+    if let Some(s) = shared.as_deref() {
+        let t = Instant::now();
+        s.publish_encoded(&cfg.store);
+        // relaxed-ok: monotonic stat counter; nothing synchronizes
+        // through it.
+        stats.encode_ms.fetch_add(ms_since(t), Ordering::Relaxed);
     }
 
     let batch_size = batch.requests.len();
@@ -761,8 +811,7 @@ mod tests {
             queue_depth: 64,
             linger: Duration::from_millis(5),
             fidelity: Fidelity::Sampled { max_pallets: 2 },
-            use_cache: false,
-            cache_dir: None,
+            store: pra_workloads::cache::ArtifactStore::at_default().no_disk(),
             deadline: None,
             max_connections: 64,
             wedge_timeout: Duration::from_secs(30),

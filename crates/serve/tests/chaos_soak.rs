@@ -39,8 +39,7 @@ fn server_cfg() -> ServeConfig {
         queue_depth: 64,
         linger: Duration::from_millis(2),
         fidelity: Fidelity::Sampled { max_pallets: 2 },
-        use_cache: false,
-        cache_dir: None,
+        store: pra_workloads::cache::ArtifactStore::at_default().no_disk(),
         ..ServeConfig::default()
     }
 }
@@ -173,7 +172,13 @@ fn cache_corruption_under_load_still_serves_golden_bits() {
 
     let dir = std::env::temp_dir().join(format!("pra-serve-chaos-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let cached = ServeConfig { use_cache: true, cache_dir: Some(dir.clone()), ..server_cfg() };
+    // All three tiers on: the corruption pass below must regenerate
+    // workloads *and* encoded artifacts bit-identically.
+    let store = pra_workloads::cache::ArtifactStore::new(&dir)
+        .tier(pra_workloads::cache::ArtifactKind::Workload)
+        .tier(pra_workloads::cache::ArtifactKind::Traffic)
+        .tier(pra_workloads::cache::ArtifactKind::Encoded);
+    let cached = ServeConfig { store, ..server_cfg() };
 
     // Warm pass (fault-free) populates the on-disk cache…
     pra_chaos::disarm();

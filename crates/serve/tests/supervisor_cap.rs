@@ -73,8 +73,7 @@ fn supplemental_worker_ceiling_holds_and_owed_answers_drain() {
         queue_depth: 64,
         linger: Duration::ZERO,
         fidelity: Fidelity::Sampled { max_pallets: 2 },
-        use_cache: false,
-        cache_dir: None,
+        store: pra_workloads::cache::ArtifactStore::at_default().no_disk(),
         deadline: Some(Duration::from_millis(150)),
         wedge_timeout: WEDGE_TIMEOUT,
         ..ServeConfig::default()

@@ -702,6 +702,17 @@ impl Cache {
         self.remove_matching(|_, _, _| true)
     }
 
+    /// [`Cache::clear`] restricted to one entry kind (`pra cache clear
+    /// --kind …`): entries and temps whose tag differs are counted as
+    /// kept, everything else follows the usual safety rules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates an error only from reading the directory.
+    pub fn clear_kind(&self, kind: &str) -> io::Result<ClearReport> {
+        self.remove_matching(|entry_kind, _, _| entry_kind == kind)
+    }
+
     /// One-pass stale-generation GC: for every `(kind, current
     /// version)` pair in `current`, removes that kind's published
     /// entries whose embedded version differs, plus its abandoned temp
@@ -964,37 +975,203 @@ pub fn load_workload(
     Some(workload)
 }
 
-/// Cache-aware workload build against the default cache directory —
-/// the body of [`NetworkWorkload::build`].
-pub fn build_cached(
-    network: Network,
-    repr: Representation,
-    seed: u64,
-) -> (NetworkWorkload, CacheOutcome) {
-    if !enabled() {
-        return (NetworkWorkload::build_uncached(network, repr, seed), CacheOutcome::Disabled);
-    }
-    build_cached_in(&Cache::at_default(), network, repr, seed)
+// ---------------------------------------------------------------------
+// The tiered artifact store
+// ---------------------------------------------------------------------
+
+/// The artifact kinds the tiered store can persist (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Generated workload streams ([`WORKLOAD_KIND`], `"wl"`).
+    Workload,
+    /// Per-layer NM/SB traffic tables (`"tr"`, owned by `pra-core`).
+    Traffic,
+    /// Encoded mask buffers + warm schedule memos (`"en"`, owned by
+    /// `pra-core`'s `artifact` module).
+    Encoded,
 }
 
-/// Cache-aware workload build against an explicit cache: consult the
-/// store first, generate and publish on a miss. The returned workload
-/// is bit-identical either way (round-trip pinned by
-/// `tests/cache_roundtrip.rs`).
-pub fn build_cached_in(
-    cache: &Cache,
-    network: Network,
-    repr: Representation,
-    seed: u64,
-) -> (NetworkWorkload, CacheOutcome) {
-    let key = workload_key(network, repr, seed);
-    if let Some(w) = load_workload(cache, &key, network, repr) {
-        return (w, CacheOutcome::Hit);
+impl ArtifactKind {
+    /// Every kind, in stable display order.
+    pub const ALL: [ArtifactKind; 3] =
+        [ArtifactKind::Workload, ArtifactKind::Traffic, ArtifactKind::Encoded];
+
+    /// The on-disk entry-name tag (`<tag>-<64 hex>.prac`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ArtifactKind::Workload => WORKLOAD_KIND,
+            ArtifactKind::Traffic => "tr",
+            ArtifactKind::Encoded => "en",
+        }
     }
-    let w = NetworkWorkload::build_uncached(network, repr, seed);
-    // Best-effort: a read-only cache directory must not fail a build.
-    let _ = store_workload(cache, &key, &w);
-    (w, CacheOutcome::Miss)
+
+    /// The human-facing name used by `pra cache --kind`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Workload => "workload",
+            ArtifactKind::Traffic => "traffic",
+            ArtifactKind::Encoded => "encoded",
+        }
+    }
+
+    /// Parses either the human name (`"workload"`) or the entry tag
+    /// (`"wl"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s || k.tag() == s)
+    }
+}
+
+/// One typed handle over the content-addressed artifact cache: which
+/// directory (if any) backs it, and which [`ArtifactKind`] tiers may
+/// read and write it. This is the single construction path every
+/// cache-aware consumer (sweep, serve, router) goes through — the old
+/// per-call `use_cache: bool` + `cache_dir: Option<PathBuf>` plumbing
+/// and the `build`/`build_uncached` twin entry points collapse into
+/// one value that is built once and passed along.
+///
+/// ```
+/// use pra_workloads::cache::{ArtifactKind, ArtifactStore};
+/// // Disk-backed, workload + encoded tiers only:
+/// let store = ArtifactStore::new("/tmp/pra-cache")
+///     .tier(ArtifactKind::Workload)
+///     .tier(ArtifactKind::Encoded);
+/// assert!(store.tier_enabled(ArtifactKind::Workload));
+/// assert!(!store.tier_enabled(ArtifactKind::Traffic));
+/// // The escape hatch: never touch disk at all.
+/// let off = ArtifactStore::at_default().no_disk();
+/// assert!(off.cache_for(ArtifactKind::Workload).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    cache: Option<Cache>,
+    tiers: [bool; 3],
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir` with **no** tiers enabled yet — chain
+    /// [`ArtifactStore::tier`] to opt kinds in.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { cache: Some(Cache::new(dir)), tiers: [false; 3] }
+    }
+
+    /// The default store: rooted at [`default_dir`] with every tier
+    /// enabled (what `pra sweep` / `pra serve` use unless told
+    /// otherwise).
+    pub fn at_default() -> Self {
+        Self { cache: Some(Cache::at_default()), tiers: [true; 3] }
+    }
+
+    /// Enables one artifact tier.
+    pub fn tier(mut self, kind: ArtifactKind) -> Self {
+        self.tiers[kind as usize] = true;
+        self
+    }
+
+    /// Drops the disk entirely: every probe misses and every publish is
+    /// a no-op (`pra sweep --no-cache`, hermetic tests).
+    pub fn no_disk(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The backing directory, `None` for a [`ArtifactStore::no_disk`]
+    /// store.
+    pub fn dir(&self) -> Option<&Path> {
+        self.cache.as_ref().map(Cache::dir)
+    }
+
+    /// Whether `kind`'s tier was enabled (regardless of disk presence).
+    pub fn tier_enabled(&self, kind: ArtifactKind) -> bool {
+        self.tiers[kind as usize]
+    }
+
+    /// The single probe point: the backing [`Cache`] for `kind`, or
+    /// `None` when the store has no disk, the tier is off, or the cache
+    /// is disabled process-wide ([`enabled`], `PRA_NO_CACHE`). Callers
+    /// that get `None` generate; callers that get `Some` consult disk
+    /// first and publish after a miss.
+    pub fn cache_for(&self, kind: ArtifactKind) -> Option<&Cache> {
+        (self.tiers[kind as usize] && enabled()).then_some(self.cache.as_ref()?)
+    }
+
+    /// Cache-aware workload build: consult the workload tier first,
+    /// generate and publish on a miss. The returned workload is
+    /// bit-identical either way (round-trip pinned by
+    /// `tests/cache_roundtrip.rs`).
+    pub fn workload(
+        &self,
+        network: Network,
+        repr: Representation,
+        seed: u64,
+    ) -> (NetworkWorkload, CacheOutcome) {
+        let Some(cache) = self.cache_for(ArtifactKind::Workload) else {
+            return (NetworkWorkload::build(network, repr, seed), CacheOutcome::Disabled);
+        };
+        let key = workload_key(network, repr, seed);
+        if let Some(w) = load_workload(cache, &key, network, repr) {
+            return (w, CacheOutcome::Hit);
+        }
+        let w = NetworkWorkload::build(network, repr, seed);
+        // Best-effort: a read-only cache directory must not fail a build.
+        let _ = store_workload(cache, &key, &w);
+        (w, CacheOutcome::Miss)
+    }
+
+    /// Copies every published entry of `src` into this store's
+    /// directory — the shard warm-up path: a fresh shard inherits the
+    /// donor's artifacts as a file copy instead of re-encoding. Only
+    /// scheme-matching regular files are copied (temps, symlinks and
+    /// foreign files are ignored, mirroring the deletion rules), each
+    /// through the same atomic temp + rename publish as
+    /// [`Cache::store`]. Returns how many entries were copied; a
+    /// diskless source or destination copies nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read and copy failures.
+    pub fn seed_entries_from(&self, src: &ArtifactStore) -> io::Result<usize> {
+        let (Some(dst), Some(src)) = (self.cache.as_ref(), src.cache.as_ref()) else {
+            return Ok(0);
+        };
+        let rd = match fs::read_dir(src.dir()) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        fs::create_dir_all(dst.dir())?;
+        let mut copied = 0;
+        for entry in rd.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !matches!(parse_entry_name(name), Some((_, false))) {
+                continue;
+            }
+            let from = entry.path();
+            let Ok(meta) = fs::symlink_metadata(&from) else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let to = dst.dir().join(name);
+            if to == from {
+                continue;
+            }
+            let tmp = dst.dir().join(format!(
+                "{name}.tmp{}.{}",
+                std::process::id(),
+                // relaxed-ok: distinct temp-file suffixes only.
+                TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+            ));
+            fs::copy(&from, &tmp)?;
+            match fs::rename(&tmp, &to) {
+                Ok(()) => copied += 1,
+                Err(e) => {
+                    let _ = fs::remove_file(&tmp);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(copied)
+    }
 }
 
 #[cfg(test)]

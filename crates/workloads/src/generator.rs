@@ -398,21 +398,12 @@ impl NetworkWorkload {
     /// calibrated activation model and a deterministic `seed`,
     /// parallelizing row generation across the rayon pool.
     ///
-    /// This is the main entry point used by every experiment. It is
-    /// backed by the content-addressed on-disk cache (`crate::cache`,
-    /// DESIGN.md §9): a previously generated stream for the same
-    /// `(network descriptor, repr, calibration inputs, seed, generator
-    /// version)` is loaded instead of regenerated — bit-identical by the
-    /// round-trip guarantee — and a fresh stream is published for the
-    /// next caller. Use [`NetworkWorkload::build_uncached`] (or the
-    /// `PRA_NO_CACHE` environment variable) to force generation.
+    /// This is the *pure* generation kernel: it never touches disk.
+    /// Cache-aware construction goes through
+    /// [`crate::cache::ArtifactStore::workload`] (DESIGN.md §9/§15),
+    /// which consults the content-addressed store first and falls back
+    /// to this — bit-identical by the round-trip guarantee.
     pub fn build(network: Network, repr: Representation, seed: u64) -> Self {
-        crate::cache::build_cached(network, repr, seed).0
-    }
-
-    /// [`NetworkWorkload::build`] without consulting the on-disk cache:
-    /// always calibrates (process-cached) and draws the streams.
-    pub fn build_uncached(network: Network, repr: Representation, seed: u64) -> Self {
         let model = crate::calibrate::calibrated_model(network, repr);
         Self::build_with_model(network, repr, model, seed)
     }

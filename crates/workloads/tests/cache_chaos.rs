@@ -11,7 +11,7 @@
 use std::sync::{Mutex, PoisonError};
 
 use pra_chaos::{FaultPlan, Site};
-use pra_workloads::cache::{build_cached_in, Cache, CacheOutcome};
+use pra_workloads::cache::{ArtifactKind, ArtifactStore, Cache, CacheOutcome};
 use pra_workloads::{Network, NetworkWorkload, Representation};
 
 /// Serializes the tests in this binary around the global fault plan.
@@ -32,6 +32,16 @@ fn assert_same_workload(a: &NetworkWorkload, b: &NetworkWorkload, what: &str) {
     }
 }
 
+/// The tiered-store build under test, aimed at the scratch cache.
+fn build_stored(
+    cache: &Cache,
+    net: Network,
+    repr: Representation,
+    seed: u64,
+) -> (NetworkWorkload, CacheOutcome) {
+    ArtifactStore::new(cache.dir()).tier(ArtifactKind::Workload).workload(net, repr, seed)
+}
+
 fn scratch_cache(tag: &str) -> (Cache, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("pra-cache-chaos-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -45,15 +55,15 @@ fn corrupted_and_truncated_reads_regenerate_bit_identically() {
     for site in [Site::CacheCorrupt, Site::CacheTruncate] {
         let (cache, dir) = scratch_cache(site.label());
         pra_chaos::disarm();
-        let (clean, outcome) = build_cached_in(&cache, net, repr, seed);
+        let (clean, outcome) = build_stored(&cache, net, repr, seed);
         assert_eq!(outcome, CacheOutcome::Miss, "cold build populates the entry");
-        assert_eq!(build_cached_in(&cache, net, repr, seed).1, CacheOutcome::Hit);
+        assert_eq!(build_stored(&cache, net, repr, seed).1, CacheOutcome::Hit);
 
         // Every read now sees a mangled entry: verification must reject
         // it (a Miss, never a wrong payload) and regeneration must
         // produce exactly the fault-free workload.
         pra_chaos::arm(FaultPlan::new(7).with_site(site, 1.0, None));
-        let (healed, outcome) = build_cached_in(&cache, net, repr, seed);
+        let (healed, outcome) = build_stored(&cache, net, repr, seed);
         assert_eq!(
             outcome,
             CacheOutcome::Miss,
@@ -65,7 +75,7 @@ fn corrupted_and_truncated_reads_regenerate_bit_identically() {
 
         // Disarmed again, the republished entry serves warm hits.
         pra_chaos::disarm();
-        let (warm, outcome) = build_cached_in(&cache, net, repr, seed);
+        let (warm, outcome) = build_stored(&cache, net, repr, seed);
         assert_eq!(outcome, CacheOutcome::Hit, "{}: the heal republished", site.label());
         assert_same_workload(&warm, &clean, "warm reread");
         let _ = std::fs::remove_dir_all(&dir);
@@ -78,14 +88,14 @@ fn sub_unity_corruption_rate_converges_to_a_hit() {
     let (cache, dir) = scratch_cache("flaky");
     let (net, repr, seed) = (Network::NiN, Representation::Quant8, 0xF1A6u64);
     pra_chaos::disarm();
-    let (clean, _) = build_cached_in(&cache, net, repr, seed);
+    let (clean, _) = build_stored(&cache, net, repr, seed);
     // A 50% corruption rate models a flaky medium: some loads fail and
     // regenerate, some succeed — every outcome must carry the same
     // bits.
     pra_chaos::arm(FaultPlan::new(11).with_site(Site::CacheCorrupt, 0.5, None));
     let mut hits = 0;
     for _ in 0..8 {
-        let (w, outcome) = build_cached_in(&cache, net, repr, seed);
+        let (w, outcome) = build_stored(&cache, net, repr, seed);
         assert_same_workload(&w, &clean, "flaky read");
         if outcome == CacheOutcome::Hit {
             hits += 1;

@@ -7,8 +7,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use pra_workloads::cache::{
-    self, build_cached_in, load_workload, store_workload, workload_key, workload_key_for_version,
-    Cache, CacheOutcome, GENERATOR_VERSION,
+    self, load_workload, store_workload, workload_key, workload_key_for_version, ArtifactKind,
+    ArtifactStore, Cache, CacheOutcome, GENERATOR_VERSION,
 };
 use pra_workloads::{Network, NetworkWorkload, Representation};
 use rayon::prelude::*;
@@ -20,6 +20,17 @@ fn scratch(tag: &str) -> PathBuf {
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_nanos() as u64);
     std::env::temp_dir().join(format!("pra-cache-it-{tag}-{}-{nanos}", std::process::id()))
+}
+
+/// The tiered-store entry point under test, aimed at the scratch
+/// cache: workload tier only, same directory.
+fn build_stored(
+    cache: &Cache,
+    net: Network,
+    repr: Representation,
+    seed: u64,
+) -> (NetworkWorkload, CacheOutcome) {
+    ArtifactStore::new(cache.dir()).tier(ArtifactKind::Workload).workload(net, repr, seed)
 }
 
 fn with_scratch(tag: &str, f: impl FnOnce(&Cache)) {
@@ -44,9 +55,9 @@ const SEED: u64 = 0x00DD_BA11;
 #[test]
 fn cache_round_trip_is_bit_identical() {
     with_scratch("roundtrip", |cache| {
-        let (generated, first) = build_cached_in(cache, NET, REPR, SEED);
+        let (generated, first) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(first, CacheOutcome::Miss);
-        let (loaded, second) = build_cached_in(cache, NET, REPR, SEED);
+        let (loaded, second) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(second, CacheOutcome::Hit);
         assert_eq!(generated.network, loaded.network);
         assert_eq!(generated.repr, loaded.repr);
@@ -72,7 +83,7 @@ fn cache_round_trip_is_bit_identical() {
 #[test]
 fn corrupt_and_truncated_entries_fall_back_to_regeneration() {
     with_scratch("corrupt", |cache| {
-        let (generated, _) = build_cached_in(cache, NET, REPR, SEED);
+        let (generated, _) = build_stored(cache, NET, REPR, SEED);
         let path = only_entry(cache);
 
         // Flip one payload byte: checksum verification must reject it.
@@ -85,7 +96,7 @@ fn corrupt_and_truncated_entries_fall_back_to_regeneration() {
         assert!(!path.exists(), "corrupt entry must be removed");
 
         // Regeneration repopulates and produces the same stream.
-        let (again, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        let (again, outcome) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(again.layers[0].neurons, generated.layers[0].neurons);
 
@@ -94,7 +105,7 @@ fn corrupt_and_truncated_entries_fall_back_to_regeneration() {
         let path = only_entry(cache);
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
-        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        let (_, outcome) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(outcome, CacheOutcome::Miss, "truncated entry must regenerate");
     });
 }
@@ -108,7 +119,7 @@ fn generator_version_bump_invalidates_entries() {
     assert_ne!(current, bumped);
 
     with_scratch("verbump", |cache| {
-        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        let (_, outcome) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(outcome, CacheOutcome::Miss);
         // Rewrite the stored entry's embedded version field (bytes
         // 8..12) and re-checksum nothing: the loader must reject the
@@ -128,18 +139,18 @@ fn generator_version_bump_invalidates_entries() {
 #[test]
 fn wrong_network_or_repr_lookup_misses() {
     with_scratch("wrongnet", |cache| {
-        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        let (_, outcome) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(outcome, CacheOutcome::Miss);
         // Different inputs derive different keys, so these are misses,
         // not mismatched payloads.
-        let (_, o2) = build_cached_in(cache, Network::VggM, REPR, SEED);
+        let (_, o2) = build_stored(cache, Network::VggM, REPR, SEED);
         assert_eq!(o2, CacheOutcome::Miss);
-        let (_, o3) = build_cached_in(cache, NET, Representation::Quant8, SEED);
+        let (_, o3) = build_stored(cache, NET, Representation::Quant8, SEED);
         assert_eq!(o3, CacheOutcome::Miss);
-        let (_, o4) = build_cached_in(cache, NET, REPR, SEED ^ 1);
+        let (_, o4) = build_stored(cache, NET, REPR, SEED ^ 1);
         assert_eq!(o4, CacheOutcome::Miss);
         // And the originals still hit.
-        assert_eq!(build_cached_in(cache, NET, REPR, SEED).1, CacheOutcome::Hit);
+        assert_eq!(build_stored(cache, NET, REPR, SEED).1, CacheOutcome::Hit);
     });
 }
 
@@ -182,7 +193,7 @@ fn concurrent_writers_on_one_key_stay_consistent() {
 #[test]
 fn clear_only_touches_cache_entries_and_never_follows_symlinks() {
     with_scratch("guard", |cache| {
-        let (_, outcome) = build_cached_in(cache, NET, REPR, SEED);
+        let (_, outcome) = build_stored(cache, NET, REPR, SEED);
         assert_eq!(outcome, CacheOutcome::Miss);
         let entry = only_entry(cache);
 
@@ -219,7 +230,7 @@ fn clear_only_touches_cache_entries_and_never_follows_symlinks() {
 #[test]
 fn gc_stale_removes_only_other_generations() {
     with_scratch("gc", |cache| {
-        build_cached_in(cache, NET, REPR, SEED);
+        build_stored(cache, NET, REPR, SEED);
         let fresh = only_entry(cache);
         // Forge a stale-generation sibling: same kind, different key
         // and embedded version.
@@ -236,15 +247,19 @@ fn gc_stale_removes_only_other_generations() {
         assert_eq!(report.skipped, 1, "only the foreign file is skipped");
         assert!(fresh.exists(), "current-generation entry survives GC");
         assert!(user_file.exists(), "foreign file survives GC");
-        assert_eq!(build_cached_in(cache, NET, REPR, SEED).1, CacheOutcome::Hit);
+        assert_eq!(build_stored(cache, NET, REPR, SEED).1, CacheOutcome::Hit);
     });
 }
 
 #[test]
 fn disabled_cache_writes_nothing() {
-    // `NetworkWorkload::build_uncached` must not touch the store.
+    // `NetworkWorkload::build` is the pure kernel — it must not touch
+    // disk, and a `no_disk` store must not either.
     with_scratch("disabled", |cache| {
-        let _ = NetworkWorkload::build_uncached(Network::VggM, REPR, 99);
+        let _ = NetworkWorkload::build(Network::VggM, REPR, 99);
+        let diskless = ArtifactStore::new(cache.dir()).tier(ArtifactKind::Workload).no_disk();
+        let (_, outcome) = diskless.workload(Network::VggM, REPR, 99);
+        assert_eq!(outcome, CacheOutcome::Disabled);
         assert!(!cache.dir().exists() || cache.stats().entries == 0);
     });
 }

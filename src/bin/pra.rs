@@ -13,8 +13,11 @@
 //!                                      consolidated CSV + timing reports;
 //!                                      workloads come from the content-addressed
 //!                                      cache unless --no-cache
-//! pra cache stats                      inspect the workload/artifact cache
-//! pra cache clear [--stale]            guarded cache deletion / stale-entry GC
+//! pra cache stats [--kind K] [--json]  inspect the artifact cache (workload,
+//!                                      traffic, and encoded tiers)
+//! pra cache clear [--stale] [--kind K] [--json]
+//!                                      guarded cache deletion / stale-entry GC,
+//!                                      optionally narrowed to one kind
 //! pra bench-delta <prev> <cur> [--gate R]
 //!                                      per-phase delta between two bench.json;
 //!                                      --gate fails on >Rx phase regressions
@@ -65,7 +68,7 @@ use pra_bench::Table;
 use pragmatic::core::{Fidelity, PraConfig};
 use pragmatic::engines::{dadn, potential, stripes};
 use pragmatic::sim::{capacity, ChipConfig};
-use pragmatic::workloads::cache::{self, Cache};
+use pragmatic::workloads::cache::{self, ArtifactKind, ArtifactStore, Cache};
 use pragmatic::workloads::{Network, NetworkWorkload, Representation};
 
 fn main() -> ExitCode {
@@ -110,7 +113,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats | clear [--stale]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--shard N] [--epoch N] [--chaos SPEC] | route --shard ADDR [--shard ADDR ...] [--addr A] [--replicas K] [--probe-ms P] [--probe-deadline-ms D] [--seed S] [--max-conns C] [--once] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--v2] [--retries R] [--backoff-ms B] [--cluster T1,T2,... [--sampled N] [--no-cache] [--max-conns C] [--deadline-ms D] [--chaos SPEC]]>\n\
+const USAGE: &str = "usage: pra <networks | potential NET | speedup NET [--quant8] | capacity NET | sweep [--serial] [--full] [--sampled N] [--seed N] [--no-cache] | cache <stats [--kind K] [--json] | clear [--stale] [--kind K] [--json]> | bench-delta PREV CUR [--gate R] | serve [--addr A] [--workers N] [--max-batch B] [--queue-depth D] [--linger-ms L] [--sampled N] [--no-cache] [--once] [--max-conns C] [--deadline-ms D] [--shard N] [--epoch N] [--chaos SPEC] | route --shard ADDR [--shard ADDR ...] [--addr A] [--replicas K] [--probe-ms P] [--probe-deadline-ms D] [--seed S] [--max-conns C] [--once] [--chaos SPEC] | ctl <stats | drain> [--addr A] | bench-serve [--addr A] [--requests N] [--batch W] [--seed S] [--allow-shed] [--v2] [--retries R] [--backoff-ms B] [--cluster T1,T2,... [--sampled N] [--no-cache] [--max-conns C] [--deadline-ms D] [--chaos SPEC]]>\n\
                      networks: Alexnet NiN Google VGGM VGGS VGG19";
 
 fn parse_network(args: &[String], idx: usize) -> Result<Network, String> {
@@ -176,9 +179,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 cfg.seed = parse_seed(v)?;
             }
             "--no-cache" => {
-                cfg.use_cache = false;
+                cfg.store = ArtifactStore::at_default().no_disk();
                 // Also disable the process-wide default so no artifact
-                // (workload or traffic) is read or published this run.
+                // (workload, traffic, or encoded) is read or published
+                // this run.
                 cache::set_enabled(false);
             }
             other => {
@@ -227,7 +231,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     geo.print("Cross-network geometric means");
 
-    let mut timing = Table::new(["job", "repr", "gen ms", "wall ms", "cache"]);
+    let mut timing =
+        Table::new(["job", "repr", "gen ms", "wall ms", "cache", "encoded", "traffic"]);
     for t in &out.timings {
         timing.row([
             t.network.clone(),
@@ -235,6 +240,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             format!("{:.1}", t.gen_ms),
             format!("{:.1}", t.wall_ms),
             t.cache.clone(),
+            t.encoded.clone(),
+            t.traffic.clone(),
         ]);
     }
     timing.print("Per-job wall-clock");
@@ -248,31 +255,141 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         None => eprintln!("warning: timing report could not be written"),
     }
     let hits = out.timings.iter().filter(|t| t.cache == "hit").count();
+    let encoded_hits = out.timings.iter().filter(|t| t.encoded == "hit").count();
     println!(
-        "{} jobs on {} worker thread(s) in {:.1}s ({} workload cache hit(s))",
+        "{} jobs on {} worker thread(s) in {:.1}s ({} workload cache hit(s), \
+         {} encoded-artifact hit(s))",
         out.jobs,
         out.threads_used,
         out.total_wall_ms / 1e3,
         hits,
+        encoded_hits,
     );
     Ok(())
 }
 
-/// `pra cache stats|clear [--stale]`: inspect or prune the
-/// content-addressed workload/artifact cache. Deletion is guarded — only
-/// regular files matching the cache naming scheme are ever removed, and
-/// symlinks are never followed, so a misconfigured `PRA_CACHE_DIR`
-/// cannot lose user data.
+/// The current artifact version each entry kind publishes under — the
+/// `(kind tag, version)` pairs `pra cache` reports and GCs against.
+fn current_versions() -> [(&'static str, u32); 3] {
+    [
+        (cache::WORKLOAD_KIND, cache::GENERATOR_VERSION),
+        (pragmatic::core::TRAFFIC_KIND, pragmatic::core::TRAFFIC_VERSION),
+        (pragmatic::core::ENCODED_KIND, pragmatic::core::ENCODER_VERSION),
+    ]
+}
+
+/// Escapes a string as a JSON string literal (same rules as the lint
+/// and bench reporters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `pra cache stats|clear [--stale] [--kind K] [--json]`: inspect or
+/// prune the content-addressed artifact cache (workload, traffic, and
+/// encoded tiers). Deletion is guarded — only regular files matching
+/// the cache naming scheme are ever removed, and symlinks are never
+/// followed, so a misconfigured `PRA_CACHE_DIR` cannot lose user data.
+/// `--kind` narrows either subcommand to one artifact kind (by name or
+/// tag: `workload`/`wl`, `traffic`/`tr`, `encoded`/`en`); `--json`
+/// emits a stable machine-readable document in the same shape
+/// conventions as `pra-lint --json` (fixed key order, 2-space indent).
 fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str);
+    let mut stale_only = false;
+    let mut kind: Option<ArtifactKind> = None;
+    let mut json = false;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stale" => stale_only = true,
+            "--kind" => {
+                let v = it.next().ok_or("--kind needs workload | traffic | encoded")?;
+                kind = Some(ArtifactKind::parse(v).ok_or_else(|| {
+                    format!("unknown --kind '{v}' (expected workload | traffic | encoded)")
+                })?);
+            }
+            "--json" => json = true,
+            other => {
+                let flags: &[&str] = if sub == Some("clear") {
+                    &["--stale", "--kind", "--json"]
+                } else {
+                    &["--kind", "--json"]
+                };
+                return Err(unknown_flag("cache", other, flags));
+            }
+        }
+    }
     let cache = Cache::at_default();
-    match args.first().map(String::as_str) {
+    match sub {
         Some("stats") => {
-            let s = cache.stats();
+            let mut s = cache.stats();
+            if let Some(k) = kind {
+                // The totals follow the filter so the summary line (and
+                // the JSON document) stay internally consistent.
+                s.kinds.retain(|ks| ks.kind == k.tag());
+                s.entries = s.kinds.iter().map(|ks| ks.entries).sum();
+                s.bytes = s.kinds.iter().map(|ks| ks.bytes).sum();
+            }
+            if json {
+                let versions = current_versions()
+                    .iter()
+                    .map(|(tag, v)| format!("{{\"kind\": {}, \"version\": {v}}}", json_escape(tag)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut kinds = String::new();
+                for (i, ks) in s.kinds.iter().enumerate() {
+                    if i > 0 {
+                        kinds.push(',');
+                    }
+                    let per_version = ks
+                        .versions
+                        .iter()
+                        .map(|(v, n)| format!("{{\"version\": {v}, \"entries\": {n}}}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    kinds.push_str(&format!(
+                        "\n    {{\"kind\": {}, \"entries\": {}, \"bytes\": {}, \
+                         \"versions\": [{per_version}]}}",
+                        json_escape(&ks.kind),
+                        ks.entries,
+                        ks.bytes,
+                    ));
+                }
+                if !s.kinds.is_empty() {
+                    kinds.push_str("\n  ");
+                }
+                println!(
+                    "{{\n  \"dir\": {},\n  \"current_versions\": [{versions}],\n  \
+                     \"kinds\": [{kinds}],\n  \"entries\": {},\n  \"bytes\": {},\n  \
+                     \"temps\": {},\n  \"foreign\": {}\n}}",
+                    json_escape(&s.dir.display().to_string()),
+                    s.entries,
+                    s.bytes,
+                    s.temps,
+                    s.foreign,
+                );
+                return Ok(());
+            }
             println!("cache directory: {}", s.dir.display());
             println!(
-                "current versions: workloads v{} (kind wl), traffic v{} (kind tr)",
+                "current versions: workloads v{} (kind wl), traffic v{} (kind tr), \
+                 encoded v{} (kind en)",
                 cache::GENERATOR_VERSION,
                 pragmatic::core::TRAFFIC_VERSION,
+                pragmatic::core::ENCODER_VERSION,
             );
             if s.entries == 0 && s.temps == 0 {
                 println!("empty (a cold `pra sweep` will populate it)");
@@ -304,17 +421,32 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("clear") => {
-            let stale_only = args.iter().any(|a| a == "--stale");
-            let report = if stale_only {
-                cache
-                    .gc_stale(&[
-                        (cache::WORKLOAD_KIND, cache::GENERATOR_VERSION),
-                        (pragmatic::core::TRAFFIC_KIND, pragmatic::core::TRAFFIC_VERSION),
-                    ])
-                    .map_err(|e| e.to_string())?
-            } else {
-                cache.clear().map_err(|e| e.to_string())?
+            let report = match (stale_only, kind) {
+                // Stale GC over one kind's current version — entries of
+                // every other kind are deliberately kept.
+                (true, Some(k)) => {
+                    let pair = current_versions()
+                        .into_iter()
+                        .find(|(tag, _)| *tag == k.tag())
+                        .unwrap_or_else(|| unreachable!("every ArtifactKind has a version"));
+                    cache.gc_stale(&[pair]).map_err(|e| e.to_string())?
+                }
+                (true, None) => cache.gc_stale(&current_versions()).map_err(|e| e.to_string())?,
+                (false, Some(k)) => cache.clear_kind(k.tag()).map_err(|e| e.to_string())?,
+                (false, None) => cache.clear().map_err(|e| e.to_string())?,
             };
+            if json {
+                println!(
+                    "{{\n  \"dir\": {},\n  \"removed\": {},\n  \"freed_bytes\": {},\n  \
+                     \"kept\": {},\n  \"skipped\": {}\n}}",
+                    json_escape(&cache.dir().display().to_string()),
+                    report.removed,
+                    report.freed_bytes,
+                    report.kept,
+                    report.skipped,
+                );
+                return Ok(());
+            }
             println!(
                 "{}: removed {} entr{} ({:.1} MB), kept {}, skipped {} non-cache file(s)",
                 cache.dir().display(),
@@ -326,7 +458,10 @@ fn cmd_cache(args: &[String]) -> Result<(), String> {
             );
             Ok(())
         }
-        _ => Err(format!("cache needs a subcommand: stats | clear [--stale]\n{USAGE}")),
+        _ => Err(format!(
+            "cache needs a subcommand: stats [--kind K] [--json] | \
+             clear [--stale] [--kind K] [--json]\n{USAGE}"
+        )),
     }
 }
 
@@ -406,7 +541,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--full" => cfg.fidelity = Fidelity::Full,
             "--no-cache" => {
-                cfg.use_cache = false;
+                cfg.store = ArtifactStore::at_default().no_disk();
                 cache::set_enabled(false);
             }
             "--once" => once = true,
@@ -480,7 +615,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.max_batch,
         cfg.queue_depth,
         cfg.linger,
-        if cfg.use_cache { "on" } else { "off" },
+        if cfg.store.dir().is_some() { "on" } else { "off" },
         cfg.max_connections,
         cfg.deadline.map_or_else(|| "none".to_string(), |d| format!("{d:?}")),
         if once { "once (drain honored)" } else { "always-on" },
@@ -633,6 +768,8 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
         t.row(["connections shed", &snap.connections_shed.to_string()]);
         t.row(["worker restarts", &snap.worker_restarts.to_string()]);
         t.row(["deadline expired", &snap.deadline_expired.to_string()]);
+        t.row(["encode ms", &snap.encode_ms.to_string()]);
+        t.row(["encoded hits", &snap.encoded_hits.to_string()]);
         t.row(["shard", &snap.shard.to_string()]);
         t.row(["epoch", &snap.epoch.to_string()]);
         t.print("Service counters");
@@ -705,7 +842,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
                     Fidelity::Sampled { max_pallets: flag_num(&mut it, "--sampled")?.max(1) }
             }
             "--no-cache" => {
-                serve_cfg.use_cache = false;
+                serve_cfg.store = ArtifactStore::at_default().no_disk();
                 cache::set_enabled(false);
             }
             // Shared serve knobs, applied to the shards a --cluster run
